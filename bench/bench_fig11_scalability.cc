@@ -1,0 +1,99 @@
+// Reproduces paper Fig. 11: data, strong, and weak scalability of D-SEQ and
+// D-CAND for T3(σ,1,5) on AMZN-F.
+//
+//  11a: 25/50/75/100% of the data on full workers, σ scaled with the data
+//  11b: 2/4/8 workers on 100% of the data
+//  11c: workers and data scaled together
+//
+// Expected shape: time grows ~linearly with data (11a), shrinks ~linearly
+// with workers (11b), and stays roughly constant in the weak-scaling sweep
+// (11c), modulo constant setup overhead.
+#include <cstdio>
+
+#include "bench/common/bench_util.h"
+
+namespace {
+
+using namespace dseq;
+using namespace dseq::bench;
+
+SequenceDatabase Sample(const SequenceDatabase& db, double fraction) {
+  SequenceDatabase out;
+  out.dict = db.dict;  // keep the full dictionary and frequencies
+  size_t n = static_cast<size_t>(db.size() * fraction);
+  out.sequences.assign(db.sequences.begin(), db.sequences.begin() + n);
+  return out;
+}
+
+void RunPoint(const std::string& label, const SequenceDatabase& db,
+              uint64_t sigma, int workers) {
+  Fst fst = CompileFst(T3Pattern(1, 5), db.dict);
+
+  DSeqOptions dseq_options;
+  dseq_options.sigma = sigma;
+  dseq_options.num_map_workers = workers;
+  dseq_options.num_reduce_workers = workers;
+  dseq_options.execution = BenchExecution();
+  DistributedResult dseq = MineDSeq(db.sequences, fst, db.dict, dseq_options);
+
+  DCandOptions dcand_options;
+  dcand_options.sigma = sigma;
+  dcand_options.num_map_workers = workers;
+  dcand_options.num_reduce_workers = workers;
+  dcand_options.execution = BenchExecution();
+  DistributedResult dcand =
+      MineDCand(db.sequences, fst, db.dict, dcand_options);
+
+  if (ResultChecksum(dseq.patterns) != ResultChecksum(dcand.patterns)) {
+    std::fprintf(stderr, "WARNING: D-SEQ and D-CAND disagree at %s\n",
+                 label.c_str());
+  }
+  auto fmt = [](const DistributedResult& r) {
+    return FormatSeconds(r.metrics.map_seconds) + "+" +
+           FormatSeconds(r.metrics.reduce_seconds) + "=" +
+           FormatSeconds(r.metrics.total_seconds());
+  };
+  PrintRow({label, fmt(dseq), fmt(dcand),
+            std::to_string(dseq.patterns.size())});
+}
+
+}  // namespace
+
+int main() {
+  const SequenceDatabase& full = AmznF();
+  double scale = GetConfig().scale;
+  int max_workers = GetConfig().workers;
+  auto sigma_for = [&](double fraction) {
+    return std::max<uint64_t>(
+        2, static_cast<uint64_t>(100 * scale * fraction));
+  };
+
+  PrintHeader("Fig. 11a: data scalability (T3 on AMZN-F', full workers)",
+              {"% of data", "D-SEQ map+mine", "D-CAND map+mine",
+               "# frequent"});
+  for (double f : {0.25, 0.5, 0.75, 1.0}) {
+    SequenceDatabase db = Sample(full, f);
+    RunPoint(std::to_string(static_cast<int>(f * 100)) + "%", db,
+             sigma_for(f), max_workers);
+  }
+
+  PrintHeader("Fig. 11b: strong scalability (100% of data)",
+              {"workers", "D-SEQ map+mine", "D-CAND map+mine", "# frequent"});
+  for (int w : {2, 4, 8}) {
+    if (w > max_workers) break;
+    RunPoint(std::to_string(w), full, sigma_for(1.0), w);
+  }
+
+  PrintHeader("Fig. 11c: weak scalability (workers scaled with data)",
+              {"workers(%data)", "D-SEQ map+mine", "D-CAND map+mine",
+               "# frequent"});
+  for (auto [w, f] : std::initializer_list<std::pair<int, double>>{
+           {2, 0.25}, {4, 0.5}, {6, 0.75}, {8, 1.0}}) {
+    if (w > max_workers) break;
+    SequenceDatabase db = Sample(full, f);
+    RunPoint(std::to_string(w) + "(" +
+                 std::to_string(static_cast<int>(f * 100)) + "%)",
+             db, sigma_for(f), w);
+  }
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Micro-benchmarks (google-benchmark) for the core components: grid
+// construction, pivot search, rewriting, NFA minimization/serialization,
+// and varint coding. Complements the paper-figure harnesses with
+// per-component regression tracking.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/core/candidates.h"
+#include "src/core/desq_dfs.h"
+#include "src/core/grid.h"
+#include "src/core/pivot.h"
+#include "src/datagen/text_corpus.h"
+#include "src/dist/dseq_miner.h"
+#include "src/fst/compiler.h"
+#include "src/nfa/output_nfa.h"
+#include "src/nfa/serializer.h"
+#include "src/util/varint.h"
+
+namespace dseq {
+namespace {
+
+const SequenceDatabase& Corpus() {
+  static SequenceDatabase db = [] {
+    TextCorpusOptions options;
+    options.num_sentences = 2'000;
+    options.lemmas_per_pos = 300;
+    options.num_entities = 200;
+    return GenerateTextCorpus(options);
+  }();
+  return db;
+}
+
+const Fst& N4Fst() {
+  static Fst fst = CompileFst(".* (.^){3} NOUN .*", Corpus().dict);
+  return fst;
+}
+
+void BM_GridBuild(benchmark::State& state) {
+  const SequenceDatabase& db = Corpus();
+  GridOptions options;
+  options.prune_sigma = 10;
+  size_t i = 0;
+  for (auto _ : state) {
+    StateGrid grid = StateGrid::Build(db.sequences[i % db.size()], N4Fst(),
+                                      db.dict, options);
+    benchmark::DoNotOptimize(grid.num_edges());
+    ++i;
+  }
+}
+BENCHMARK(BM_GridBuild);
+
+void BM_PivotSearch(benchmark::State& state) {
+  const SequenceDatabase& db = Corpus();
+  GridOptions options;
+  options.prune_sigma = 10;
+  std::vector<StateGrid> grids;
+  for (size_t i = 0; i < 64; ++i) {
+    grids.push_back(
+        StateGrid::Build(db.sequences[i], N4Fst(), db.dict, options));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    Sequence pivots = FindPivotItems(grids[i % grids.size()]);
+    benchmark::DoNotOptimize(pivots.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_PivotSearch);
+
+void BM_Rewrite(benchmark::State& state) {
+  const SequenceDatabase& db = Corpus();
+  GridOptions options;
+  options.prune_sigma = 10;
+  // Pick an accepting sequence.
+  size_t idx = 0;
+  StateGrid grid;
+  for (size_t i = 0; i < db.size(); ++i) {
+    grid = StateGrid::Build(db.sequences[i], N4Fst(), db.dict, options);
+    if (grid.HasAcceptingRun()) {
+      idx = i;
+      break;
+    }
+  }
+  Sequence pivots = FindPivotItems(grid);
+  for (auto _ : state) {
+    Sequence rewritten =
+        RewriteForPivot(db.sequences[idx], grid, pivots.front());
+    benchmark::DoNotOptimize(rewritten.size());
+  }
+}
+BENCHMARK(BM_Rewrite);
+
+void BM_NfaMinimizeAndSerialize(benchmark::State& state) {
+  const SequenceDatabase& db = Corpus();
+  GridOptions options;
+  options.prune_sigma = 10;
+  // Build a trie from the first accepting sequence's runs.
+  OutputNfa prototype;
+  for (const Sequence& T : db.sequences) {
+    StateGrid grid = StateGrid::Build(T, N4Fst(), db.dict, options);
+    if (!grid.HasAcceptingRun()) continue;
+    Sequence pivots = FindPivotItems(grid);
+    if (pivots.empty()) continue;
+    ItemId pivot = pivots.back();
+    ForEachAcceptingRun(grid, 10'000,
+                        [&](const std::vector<const StateGrid::Edge*>& run) {
+                          prototype.AddRun(run, pivot);
+                        });
+    if (prototype.num_states() > 16) break;
+  }
+  for (auto _ : state) {
+    OutputNfa nfa = prototype;
+    nfa.Minimize();
+    std::string bytes = SerializeNfa(nfa);
+    benchmark::DoNotOptimize(bytes.size());
+  }
+}
+BENCHMARK(BM_NfaMinimizeAndSerialize);
+
+void BM_NfaDeserialize(benchmark::State& state) {
+  OutputNfa trie;
+  std::mt19937_64 rng(3);
+  for (int r = 0; r < 30; ++r) {
+    std::vector<Sequence> labels;
+    for (int i = 0; i < 4; ++i) {
+      labels.push_back({static_cast<ItemId>(rng() % 50 + 1)});
+    }
+    trie.AddLabelString(labels);
+  }
+  trie.Minimize();
+  std::string bytes = SerializeNfa(trie);
+  for (auto _ : state) {
+    OutputNfa nfa = DeserializeNfa(bytes);
+    benchmark::DoNotOptimize(nfa.num_states());
+  }
+}
+BENCHMARK(BM_NfaDeserialize);
+
+void BM_VarintSequenceRoundTrip(benchmark::State& state) {
+  Sequence seq;
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 64; ++i) {
+    seq.push_back(static_cast<ItemId>(rng() % 100'000 + 1));
+  }
+  for (auto _ : state) {
+    std::string buf;
+    PutSequence(&buf, seq);
+    Sequence decoded;
+    size_t pos = 0;
+    GetSequence(buf, &pos, &decoded);
+    benchmark::DoNotOptimize(decoded.size());
+  }
+}
+BENCHMARK(BM_VarintSequenceRoundTrip);
+
+void BM_DesqDfsSmall(benchmark::State& state) {
+  const SequenceDatabase& db = Corpus();
+  for (auto _ : state) {
+    DesqDfsOptions options;
+    options.sigma = 50;
+    MiningResult result =
+        MineDesqDfs(db.sequences, N4Fst(), db.dict, options);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_DesqDfsSmall)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dseq
+
+BENCHMARK_MAIN();

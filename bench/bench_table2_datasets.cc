@@ -1,0 +1,75 @@
+// Reproduces paper Table II: dataset and hierarchy characteristics.
+//
+// The datasets are scaled-down synthetic substitutes (DESIGN.md §3); the
+// table shape — relative sequence counts, lengths, hierarchy depths, and
+// the DAG-vs-forest distinction between AMZN and AMZN-F — mirrors the paper.
+#include <cstdio>
+
+#include "bench/common/bench_util.h"
+
+int main() {
+  using namespace dseq;
+  using namespace dseq::bench;
+
+  PrintHeader("Table II: dataset and hierarchy characteristics",
+              {"", "NYT'", "AMZN'", "AMZN-F'", "CW50'"});
+
+  const SequenceDatabase* dbs[] = {&Nyt(), &Amzn(), &AmznF(), &Cw50()};
+
+  auto row = [&](const char* label, auto fn) {
+    std::vector<std::string> cells = {label};
+    for (const SequenceDatabase* db : dbs) cells.push_back(fn(*db));
+    PrintRow(cells);
+  };
+
+  char buf[64];
+  row("Sequences (K)", [&](const SequenceDatabase& db) {
+    std::snprintf(buf, sizeof(buf), "%.0f", db.size() / 1e3);
+    return std::string(buf);
+  });
+  row("Total items (M)", [&](const SequenceDatabase& db) {
+    std::snprintf(buf, sizeof(buf), "%.2f", db.TotalItems() / 1e6);
+    return std::string(buf);
+  });
+  row("Unique items (K)", [&](const SequenceDatabase& db) {
+    size_t used = 0;
+    std::vector<bool> seen(db.dict.size() + 1, false);
+    for (const Sequence& s : db.sequences) {
+      for (ItemId t : s) {
+        if (!seen[t]) {
+          seen[t] = true;
+          ++used;
+        }
+      }
+    }
+    std::snprintf(buf, sizeof(buf), "%.1f", used / 1e3);
+    return std::string(buf);
+  });
+  row("Max seq. length", [&](const SequenceDatabase& db) {
+    return std::to_string(db.MaxSequenceLength());
+  });
+  row("Mean seq. length", [&](const SequenceDatabase& db) {
+    std::snprintf(buf, sizeof(buf), "%.1f", db.MeanSequenceLength());
+    return std::string(buf);
+  });
+  row("Hierarchy items (K)", [&](const SequenceDatabase& db) {
+    std::snprintf(buf, sizeof(buf), "%.1f", db.dict.size() / 1e3);
+    return std::string(buf);
+  });
+  row("Max ancestors", [&](const SequenceDatabase& db) {
+    return std::to_string(db.dict.MaxAncestors());
+  });
+  row("Mean ancestors", [&](const SequenceDatabase& db) {
+    std::snprintf(buf, sizeof(buf), "%.1f", db.dict.MeanAncestors());
+    return std::string(buf);
+  });
+  row("Forest hierarchy", [&](const SequenceDatabase& db) {
+    return db.dict.IsForest() ? std::string("yes") : std::string("no");
+  });
+
+  std::printf(
+      "\nPaper Tab. II for reference (full-size datasets): NYT 50M seqs / "
+      "mean 22.8, AMZN 21M / 3.9,\nAMZN-F forest variant, CW50 567M / 19.0; "
+      "hierarchies: NYT max 3 ancestors, AMZN 282 (DAG), CW50 none.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Order-aware recommendation example (paper Tab. III, constraints A1–A4).
+//
+//   build/examples/market_basket
+//
+// Generates synthetic product baskets over an Amazon-style category DAG and
+// mines purchase patterns: electronics bought in succession, book series,
+// and what people buy after a digital camera. Uses D-CAND, which excels on
+// these selective constraints, and cross-checks one constraint against
+// D-SEQ.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "src/datagen/market_baskets.h"
+#include "src/dist/dcand_miner.h"
+#include "src/dist/dseq_miner.h"
+#include "src/fst/compiler.h"
+
+namespace {
+
+dseq::DistributedResult Mine(const dseq::SequenceDatabase& db,
+                             const std::string& pattern, uint64_t sigma) {
+  using namespace dseq;
+  Fst fst = CompileFst(pattern, db.dict);
+  DCandOptions options;
+  options.sigma = sigma;
+  options.num_map_workers = 4;
+  options.num_reduce_workers = 4;
+  return MineDCand(db.sequences, fst, db.dict, options);
+}
+
+void Show(const dseq::SequenceDatabase& db, const char* name,
+          const dseq::DistributedResult& result, size_t show) {
+  dseq::MiningResult top = result.patterns;
+  std::sort(top.begin(), top.end(),
+            [](const dseq::PatternCount& a, const dseq::PatternCount& b) {
+              return a.frequency > b.frequency;
+            });
+  std::printf("%s: %zu patterns, %.0f KB shuffled; top %zu:\n", name,
+              top.size(), result.metrics.shuffle_bytes / 1024.0,
+              std::min(show, top.size()));
+  for (size_t i = 0; i < top.size() && i < show; ++i) {
+    std::printf("    %-50s %llu\n", db.FormatSequence(top[i].pattern).c_str(),
+                static_cast<unsigned long long>(top[i].frequency));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace dseq;
+  MarketBasketOptions options;
+  options.num_customers = 30'000;
+  std::printf("Generating synthetic market baskets...\n");
+  SequenceDatabase db = GenerateMarketBaskets(options);
+  std::printf("  %zu customers, %zu catalog items (DAG hierarchy: %s)\n\n",
+              db.size(), db.dict.size(),
+              db.dict.IsForest() ? "no" : "yes");
+
+  // A1: up to 5 electronics purchases with gaps of at most 2.
+  DistributedResult a1 =
+      Mine(db, ".*(Electr^)[.{0,2}(Electr^)]{1,4}.*", 250);
+  Show(db, "A1  electronics sequences", a1, 6);
+
+  // A2: sequences of books (exact products, no generalization).
+  DistributedResult a2 = Mine(db, ".*(Book)[.{0,2}(Book)]{1,4}.*", 5);
+  Show(db, "A2  book sequences", a2, 6);
+
+  // A3: generalized items bought after a digital camera.
+  DistributedResult a3 =
+      Mine(db, ".*DigitalCamera[.{0,3}(.^)]{1,4}.*", 100);
+  Show(db, "A3  after a digital camera", a3, 6);
+
+  // A4: musical instrument purchases.
+  DistributedResult a4 =
+      Mine(db, ".*(MusicInstr^)[.{0,2}(MusicInstr^)]{1,4}.*", 50);
+  Show(db, "A4  musical instruments", a4, 6);
+
+  // Cross-check: D-SEQ and D-CAND agree on A2.
+  Fst fst = CompileFst(".*(Book)[.{0,2}(Book)]{1,4}.*", db.dict);
+  DSeqOptions dseq_options;
+  dseq_options.sigma = 5;
+  dseq_options.num_map_workers = 4;
+  dseq_options.num_reduce_workers = 4;
+  DistributedResult check = MineDSeq(db.sequences, fst, db.dict, dseq_options);
+  std::printf("Cross-check D-SEQ == D-CAND on A2: %s\n",
+              check.patterns == a2.patterns ? "yes" : "NO (bug!)");
+  return check.patterns == a2.patterns ? 0 : 1;
+}

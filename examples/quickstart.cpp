@@ -1,0 +1,72 @@
+// Quickstart: mine the paper's running example (Fig. 2) end to end.
+//
+//   build/examples/quickstart
+//
+// Builds the five-sequence database over the a1/a2/A/b/c/d/e hierarchy,
+// compiles the pattern expression πex = .*(A)[(.^).*]*(b).*, and mines
+// frequent subsequences with σ = 2 using the sequential DESQ-DFS miner and
+// the distributed D-SEQ and D-CAND miners. All three must agree:
+//   a1 b   : 3
+//   a1 a1 b: 2
+//   a1 A b : 2
+#include <cstdio>
+
+#include "src/core/desq_dfs.h"
+#include "src/dict/sequence.h"
+#include "src/dist/dcand_miner.h"
+#include "src/dist/dseq_miner.h"
+#include "src/fst/compiler.h"
+
+int main() {
+  using namespace dseq;
+
+  // 1. Build (or load) a sequence database. MakeRunningExample constructs
+  //    the paper's Fig. 2 database and recodes items by frequency.
+  SequenceDatabase db = MakeRunningExample();
+  std::printf("Database: %zu sequences, %zu items in dictionary\n\n",
+              db.size(), db.dict.size());
+
+  // 2. Express the subsequence constraint as a pattern expression and
+  //    compile it into a finite state transducer. '^' is the paper's ↑.
+  const std::string pattern = ".*(A)[(.^).*]*(b).*";
+  Fst fst = CompileFst(pattern, db.dict);
+  std::printf("Pattern %s compiled to FST with %zu states, %zu transitions\n\n",
+              pattern.c_str(), fst.num_states(), fst.num_transitions());
+
+  // 3a. Mine sequentially with DESQ-DFS.
+  DesqDfsOptions seq_options;
+  seq_options.sigma = 2;
+  MiningResult sequential = MineDesqDfs(db.sequences, fst, db.dict, seq_options);
+
+  std::printf("DESQ-DFS (sequential), sigma=2:\n");
+  for (const PatternCount& pc : sequential) {
+    std::printf("  %-10s : %llu\n", db.FormatSequence(pc.pattern).c_str(),
+                static_cast<unsigned long long>(pc.frequency));
+  }
+
+  // 3b. Mine distributed with D-SEQ (sequence representation).
+  DSeqOptions dseq_options;
+  dseq_options.sigma = 2;
+  dseq_options.num_map_workers = 2;
+  dseq_options.num_reduce_workers = 2;
+  DistributedResult dseq = MineDSeq(db.sequences, fst, db.dict, dseq_options);
+  std::printf("\nD-SEQ: %zu patterns, %llu shuffle bytes\n",
+              dseq.patterns.size(),
+              static_cast<unsigned long long>(dseq.metrics.shuffle_bytes));
+
+  // 3c. Mine distributed with D-CAND (candidate representation).
+  DCandOptions dcand_options;
+  dcand_options.sigma = 2;
+  dcand_options.num_map_workers = 2;
+  dcand_options.num_reduce_workers = 2;
+  DistributedResult dcand =
+      MineDCand(db.sequences, fst, db.dict, dcand_options);
+  std::printf("D-CAND: %zu patterns, %llu shuffle bytes\n",
+              dcand.patterns.size(),
+              static_cast<unsigned long long>(dcand.metrics.shuffle_bytes));
+
+  bool agree =
+      dseq.patterns == sequential && dcand.patterns == sequential;
+  std::printf("\nAll algorithms agree: %s\n", agree ? "yes" : "NO (bug!)");
+  return agree ? 0 : 1;
+}

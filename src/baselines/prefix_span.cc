@@ -1,0 +1,116 @@
+#include "src/baselines/prefix_span.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dseq {
+namespace {
+
+// Sequential PrefixSpan over a projected database of suffixes.
+class LocalPrefixSpan {
+ public:
+  LocalPrefixSpan(const std::vector<Sequence>& suffixes, uint64_t sigma,
+                  uint32_t remaining, const Sequence& prefix,
+                  MiningResult* out)
+      : suffixes_(suffixes), sigma_(sigma), out_(out) {
+    // Projections reference (suffix index, offset).
+    std::vector<std::pair<uint32_t, uint32_t>> projections;
+    projections.reserve(suffixes.size());
+    for (uint32_t i = 0; i < suffixes.size(); ++i) projections.emplace_back(i, 0);
+    prefix_ = prefix;
+    Grow(projections, remaining);
+  }
+
+ private:
+  void Grow(const std::vector<std::pair<uint32_t, uint32_t>>& projections,
+            uint32_t remaining) {
+    if (remaining == 0) return;
+    // Count the distinct-sequence frequency of every item in the projected
+    // database and record its first occurrence per sequence.
+    std::map<ItemId, std::vector<std::pair<uint32_t, uint32_t>>> extensions;
+    for (const auto& [seq, offset] : projections) {
+      const Sequence& T = suffixes_[seq];
+      // First occurrence of each item in T[offset..].
+      std::map<ItemId, uint32_t> first;
+      for (uint32_t j = offset; j < T.size(); ++j) {
+        first.emplace(T[j], j);
+      }
+      for (const auto& [w, j] : first) {
+        extensions[w].emplace_back(seq, j + 1);
+      }
+    }
+    for (auto& [w, projected] : extensions) {
+      if (projected.size() < sigma_) continue;
+      prefix_.push_back(w);
+      out_->push_back(PatternCount{prefix_, projected.size()});
+      Grow(projected, remaining - 1);
+      prefix_.pop_back();
+    }
+  }
+
+  const std::vector<Sequence>& suffixes_;
+  uint64_t sigma_;
+  MiningResult* out_;
+  Sequence prefix_;
+};
+
+}  // namespace
+
+DistributedResult MinePrefixSpan(const std::vector<Sequence>& db,
+                                 const Dictionary& dict,
+                                 const PrefixSpanOptions& options) {
+  DistributedResult result;
+
+  MapFn map_fn = [&](size_t index, const EmitFn& emit) {
+    const Sequence& T = db[index];
+    // First occurrence of each frequent item; emit the projected suffix.
+    std::map<ItemId, uint32_t> first;
+    for (uint32_t j = 0; j < T.size(); ++j) {
+      if (dict.DocFrequency(T[j]) < options.sigma) continue;
+      first.emplace(T[j], j);
+    }
+    for (const auto& [w, j] : first) {
+      std::string value;
+      PutSequence(&value, Sequence(T.begin() + j + 1, T.end()));
+      emit(EncodePivotKey(w), std::move(value));
+    }
+  };
+
+  std::vector<MiningResult> per_worker(
+      std::max(1, options.num_reduce_workers));
+  ReduceFn reduce_fn = [&](int worker, const std::string& key,
+                           std::vector<std::string>& values) {
+    ItemId w = DecodePivotKey(key);
+    if (values.size() < options.sigma) return;
+    MiningResult& out = per_worker[worker];
+    out.push_back(PatternCount{Sequence{w}, values.size()});
+    std::vector<Sequence> suffixes;
+    suffixes.reserve(values.size());
+    Sequence seq;
+    for (const std::string& v : values) {
+      size_t pos = 0;
+      GetSequence(v, &pos, &seq);
+      suffixes.push_back(seq);
+    }
+    LocalPrefixSpan(suffixes, options.sigma, options.lambda - 1, Sequence{w},
+                    &out);
+  };
+
+  DataflowOptions dataflow_options;
+  dataflow_options.num_map_workers = options.num_map_workers;
+  dataflow_options.num_reduce_workers = options.num_reduce_workers;
+  dataflow_options.execution = options.execution;
+  dataflow_options.shuffle_budget_bytes = options.shuffle_budget_bytes;
+
+  result.metrics =
+      RunMapReduce(db.size(), map_fn, nullptr, reduce_fn, dataflow_options);
+  for (auto& part : per_worker) {
+    result.patterns.insert(result.patterns.end(),
+                           std::make_move_iterator(part.begin()),
+                           std::make_move_iterator(part.end()));
+  }
+  Canonicalize(&result.patterns);
+  return result;
+}
+
+}  // namespace dseq

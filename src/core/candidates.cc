@@ -1,0 +1,123 @@
+#include "src/core/candidates.h"
+
+#include <algorithm>
+
+namespace dseq {
+namespace {
+
+// Edges of one layer grouped by source state (EdgesAt is sorted by `from`).
+struct FromRange {
+  const StateGrid::Edge* begin;
+  const StateGrid::Edge* end;
+};
+
+FromRange EdgesFrom(const StateGrid& grid, size_t layer, StateId q) {
+  const auto& edges = grid.EdgesAt(layer);
+  size_t lo = std::lower_bound(
+                  edges.begin(), edges.end(), q,
+                  [](const StateGrid::Edge& e, StateId s) { return e.from < s; }) -
+              edges.begin();
+  size_t hi = lo;
+  while (hi < edges.size() && edges[hi].from == q) ++hi;
+  return {edges.data() + lo, edges.data() + hi};
+}
+
+struct CandidateSearch {
+  const StateGrid& grid;
+  size_t budget;
+  std::vector<Sequence>* out;
+  Sequence prefix;
+  bool within_budget = true;
+
+  void Dfs(size_t i, StateId q) {
+    if (!within_budget) return;
+    if (i == grid.length()) {
+      if (grid.IsFinalState(q) && !prefix.empty()) {
+        if (out->size() >= budget) {
+          within_budget = false;
+          return;
+        }
+        out->push_back(prefix);
+      }
+      return;
+    }
+    FromRange range = EdgesFrom(grid, i, q);
+    for (const StateGrid::Edge* e = range.begin; e != range.end; ++e) {
+      if (e->out.empty()) {
+        Dfs(i + 1, e->to);
+      } else {
+        for (ItemId w : e->out) {
+          prefix.push_back(w);
+          Dfs(i + 1, e->to);
+          prefix.pop_back();
+          if (!within_budget) return;
+        }
+      }
+      if (!within_budget) return;
+    }
+  }
+};
+
+struct RunSearch {
+  const StateGrid& grid;
+  uint64_t max_runs;
+  const std::function<void(const std::vector<const StateGrid::Edge*>&)>& fn;
+  std::vector<const StateGrid::Edge*> run;
+  uint64_t count = 0;
+  bool within_budget = true;
+
+  void Dfs(size_t i, StateId q) {
+    if (!within_budget) return;
+    if (i == grid.length()) {
+      if (grid.IsFinalState(q)) {
+        if (count >= max_runs) {
+          within_budget = false;
+          return;
+        }
+        ++count;
+        fn(run);
+      }
+      return;
+    }
+    FromRange range = EdgesFrom(grid, i, q);
+    for (const StateGrid::Edge* e = range.begin; e != range.end; ++e) {
+      run.push_back(e);
+      Dfs(i + 1, e->to);
+      run.pop_back();
+      if (!within_budget) return;
+    }
+  }
+};
+
+}  // namespace
+
+bool EnumerateCandidates(const StateGrid& grid, size_t budget,
+                         std::vector<Sequence>* out) {
+  out->clear();
+  if (!grid.HasAcceptingRun()) return true;
+  CandidateSearch search{grid, budget, out, {}, true};
+  search.Dfs(0, grid.initial_state());
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return search.within_budget;
+}
+
+bool ForEachAcceptingRun(
+    const StateGrid& grid, uint64_t max_runs,
+    const std::function<void(const std::vector<const StateGrid::Edge*>&)>& fn) {
+  if (!grid.HasAcceptingRun()) return true;
+  RunSearch search{grid, max_runs, fn, {}, 0, true};
+  search.Dfs(0, grid.initial_state());
+  return search.within_budget;
+}
+
+uint64_t CountAcceptingRuns(const StateGrid& grid, uint64_t max_runs) {
+  uint64_t count = 0;
+  ForEachAcceptingRun(grid, max_runs,
+                      [&](const std::vector<const StateGrid::Edge*>&) {
+                        ++count;
+                      });
+  return count;
+}
+
+}  // namespace dseq

@@ -1,0 +1,64 @@
+#include "src/core/desq_count.h"
+
+#include <unordered_map>
+
+#include "src/core/candidates.h"
+#include "src/core/desq_dfs.h"
+#include "src/core/grid.h"
+#include "src/util/thread_pool.h"
+
+namespace dseq {
+namespace {
+
+struct SequenceHash {
+  size_t operator()(const Sequence& s) const {
+    size_t h = 1469598103934665603ULL;
+    for (ItemId w : s) h = (h ^ w) * 1099511628211ULL;
+    return h;
+  }
+};
+
+using CountMap = std::unordered_map<Sequence, uint64_t, SequenceHash>;
+
+}  // namespace
+
+MiningResult MineDesqCount(const std::vector<Sequence>& db, const Fst& fst,
+                           const Dictionary& dict,
+                           const DesqCountOptions& options) {
+  GridOptions grid_options;
+  grid_options.prune_sigma = options.sigma;
+  int workers = std::max(1, options.num_workers);
+
+  std::vector<CountMap> partial(workers);
+  ParallelShards(db.size(), workers, [&](int w, size_t begin, size_t end) {
+    CountMap& counts = partial[w];
+    std::vector<Sequence> candidates;
+    for (size_t s = begin; s < end; ++s) {
+      StateGrid grid = StateGrid::Build(db[s], fst, dict, grid_options);
+      if (!grid.HasAcceptingRun()) continue;
+      if (!EnumerateCandidates(grid, options.candidates_per_sequence_budget,
+                               &candidates)) {
+        throw MiningBudgetError(
+            "DESQ-COUNT: candidate budget exceeded for one sequence");
+      }
+      for (const Sequence& c : candidates) counts[c] += 1;
+    }
+  });
+
+  CountMap& total = partial[0];
+  for (int w = 1; w < workers; ++w) {
+    for (auto& [pattern, count] : partial[w]) total[pattern] += count;
+    partial[w].clear();
+  }
+
+  MiningResult result;
+  for (auto& [pattern, count] : total) {
+    if (count >= options.sigma) {
+      result.push_back(PatternCount{pattern, count});
+    }
+  }
+  Canonicalize(&result);
+  return result;
+}
+
+}  // namespace dseq

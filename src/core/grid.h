@@ -1,0 +1,100 @@
+// Position–state grid for FST simulation (paper Sec. V-A, Fig. 5b).
+//
+// For an input sequence T and an FST, the grid is a layered DAG over
+// coordinates (i, q): "after consuming the first i items of T, the FST is in
+// state q". Edges between layers i and i+1 carry the materialized output set
+// of the matched transition (sorted item vector; empty = ε). The grid is
+// pruned to coordinates that lie on at least one *accepting* run — the
+// paper's dynamic-programming dead-end elimination.
+//
+// The grid is the single structure behind pivot search (Theorem 1),
+// candidate enumeration, DESQ-DFS postings, sequence rewriting, and D-CAND
+// run enumeration.
+#ifndef DSEQ_CORE_GRID_H_
+#define DSEQ_CORE_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dict/dictionary.h"
+#include "src/fst/fst.h"
+#include "src/util/common.h"
+
+namespace dseq {
+
+/// Options for grid construction.
+struct GridOptions {
+  /// If > 0, items with document frequency < sigma are removed from output
+  /// sets (they cannot appear in a frequent subsequence; paper Sec. III-A).
+  /// A non-ε edge whose output set becomes empty is dropped entirely: no
+  /// candidate made of frequent items can traverse it.
+  uint64_t prune_sigma = 0;
+};
+
+/// Layered DAG of live FST simulation coordinates for one input sequence.
+class StateGrid {
+ public:
+  struct Edge {
+    StateId from;  // FST state at layer i
+    StateId to;    // FST state at layer i+1
+    Sequence out;  // sorted output items; empty = ε
+  };
+
+  StateGrid() = default;
+
+  /// Builds the pruned grid for `T` under `fst`.
+  static StateGrid Build(const Sequence& T, const Fst& fst,
+                         const Dictionary& dict, const GridOptions& options = {});
+
+  /// Length of the input sequence (number of layers minus one).
+  size_t length() const { return length_; }
+
+  /// Number of FST states (width of each layer).
+  size_t num_states() const { return num_states_; }
+
+  /// True iff at least one accepting run exists (grid non-empty).
+  bool HasAcceptingRun() const { return accepting_; }
+
+  /// Edges out of layer `pos` (consuming input item T[pos]), 0 <= pos < length.
+  const std::vector<Edge>& EdgesAt(size_t pos) const { return edges_[pos]; }
+
+  /// True iff coordinate (pos, q) lies on an accepting run.
+  bool Alive(size_t pos, StateId q) const {
+    return alive_[pos * num_states_ + q];
+  }
+
+  /// True iff coordinate (pos, q) is forward-reachable from (0, initial),
+  /// regardless of whether an accepting run passes through it. Used by the
+  /// D-SEQ rewriter's trailing-trim safety check.
+  bool ForwardActive(size_t pos, StateId q) const {
+    return forward_active_[pos * num_states_ + q];
+  }
+
+  /// True iff q is a final FST state (acceptance test at pos == length()).
+  bool IsFinalState(StateId q) const { return finals_[q]; }
+
+  /// Initial FST state (the unique live state of layer 0, when accepting).
+  StateId initial_state() const { return initial_; }
+
+  /// Total number of live edges (grid size metric).
+  size_t num_edges() const;
+
+  /// Computes, for every coordinate (i,q), whether (length(), f∈F) is
+  /// reachable using only ε-output edges. Used by DESQ-DFS to decide whether
+  /// a prefix is a *complete* output for this sequence. Indexed i*num_states+q.
+  std::vector<uint8_t> ComputeEpsAcceptTable() const;
+
+ private:
+  size_t length_ = 0;
+  size_t num_states_ = 0;
+  StateId initial_ = 0;
+  bool accepting_ = false;
+  std::vector<bool> alive_;             // (length+1) x num_states
+  std::vector<bool> forward_active_;    // (length+1) x num_states
+  std::vector<std::vector<Edge>> edges_;  // per layer
+  std::vector<bool> finals_;
+};
+
+}  // namespace dseq
+
+#endif  // DSEQ_CORE_GRID_H_

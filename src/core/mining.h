@@ -1,0 +1,43 @@
+// Shared mining result types.
+#ifndef DSEQ_CORE_MINING_H_
+#define DSEQ_CORE_MINING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace dseq {
+
+/// One frequent subsequence together with its frequency fπ(S, D).
+struct PatternCount {
+  Sequence pattern;
+  uint64_t frequency = 0;
+
+  bool operator==(const PatternCount& o) const {
+    return frequency == o.frequency && pattern == o.pattern;
+  }
+};
+
+/// Result of a mining run. `Canonicalize` sorts by pattern so results from
+/// different algorithms can be compared directly.
+using MiningResult = std::vector<PatternCount>;
+
+inline void Canonicalize(MiningResult* result) {
+  std::sort(result->begin(), result->end(),
+            [](const PatternCount& a, const PatternCount& b) {
+              return a.pattern < b.pattern;
+            });
+}
+
+/// The pivot item of a sequence: its maximum fid (least frequent item).
+inline ItemId PivotItem(const Sequence& s) {
+  ItemId mx = kNoItem;
+  for (ItemId w : s) mx = std::max(mx, w);
+  return mx;
+}
+
+}  // namespace dseq
+
+#endif  // DSEQ_CORE_MINING_H_

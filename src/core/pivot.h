@@ -1,0 +1,77 @@
+// Pivot search (paper Sec. V-A).
+//
+// The pivot item of a subsequence S is its maximum item w.r.t. the total
+// order `<` (= its least frequent item = max fid). K(T) is the set of pivot
+// items over all candidate subsequences Gσπ(T); D-SEQ sends (rewritten)
+// copies of T to exactly the partitions K(T).
+//
+// This module implements:
+//  * the commutative/associative "pivot merge" ⊕ on output sets (Theorem 1),
+//  * the forward DP K(i,q) and backward DP B(i,q) over the position–state
+//    grid (linear in |T| for a fixed FST),
+//  * a no-grid variant that naively folds ⊕ over every accepting run
+//    (exponential; kept for the Fig. 10a ablation).
+#ifndef DSEQ_CORE_PIVOT_H_
+#define DSEQ_CORE_PIVOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/grid.h"
+#include "src/util/common.h"
+
+namespace dseq {
+
+/// A set of items plus an optional ε element; ε is smaller than every item.
+/// Item vectors are sorted ascending and duplicate-free.
+struct PivotSet {
+  bool has_eps = false;
+  Sequence items;
+
+  bool IsEmpty() const { return !has_eps && items.empty(); }
+
+  static PivotSet Eps() { return PivotSet{true, {}}; }
+  static PivotSet Items(Sequence sorted_items) {
+    return PivotSet{false, std::move(sorted_items)};
+  }
+
+  /// Set union (not ⊕). Used to combine pivot sets of alternative runs.
+  void UnionWith(const PivotSet& other);
+
+  bool operator==(const PivotSet& o) const {
+    return has_eps == o.has_eps && items == o.items;
+  }
+};
+
+/// The paper's pivot merge: U ⊕ Q = {ω∈U | ω ≥ min Q} ∪ {ω∈Q | ω ≥ min U}.
+/// If either side is empty (no ε, no items), the result is empty.
+PivotSet PivotMerge(const PivotSet& u, const PivotSet& q);
+
+/// Theorem 1: pivots of a run given its output sets (empty vector = ε).
+/// Folds ⊕ left to right starting from {ε}.
+PivotSet PivotsOfOutputSets(const std::vector<Sequence>& output_sets);
+
+/// Forward DP table K(i,q): pivot items of the partial accepting runs whose
+/// i-th transition ends in q. Indexed i * grid.num_states() + q. Coordinates
+/// not on an accepting path have empty sets.
+std::vector<PivotSet> ComputeForwardPivots(const StateGrid& grid);
+
+/// Backward DP table B(i,q): pivot items of run *suffixes* starting at (i,q).
+std::vector<PivotSet> ComputeBackwardPivots(const StateGrid& grid);
+
+/// K(T): all pivot items of the grid's candidate subsequences, sorted
+/// ascending. Assumes the grid was built with the desired σ pruning.
+Sequence FindPivotItems(const StateGrid& grid);
+
+/// Ablation variant (Fig. 10a, "no grid"): enumerates accepting runs by raw
+/// DFS over the FST (exploring dead ends, no memoization) and folds ⊕ per
+/// run. Infrequent items (doc freq < sigma) are pruned from output sets when
+/// sigma > 0. Returns false if more than `max_steps` simulation steps were
+/// taken (guard against exponential blow-up); `*pivots` is then incomplete.
+bool FindPivotItemsNoGrid(const Sequence& T, const Fst& fst,
+                          const Dictionary& dict, uint64_t sigma,
+                          uint64_t max_steps, Sequence* pivots);
+
+}  // namespace dseq
+
+#endif  // DSEQ_CORE_PIVOT_H_

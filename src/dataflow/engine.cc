@@ -1,0 +1,191 @@
+#include "src/dataflow/engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <unordered_map>
+
+#include "src/util/thread_pool.h"
+#include "src/util/varint.h"
+
+namespace dseq {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+class SumCombiner : public Combiner {
+ public:
+  void Add(std::string key, std::string value) override {
+    size_t pos = 0;
+    uint64_t count = 0;
+    if (!GetVarint(value, &pos, &count)) count = 1;
+    counts_[std::move(key)] += count;
+  }
+
+  void Flush(const EmitFn& emit) override {
+    for (auto& [key, count] : counts_) {
+      std::string value;
+      PutVarint(&value, count);
+      emit(key, std::move(value));
+    }
+    counts_.clear();
+  }
+
+ private:
+  std::unordered_map<std::string, uint64_t> counts_;
+};
+
+class WeightedValueCombiner : public Combiner {
+ public:
+  void Add(std::string key, std::string value) override {
+    size_t pos = 0;
+    uint64_t weight = 0;
+    if (!GetVarint(value, &pos, &weight)) weight = 1;
+    weights_[std::move(key)][value.substr(pos)] += weight;
+  }
+
+  void Flush(const EmitFn& emit) override {
+    for (auto& [key, payloads] : weights_) {
+      for (auto& [payload, weight] : payloads) {
+        std::string value;
+        PutVarint(&value, weight);
+        value += payload;
+        emit(key, std::move(value));
+      }
+    }
+    weights_.clear();
+  }
+
+ private:
+  std::unordered_map<std::string, std::unordered_map<std::string, uint64_t>>
+      weights_;
+};
+
+struct ShuffleRecord {
+  std::string key;
+  std::string value;
+};
+
+// Fixed per-record framing overhead charged to the shuffle-size metric
+// (length prefixes, roughly what a real shuffle file format pays).
+constexpr uint64_t kRecordOverheadBytes = 4;
+
+}  // namespace
+
+std::unique_ptr<Combiner> MakeSumCombiner() {
+  return std::make_unique<SumCombiner>();
+}
+
+std::unique_ptr<Combiner> MakeWeightedValueCombiner() {
+  return std::make_unique<WeightedValueCombiner>();
+}
+
+namespace {
+
+// Runs `fn(worker)` for workers 0..n-1 under the configured execution mode
+// and returns the phase duration: wall time for threads, the critical path
+// (max per-worker busy time) for the cluster simulation.
+double RunPhase(int num_workers, Execution execution,
+                const std::function<void(int)>& fn) {
+  if (execution == Execution::kSimulated) {
+    double critical_path = 0.0;
+    for (int w = 0; w < num_workers; ++w) {
+      auto start = std::chrono::steady_clock::now();
+      fn(w);
+      critical_path = std::max(critical_path, SecondsSince(start));
+    }
+    return critical_path;
+  }
+  auto start = std::chrono::steady_clock::now();
+  ParallelWorkers(num_workers, fn);
+  return SecondsSince(start);
+}
+
+}  // namespace
+
+DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
+                             const CombinerFactory& combiner_factory,
+                             const ReduceFn& reduce_fn,
+                             const DataflowOptions& options) {
+  DataflowMetrics metrics;
+  int map_workers = std::max(1, options.num_map_workers);
+  int reduce_workers = std::max(1, options.num_reduce_workers);
+
+  // buckets[map_worker][reduce_worker] -> records destined for that reducer.
+  std::vector<std::vector<std::vector<ShuffleRecord>>> buckets(
+      map_workers,
+      std::vector<std::vector<ShuffleRecord>>(reduce_workers));
+  std::atomic<uint64_t> shuffle_bytes{0};
+  std::atomic<uint64_t> shuffle_records{0};
+  std::atomic<uint64_t> map_output_records{0};
+
+  size_t shard = map_workers > 0
+                     ? (num_inputs + map_workers - 1) / map_workers
+                     : num_inputs;
+  metrics.map_seconds = RunPhase(map_workers, options.execution, [&](int w) {
+    size_t begin = std::min(num_inputs, static_cast<size_t>(w) * shard);
+    size_t end = std::min(num_inputs, begin + shard);
+    std::hash<std::string> hasher;
+    uint64_t local_output_records = 0;
+
+    // Emits a post-combine record into this worker's shuffle buckets.
+    EmitFn shuffle_emit = [&](std::string key, std::string value) {
+      uint64_t bytes = key.size() + value.size() + kRecordOverheadBytes;
+      uint64_t total = shuffle_bytes.fetch_add(bytes) + bytes;
+      shuffle_records.fetch_add(1, std::memory_order_relaxed);
+      if (options.shuffle_budget_bytes > 0 &&
+          total > options.shuffle_budget_bytes) {
+        throw ShuffleOverflowError(
+            "shuffle exceeded memory budget (" +
+            std::to_string(options.shuffle_budget_bytes) + " bytes)");
+      }
+      size_t r = hasher(key) % reduce_workers;
+      buckets[w][r].push_back(ShuffleRecord{std::move(key), std::move(value)});
+    };
+
+    std::unique_ptr<Combiner> combiner =
+        combiner_factory ? combiner_factory() : nullptr;
+    EmitFn map_emit = [&](std::string key, std::string value) {
+      ++local_output_records;
+      if (combiner != nullptr) {
+        combiner->Add(std::move(key), std::move(value));
+      } else {
+        shuffle_emit(std::move(key), std::move(value));
+      }
+    };
+
+    for (size_t i = begin; i < end; ++i) {
+      map_fn(i, map_emit);
+    }
+    if (combiner != nullptr) combiner->Flush(shuffle_emit);
+    map_output_records.fetch_add(local_output_records,
+                                 std::memory_order_relaxed);
+  });
+  metrics.shuffle_bytes = shuffle_bytes.load();
+  metrics.shuffle_records = shuffle_records.load();
+  metrics.map_output_records = map_output_records.load();
+
+  // Reduce: each reduce worker owns the records hashed to it.
+  metrics.reduce_seconds = RunPhase(reduce_workers, options.execution, [&](int r) {
+    std::unordered_map<std::string, std::vector<std::string>> groups;
+    size_t expected = 0;
+    for (int w = 0; w < map_workers; ++w) expected += buckets[w][r].size();
+    groups.reserve(expected);
+    for (int w = 0; w < map_workers; ++w) {
+      for (ShuffleRecord& rec : buckets[w][r]) {
+        groups[std::move(rec.key)].push_back(std::move(rec.value));
+      }
+      buckets[w][r].clear();
+      buckets[w][r].shrink_to_fit();
+    }
+    for (auto& [key, values] : groups) {
+      reduce_fn(r, key, values);
+    }
+  });
+  return metrics;
+}
+
+}  // namespace dseq

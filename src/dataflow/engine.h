@@ -1,0 +1,113 @@
+// In-process bulk-synchronous-parallel dataflow engine (paper Sec. III).
+//
+// Replaces the paper's Spark/MapReduce substrate: workers are threads, the
+// shuffle is a set of serialized byte buffers exchanged between the map and
+// reduce phases. One round of communication, exactly as Alg. 1:
+//
+//   map     : process each input independently, emit (key, value) records
+//   combine : optional per-map-worker aggregation of records by key
+//   shuffle : records are serialized, partitioned by hash(key) among reduce
+//             workers; total serialized bytes are the shuffle-size metric
+//             (the paper's `shuffleWriteBytes`)
+//   reduce  : each key's values are processed by exactly one reduce worker
+//
+// Values cross the phase boundary only in serialized form, so shuffle sizes
+// are honest and algorithms must implement real (de)serialization.
+//
+// A configurable shuffle budget emulates the paper's out-of-memory failures
+// (Spark failing to spill shuffle data): exceeding the budget throws
+// ShuffleOverflowError, which benches report as "n/a (OOM)".
+#ifndef DSEQ_DATAFLOW_ENGINE_H_
+#define DSEQ_DATAFLOW_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dseq {
+
+/// Thrown when the shuffle exceeds its configured memory budget.
+class ShuffleOverflowError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Wall-clock and volume metrics of one map-shuffle-reduce round.
+struct DataflowMetrics {
+  double map_seconds = 0.0;     // map + combine + serialize
+  double reduce_seconds = 0.0;  // deserialize + local mining
+  uint64_t shuffle_bytes = 0;   // post-combine serialized volume
+  uint64_t shuffle_records = 0;
+  uint64_t map_output_records = 0;  // pre-combine record count
+
+  double total_seconds() const { return map_seconds + reduce_seconds; }
+};
+
+/// How workers execute.
+enum class Execution {
+  /// One std::thread per worker (true parallelism on multi-core machines).
+  kThreads,
+  /// Cluster simulation for machines with fewer cores than workers: shards
+  /// run sequentially, each worker's busy time is measured individually,
+  /// and a phase's reported duration is the *critical path* — the maximum
+  /// worker time, exactly what a perfectly synchronized BSP cluster would
+  /// take. Work and results are identical to kThreads.
+  kSimulated,
+};
+
+struct DataflowOptions {
+  int num_map_workers = 1;
+  int num_reduce_workers = 1;
+  Execution execution = Execution::kThreads;
+  /// 0 = unlimited. Otherwise the run throws ShuffleOverflowError once the
+  /// buffered shuffle exceeds this many bytes.
+  uint64_t shuffle_budget_bytes = 0;
+};
+
+/// Emits one record from a mapper or a combiner flush.
+using EmitFn = std::function<void(std::string key, std::string value)>;
+
+/// Per-map-worker combiner. Records are added in arbitrary order; Flush is
+/// called once at the end of the worker's shard.
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+  virtual void Add(std::string key, std::string value) = 0;
+  virtual void Flush(const EmitFn& emit) = 0;
+};
+
+using CombinerFactory = std::function<std::unique_ptr<Combiner>()>;
+
+/// A combiner that interprets values as varint counts and sums them per key
+/// (word-count aggregation; used by NAIVE/SEMI-NAIVE).
+std::unique_ptr<Combiner> MakeSumCombiner();
+
+/// A combiner that aggregates *identical values* per key into weighted
+/// values. Values must be of the form varint(weight) + payload; identical
+/// payloads have their weights summed. Used by D-CAND to merge identical
+/// NFAs (paper Sec. VI-A) and by the D-SEQ sequence-aggregation extension.
+std::unique_ptr<Combiner> MakeWeightedValueCombiner();
+
+/// Map function: called once per input index; may emit any number of records.
+using MapFn = std::function<void(size_t input_index, const EmitFn& emit)>;
+
+/// Reduce function: called once per distinct key with all its values.
+/// `worker` identifies the reduce worker (0 .. num_reduce_workers-1) so
+/// callers can keep per-worker output buffers without locking.
+using ReduceFn = std::function<void(int worker, const std::string& key,
+                                    std::vector<std::string>& values)>;
+
+/// Runs one BSP round. The map phase is parallelized over input shards, the
+/// reduce phase over key partitions. Throws ShuffleOverflowError if the
+/// budget is exceeded.
+DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
+                             const CombinerFactory& combiner_factory,
+                             const ReduceFn& reduce_fn,
+                             const DataflowOptions& options);
+
+}  // namespace dseq
+
+#endif  // DSEQ_DATAFLOW_ENGINE_H_

@@ -1,0 +1,119 @@
+#include "src/datagen/market_baskets.h"
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/datagen/zipf.h"
+
+namespace dseq {
+
+SequenceDatabase GenerateMarketBaskets(const MarketBasketOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  DictionaryBuilder builder;
+
+  static const char* kDeptNames[] = {"Electr",   "Book",  "MusicInstr",
+                                     "Home",     "Toys",  "Sports",
+                                     "Clothing", "Grocery"};
+  constexpr size_t kNumDeptNames = sizeof(kDeptNames) / sizeof(kDeptNames[0]);
+
+  std::vector<ItemId> products;
+  std::vector<std::vector<ItemId>> subcat_products;
+  std::vector<ItemId> subcats;
+
+  for (size_t d = 0; d < options.num_departments; ++d) {
+    std::string dept_name = d < kNumDeptNames
+                                ? kDeptNames[d]
+                                : "Dept" + std::to_string(d);
+    ItemId dept = builder.GetOrAddItem(dept_name);
+    for (size_t c = 0; c < options.categories_per_department; ++c) {
+      std::string cat_name = dept_name + ".c" + std::to_string(c);
+      ItemId cat = builder.GetOrAddItem(cat_name);
+      builder.AddParent(cat, dept);
+      for (size_t s = 0; s < options.subcategories_per_category; ++s) {
+        // The paper's A3 constraint references a DigitalCamera subtree under
+        // electronics; give it a stable name.
+        std::string sub_name = (d == 0 && c == 0 && s == 0)
+                                   ? "DigitalCamera"
+                                   : cat_name + ".s" + std::to_string(s);
+        ItemId sub = builder.GetOrAddItem(sub_name);
+        builder.AddParent(sub, cat);
+        subcats.push_back(sub);
+        subcat_products.emplace_back();
+        for (size_t p = 0; p < options.products_per_subcategory; ++p) {
+          ItemId prod =
+              builder.GetOrAddItem("p" + std::to_string(products.size()));
+          builder.AddParent(prod, sub);
+          products.push_back(prod);
+          subcat_products.back().push_back(prod);
+        }
+      }
+    }
+  }
+
+  // DAG-ify: some products belong to a second subcategory.
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (ItemId prod : products) {
+    if (unit(rng) < options.multi_parent_fraction) {
+      ItemId other = subcats[rng() % subcats.size()];
+      builder.AddParent(prod, other);
+    }
+  }
+
+  SequenceDatabase db;
+  db.dict = builder.Build();
+
+  ZipfSampler product_zipf(products.size(), options.zipf_exponent);
+  ZipfSampler local_zipf(options.products_per_subcategory,
+                         options.zipf_exponent);
+  std::geometric_distribution<size_t> length_dist(
+      1.0 / static_cast<double>(options.mean_basket_length));
+
+  db.sequences.reserve(options.num_customers);
+  for (size_t u = 0; u < options.num_customers; ++u) {
+    std::vector<size_t> prefs(options.preferred_subcategories);
+    for (size_t& p : prefs) p = rng() % subcats.size();
+    size_t len = std::min(options.max_basket_length,
+                          std::max<size_t>(1, length_dist(rng) + 1));
+    Sequence basket;
+    basket.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      if (unit(rng) < options.explore_probability) {
+        basket.push_back(products[product_zipf.Sample(rng)]);
+      } else {
+        const auto& pool = subcat_products[prefs[rng() % prefs.size()]];
+        basket.push_back(pool[local_zipf.Sample(rng) % pool.size()]);
+      }
+    }
+    db.sequences.push_back(std::move(basket));
+  }
+
+  db.Recode(/*num_workers=*/4);
+  return db;
+}
+
+SequenceDatabase ToForest(const SequenceDatabase& db) {
+  const Dictionary& dict = db.dict;
+  DictionaryBuilder builder;
+  // Re-insert items in fid order so ids carry over 1:1.
+  for (ItemId w = 1; w <= dict.size(); ++w) {
+    builder.AddItem(dict.Name(w));
+  }
+  for (ItemId w = 1; w <= dict.size(); ++w) {
+    const auto& parents = dict.Parents(w);
+    if (parents.empty()) continue;
+    ItemId best = parents[0];
+    for (ItemId p : parents) {
+      if (dict.DocFrequency(p) > dict.DocFrequency(best)) best = p;
+    }
+    builder.AddParent(w, best);
+  }
+  SequenceDatabase forest;
+  forest.dict = builder.Build();
+  forest.sequences = db.sequences;
+  forest.Recode(/*num_workers=*/4);
+  return forest;
+}
+
+}  // namespace dseq

@@ -1,0 +1,44 @@
+// Synthetic product-review baskets (substitute for the paper's AMZN data).
+//
+// Products generalize to subcategories, categories, and departments; some
+// products have two subcategory parents, making the hierarchy a DAG as in
+// the real Amazon catalog. `ToForest` reproduces the paper's AMZN-F
+// conversion (keep only the most frequent parent of multi-parent items).
+// Departments include the ones referenced by the paper's constraints A1–A4:
+// Electr, Book, MusicInstr, and a DigitalCamera subtree under Electr.
+#ifndef DSEQ_DATAGEN_MARKET_BASKETS_H_
+#define DSEQ_DATAGEN_MARKET_BASKETS_H_
+
+#include <cstdint>
+
+#include "src/dict/sequence.h"
+
+namespace dseq {
+
+struct MarketBasketOptions {
+  size_t num_customers = 100'000;
+  uint64_t seed = 7;
+
+  size_t num_departments = 8;        // >= 4; first ones get the named roles
+  size_t categories_per_department = 8;
+  size_t subcategories_per_category = 6;
+  size_t products_per_subcategory = 25;
+  double multi_parent_fraction = 0.2;  // products with two subcat parents
+  double zipf_exponent = 1.05;         // product popularity skew
+  size_t mean_basket_length = 4;
+  size_t max_basket_length = 200;
+  size_t preferred_subcategories = 3;  // customer interest clustering
+  double explore_probability = 0.15;   // buy outside preferred subcats
+};
+
+/// Generates and recodes the basket database (DAG hierarchy).
+SequenceDatabase GenerateMarketBaskets(const MarketBasketOptions& options);
+
+/// The paper's AMZN-F conversion: for every multi-parent item keep only the
+/// generalization to the most frequent parent. Returns a recoded forest
+/// database with identical sequences (up to recoding).
+SequenceDatabase ToForest(const SequenceDatabase& db);
+
+}  // namespace dseq
+
+#endif  // DSEQ_DATAGEN_MARKET_BASKETS_H_

@@ -1,0 +1,166 @@
+#include "src/datagen/text_corpus.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/datagen/zipf.h"
+
+namespace dseq {
+namespace {
+
+struct PosClass {
+  std::string tag;
+  size_t num_lemmas;
+  size_t max_forms;
+  double noise_weight;  // probability weight in noise token sampling
+};
+
+}  // namespace
+
+SequenceDatabase GenerateTextCorpus(const TextCorpusOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  DictionaryBuilder builder;
+
+  const std::vector<PosClass> open_classes = {
+      {"NOUN", options.lemmas_per_pos, 2, 0.30},
+      {"VERB", options.lemmas_per_pos, 4, 0.15},
+      {"ADJ", options.lemmas_per_pos / 2, 2, 0.10},
+      {"ADV", options.lemmas_per_pos / 4, 1, 0.06},
+  };
+  const std::vector<PosClass> closed_classes = {
+      {"DET", 12, 1, 0.12},
+      {"PREP", 25, 1, 0.12},
+      {"PRON", 15, 1, 0.08},
+      {"CONJ", 10, 1, 0.07},
+  };
+
+  // forms[c][lemma_rank] = word-form item ids of that lemma.
+  struct ClassVocab {
+    ItemId tag;
+    std::vector<std::vector<ItemId>> forms;
+  };
+  std::vector<ClassVocab> vocab;
+  std::vector<double> noise_weights;
+  auto add_class = [&](const PosClass& pos) {
+    ClassVocab cv;
+    cv.tag = builder.GetOrAddItem(pos.tag);
+    cv.forms.resize(pos.num_lemmas);
+    for (size_t l = 0; l < pos.num_lemmas; ++l) {
+      std::string lemma_name =
+          pos.tag.substr(0, 1) + "l" + std::to_string(l);
+      ItemId lemma = builder.GetOrAddItem(lemma_name);
+      builder.AddParent(lemma, cv.tag);
+      size_t num_forms = 1 + rng() % pos.max_forms;
+      for (size_t f = 0; f < num_forms; ++f) {
+        ItemId form =
+            builder.GetOrAddItem(lemma_name + "." + std::to_string(f));
+        builder.AddParent(form, lemma);
+        cv.forms[l].push_back(form);
+      }
+    }
+    vocab.push_back(std::move(cv));
+    noise_weights.push_back(pos.noise_weight);
+  };
+  for (const PosClass& pos : open_classes) add_class(pos);
+  for (const PosClass& pos : closed_classes) add_class(pos);
+  const size_t kNoun = 0;
+  const size_t kVerb = 1;
+  const size_t kAdj = 2;
+  const size_t kAdv = 3;
+  const size_t kDet = 4;
+  const size_t kPrep = 5;
+
+  // The copula "be" (used by constraint N3) with its inflected forms.
+  ItemId be_lemma = builder.GetOrAddItem("be");
+  builder.AddParent(be_lemma, vocab[kVerb].tag);
+  std::vector<ItemId> be_forms;
+  for (const char* f : {"is", "was", "are", "been", "being"}) {
+    ItemId form = builder.GetOrAddItem(f);
+    builder.AddParent(form, be_lemma);
+    be_forms.push_back(form);
+  }
+
+  // Entities: mention -> type -> ENTITY.
+  ItemId entity_root = builder.GetOrAddItem("ENTITY");
+  std::vector<ItemId> entity_types;
+  for (const char* t : {"PER", "ORG", "LOC"}) {
+    ItemId type = builder.GetOrAddItem(t);
+    builder.AddParent(type, entity_root);
+    entity_types.push_back(type);
+  }
+  std::vector<ItemId> entities(options.num_entities);
+  for (size_t e = 0; e < options.num_entities; ++e) {
+    entities[e] = builder.GetOrAddItem("ent" + std::to_string(e));
+    builder.AddParent(entities[e], entity_types[e % entity_types.size()]);
+  }
+
+  SequenceDatabase db;
+  db.dict = builder.Build();
+
+  // Samplers.
+  ZipfSampler lemma_zipf(options.lemmas_per_pos, options.zipf_exponent);
+  ZipfSampler entity_zipf(options.num_entities, options.zipf_exponent);
+  std::discrete_distribution<size_t> noise_class(noise_weights.begin(),
+                                                 noise_weights.end());
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  auto sample_form = [&](size_t cls) -> ItemId {
+    const auto& forms = vocab[cls].forms;
+    size_t lemma = lemma_zipf.Sample(rng) % forms.size();
+    const auto& fs = forms[lemma];
+    return fs[rng() % fs.size()];
+  };
+  auto sample_entity = [&]() -> ItemId {
+    return entities[entity_zipf.Sample(rng)];
+  };
+  auto noise_token = [&]() -> ItemId { return sample_form(noise_class(rng)); };
+
+  db.sequences.reserve(options.num_sentences);
+  std::geometric_distribution<size_t> length_dist(
+      1.0 / static_cast<double>(options.mean_sentence_length));
+  for (size_t s = 0; s < options.num_sentences; ++s) {
+    size_t len = std::min(options.max_sentence_length,
+                          std::max<size_t>(3, length_dist(rng) + 3));
+    Sequence sentence;
+    sentence.reserve(len + 8);
+    double kind = unit(rng);
+    if (kind < options.relational_fraction) {
+      // ENTITY VERB+ NOUN? PREP? ENTITY surrounded by noise (drives N1/N2).
+      size_t lead = rng() % std::max<size_t>(1, len / 2);
+      for (size_t i = 0; i < lead; ++i) sentence.push_back(noise_token());
+      sentence.push_back(sample_entity());
+      sentence.push_back(sample_form(kVerb));
+      if (unit(rng) < 0.4) sentence.push_back(sample_form(kVerb));
+      if (unit(rng) < 0.5) sentence.push_back(sample_form(kNoun));
+      if (unit(rng) < 0.6) sentence.push_back(sample_form(kPrep));
+      sentence.push_back(sample_entity());
+      while (sentence.size() < len) sentence.push_back(noise_token());
+    } else if (kind < options.relational_fraction + options.copular_fraction) {
+      // ENTITY be-form DET? ADV? ADJ? NOUN (drives N3).
+      size_t lead = rng() % std::max<size_t>(1, len / 2);
+      for (size_t i = 0; i < lead; ++i) sentence.push_back(noise_token());
+      sentence.push_back(sample_entity());
+      sentence.push_back(be_forms[rng() % be_forms.size()]);
+      if (unit(rng) < 0.5) sentence.push_back(sample_form(kDet));
+      if (unit(rng) < 0.3) sentence.push_back(sample_form(kAdv));
+      if (unit(rng) < 0.5) sentence.push_back(sample_form(kAdj));
+      sentence.push_back(sample_form(kNoun));
+      while (sentence.size() < len) sentence.push_back(noise_token());
+    } else {
+      for (size_t i = 0; i < len; ++i) {
+        if (unit(rng) < 0.05) {
+          sentence.push_back(sample_entity());
+        } else {
+          sentence.push_back(noise_token());
+        }
+      }
+    }
+    db.sequences.push_back(std::move(sentence));
+  }
+
+  db.Recode(/*num_workers=*/4);
+  return db;
+}
+
+}  // namespace dseq

@@ -1,0 +1,39 @@
+#include "src/datagen/web_text.h"
+
+#include <random>
+
+#include "src/datagen/zipf.h"
+
+namespace dseq {
+
+SequenceDatabase GenerateWebText(const WebTextOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  DictionaryBuilder builder;
+  std::vector<ItemId> words(options.vocabulary_size);
+  for (size_t w = 0; w < options.vocabulary_size; ++w) {
+    words[w] = builder.GetOrAddItem("w" + std::to_string(w));
+  }
+
+  SequenceDatabase db;
+  db.dict = builder.Build();
+  ZipfSampler zipf(options.vocabulary_size, options.zipf_exponent);
+  std::geometric_distribution<size_t> length_dist(
+      1.0 / static_cast<double>(options.mean_sentence_length));
+
+  db.sequences.reserve(options.num_sentences);
+  for (size_t s = 0; s < options.num_sentences; ++s) {
+    size_t len = std::min(options.max_sentence_length,
+                          std::max<size_t>(2, length_dist(rng) + 2));
+    Sequence sentence;
+    sentence.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      sentence.push_back(words[zipf.Sample(rng)]);
+    }
+    db.sequences.push_back(std::move(sentence));
+  }
+
+  db.Recode(/*num_workers=*/4);
+  return db;
+}
+
+}  // namespace dseq

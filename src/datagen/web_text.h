@@ -1,0 +1,28 @@
+// Synthetic flat web text (substitute for the paper's ClueWeb CW50 sample).
+//
+// No hierarchy; long Zipf-distributed sentences. Used for the T2 (MG-FSM
+// setting) experiments.
+#ifndef DSEQ_DATAGEN_WEB_TEXT_H_
+#define DSEQ_DATAGEN_WEB_TEXT_H_
+
+#include <cstdint>
+
+#include "src/dict/sequence.h"
+
+namespace dseq {
+
+struct WebTextOptions {
+  size_t num_sentences = 200'000;
+  uint64_t seed = 99;
+  size_t vocabulary_size = 50'000;
+  double zipf_exponent = 1.05;
+  size_t mean_sentence_length = 19;
+  size_t max_sentence_length = 256;
+};
+
+/// Generates and recodes the corpus (no hierarchy).
+SequenceDatabase GenerateWebText(const WebTextOptions& options);
+
+}  // namespace dseq
+
+#endif  // DSEQ_DATAGEN_WEB_TEXT_H_

@@ -1,0 +1,46 @@
+// Zipf-distributed sampling for synthetic dataset generators.
+#ifndef DSEQ_DATAGEN_ZIPF_H_
+#define DSEQ_DATAGEN_ZIPF_H_
+
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+namespace dseq {
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= total;
+  }
+
+  template <typename Rng>
+  size_t Sample(Rng& rng) const {
+    double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    size_t lo = 0;
+    size_t hi = cdf_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dseq
+
+#endif  // DSEQ_DATAGEN_ZIPF_H_

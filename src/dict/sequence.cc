@@ -1,0 +1,77 @@
+#include "src/dict/sequence.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace dseq {
+
+size_t SequenceDatabase::TotalItems() const {
+  size_t total = 0;
+  for (const auto& s : sequences) total += s.size();
+  return total;
+}
+
+size_t SequenceDatabase::MaxSequenceLength() const {
+  size_t mx = 0;
+  for (const auto& s : sequences) mx = std::max(mx, s.size());
+  return mx;
+}
+
+double SequenceDatabase::MeanSequenceLength() const {
+  if (sequences.empty()) return 0.0;
+  return static_cast<double>(TotalItems()) /
+         static_cast<double>(sequences.size());
+}
+
+Sequence SequenceDatabase::ParseSequence(const std::string& line) const {
+  Sequence seq;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    ItemId w = dict.ItemByName(token);
+    if (w == kNoItem) {
+      throw std::invalid_argument("unknown item: " + token);
+    }
+    seq.push_back(w);
+  }
+  return seq;
+}
+
+std::string SequenceDatabase::FormatSequence(const Sequence& seq) const {
+  std::string out;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += dict.Name(seq[i]);
+  }
+  return out;
+}
+
+SequenceDatabase MakeRunningExample() {
+  DictionaryBuilder builder;
+  // Insertion order chosen so that frequency ties resolve to the paper's
+  // total order b < A < d < a1 < c < e < a2.
+  ItemId b = builder.AddItem("b");
+  ItemId A = builder.AddItem("A");
+  ItemId d = builder.AddItem("d");
+  ItemId a1 = builder.AddItem("a1");
+  ItemId c = builder.AddItem("c");
+  ItemId e = builder.AddItem("e");
+  ItemId a2 = builder.AddItem("a2");
+  builder.AddParent(a1, A);
+  builder.AddParent(a2, A);
+
+  SequenceDatabase db;
+  db.dict = builder.Build();
+  db.sequences = {
+      {a1, c, d, c, b},           // T1: a1 c d c b
+      {e, e, a1, e, a1, e, b},    // T2: e e a1 e a1 e b
+      {c, d, c, b},               // T3: c d c b
+      {a2, d, b},                 // T4: a2 d b
+      {a1, a1, b},                // T5: a1 a1 b
+  };
+  db.Recode();
+  return db;
+}
+
+}  // namespace dseq

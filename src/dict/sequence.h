@@ -1,0 +1,50 @@
+// Sequence database (paper Sec. II) and small helpers.
+#ifndef DSEQ_DICT_SEQUENCE_H_
+#define DSEQ_DICT_SEQUENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dict/dictionary.h"
+#include "src/util/common.h"
+
+namespace dseq {
+
+/// A sequence database: a dictionary plus item sequences encoded with its
+/// ids. After `Recode()`, ids are fids (frequency-ordered) and document
+/// frequencies are available — the state every miner in this library expects.
+struct SequenceDatabase {
+  Dictionary dict;
+  std::vector<Sequence> sequences;
+
+  size_t size() const { return sequences.size(); }
+
+  /// Computes document frequencies and recodes the dictionary and all
+  /// sequences by decreasing frequency. Call once after construction.
+  void Recode(int num_workers = 1) {
+    dict.ComputeDocFrequencies(sequences, num_workers);
+    dict = dict.RecodeByFrequency(&sequences);
+  }
+
+  /// Statistics for Table II.
+  size_t TotalItems() const;
+  size_t MaxSequenceLength() const;
+  double MeanSequenceLength() const;
+
+  /// Parses a whitespace-separated item-name line into a sequence.
+  /// Unknown names throw std::invalid_argument.
+  Sequence ParseSequence(const std::string& line) const;
+
+  /// Formats a sequence as space-separated item names.
+  std::string FormatSequence(const Sequence& seq) const;
+};
+
+/// Builds the paper's running example (Fig. 2): sequences T1..T5 over items
+/// a1, a2, A, b, c, d, e with a1, a2 => A. The database is recoded, so after
+/// this call fid order matches the paper's `b < A < d < a1 < c < e < a2`
+/// (frequency ties broken by insertion order).
+SequenceDatabase MakeRunningExample();
+
+}  // namespace dseq
+
+#endif  // DSEQ_DICT_SEQUENCE_H_

@@ -1,0 +1,26 @@
+// Graphviz export for FSTs and output NFAs (debugging / documentation).
+//
+// Renders the paper's figures: `FstToDot` produces diagrams like Fig. 4,
+// `NfaToDot` like Fig. 7/8. Feed the output to `dot -Tsvg`.
+#ifndef DSEQ_FST_DOT_EXPORT_H_
+#define DSEQ_FST_DOT_EXPORT_H_
+
+#include <string>
+
+#include "src/dict/dictionary.h"
+#include "src/fst/fst.h"
+#include "src/nfa/output_nfa.h"
+
+namespace dseq {
+
+/// Renders the FST as a Graphviz digraph. Transition labels use the pattern
+/// notation: input predicate / output operation.
+std::string FstToDot(const Fst& fst, const Dictionary& dict);
+
+/// Renders an output NFA (D-CAND candidate representation) as a Graphviz
+/// digraph; edges are labeled with their output sets.
+std::string NfaToDot(const OutputNfa& nfa, const Dictionary& dict);
+
+}  // namespace dseq
+
+#endif  // DSEQ_FST_DOT_EXPORT_H_

@@ -1,0 +1,107 @@
+#include "src/fst/fst.h"
+
+#include <cassert>
+
+namespace dseq {
+
+Fst::Fst(StateId initial, std::vector<bool> final_states,
+         std::vector<std::vector<Transition>> transitions_by_state)
+    : initial_(initial),
+      final_(std::move(final_states)),
+      from_(std::move(transitions_by_state)) {
+  assert(from_.size() == final_.size());
+  assert(initial_ < final_.size());
+}
+
+size_t Fst::num_transitions() const {
+  size_t total = 0;
+  for (const auto& ts : from_) total += ts.size();
+  return total;
+}
+
+bool Fst::Matches(const Transition& tr, ItemId t,
+                  const Dictionary& dict) const {
+  switch (tr.in_kind) {
+    case InputKind::kAny:
+      return true;
+    case InputKind::kDescendants:
+      return dict.IsAncestorOrSelf(tr.in_item, t);
+    case InputKind::kExact:
+      return t == tr.in_item;
+  }
+  return false;
+}
+
+void Fst::ComputeOutput(const Transition& tr, ItemId t, const Dictionary& dict,
+                        Sequence* out) const {
+  out->clear();
+  switch (tr.out_kind) {
+    case OutputKind::kEpsilon:
+      return;
+    case OutputKind::kSelf:
+      out->push_back(t);
+      return;
+    case OutputKind::kAncestors: {
+      const auto& anc = dict.Ancestors(t);
+      out->assign(anc.begin(), anc.end());
+      return;
+    }
+    case OutputKind::kAncestorsUpTo: {
+      // anc(t) restricted to descendants of out_item (incl. out_item).
+      for (ItemId a : dict.Ancestors(t)) {
+        if (dict.IsAncestorOrSelf(tr.out_item, a)) out->push_back(a);
+      }
+      return;
+    }
+    case OutputKind::kConstant:
+      out->push_back(tr.out_item);
+      return;
+  }
+}
+
+std::string Fst::DebugString(const Dictionary& dict) const {
+  std::string out = "FST initial=q" + std::to_string(initial_) + " finals={";
+  for (StateId q = 0; q < num_states(); ++q) {
+    if (final_[q]) out += " q" + std::to_string(q);
+  }
+  out += " }\n";
+  for (StateId q = 0; q < num_states(); ++q) {
+    for (const Transition& tr : from_[q]) {
+      out += "  q" + std::to_string(tr.from) + " -> q" + std::to_string(tr.to) +
+             "  in=";
+      switch (tr.in_kind) {
+        case InputKind::kAny:
+          out += ".";
+          break;
+        case InputKind::kDescendants:
+          out += "desc(" + dict.Name(tr.in_item) + ")";
+          break;
+        case InputKind::kExact:
+          out += dict.Name(tr.in_item) + "=";
+          break;
+      }
+      out += " out=";
+      switch (tr.out_kind) {
+        case OutputKind::kEpsilon:
+          out += "eps";
+          break;
+        case OutputKind::kSelf:
+          out += "self";
+          break;
+        case OutputKind::kAncestors:
+          out += "anc";
+          break;
+        case OutputKind::kAncestorsUpTo:
+          out += "anc<=" + dict.Name(tr.out_item);
+          break;
+        case OutputKind::kConstant:
+          out += "const(" + dict.Name(tr.out_item) + ")";
+          break;
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dseq

@@ -1,0 +1,49 @@
+// Dataset input/output.
+//
+// Two formats:
+//  * Text: one sequence per line, whitespace-separated item names, plus an
+//    optional hierarchy file with "child parent" lines. Human-editable; the
+//    format used by the CLI tool.
+//  * Binary: varint-coded dictionary + sequences, including precomputed
+//    frequencies. Fast to load; used to cache generated benchmark datasets.
+#ifndef DSEQ_IO_DATASET_IO_H_
+#define DSEQ_IO_DATASET_IO_H_
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "src/dict/sequence.h"
+
+namespace dseq {
+
+/// Thrown on malformed dataset files.
+class DatasetIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reads sequences from text (one sequence per line, items separated by
+/// whitespace; '#' starts a comment line) and an optional hierarchy stream
+/// ("child parent" per line). Unknown items are added to the dictionary.
+/// The database is recoded before returning.
+SequenceDatabase ReadTextDatabase(std::istream& sequences,
+                                  std::istream* hierarchy = nullptr);
+SequenceDatabase ReadTextDatabaseFromFiles(const std::string& sequence_path,
+                                           const std::string& hierarchy_path);
+
+/// Writes sequences as item-name lines; `WriteTextHierarchy` writes one
+/// "child parent" line per hierarchy edge.
+void WriteTextDatabase(const SequenceDatabase& db, std::ostream& out);
+void WriteTextHierarchy(const Dictionary& dict, std::ostream& out);
+
+/// Binary round-trip (dictionary with hierarchy + frequencies + sequences).
+void WriteBinaryDatabase(const SequenceDatabase& db, std::ostream& out);
+SequenceDatabase ReadBinaryDatabase(std::istream& in);
+void WriteBinaryDatabaseToFile(const SequenceDatabase& db,
+                               const std::string& path);
+SequenceDatabase ReadBinaryDatabaseFromFile(const std::string& path);
+
+}  // namespace dseq
+
+#endif  // DSEQ_IO_DATASET_IO_H_

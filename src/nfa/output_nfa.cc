@@ -1,0 +1,231 @@
+#include "src/nfa/output_nfa.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+namespace dseq {
+
+size_t OutputNfa::num_edges() const {
+  size_t total = 0;
+  for (const State& s : states_) total += s.edges.size();
+  return total;
+}
+
+OutputNfa::LabelId OutputNfa::InternLabel(const Sequence& label) {
+  auto it = label_ids_.find(label);
+  if (it != label_ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(labels_.size());
+  labels_.push_back(label);
+  label_ids_[label] = id;
+  return id;
+}
+
+void OutputNfa::AddRun(const std::vector<const StateGrid::Edge*>& run,
+                       ItemId pivot) {
+  std::vector<Sequence> label_string;
+  label_string.reserve(run.size());
+  Sequence trimmed;
+  for (const StateGrid::Edge* e : run) {
+    if (e->out.empty()) continue;  // ε output
+    trimmed.clear();
+    for (ItemId w : e->out) {
+      if (w <= pivot) trimmed.push_back(w);
+    }
+    if (trimmed.empty()) return;  // defensive: run has no pivot-k candidate
+    label_string.push_back(trimmed);
+  }
+  AddLabelString(label_string);
+}
+
+void OutputNfa::AddLabelString(const std::vector<Sequence>& label_string) {
+  if (label_string.empty()) return;
+  StateId cur = 0;
+  for (const Sequence& label : label_string) {
+    LabelId lid = InternLabel(label);
+    StateId next = UINT32_MAX;
+    for (const Edge& e : states_[cur].edges) {
+      if (e.label == lid) {
+        next = e.target;
+        break;
+      }
+    }
+    if (next == UINT32_MAX) {
+      next = static_cast<StateId>(states_.size());
+      states_.emplace_back();
+      states_[cur].edges.push_back(Edge{lid, next});
+    }
+    cur = next;
+  }
+  states_[cur].final = true;
+}
+
+StateId OutputNfa::AddEdge(StateId from, const Sequence& label,
+                           StateId to_or_new, bool create_new,
+                           bool mark_final) {
+  LabelId lid = InternLabel(label);
+  StateId to = to_or_new;
+  if (create_new) {
+    to = static_cast<StateId>(states_.size());
+    states_.emplace_back();
+  }
+  states_[from].edges.push_back(Edge{lid, to});
+  if (mark_final) states_[to].final = true;
+  return to;
+}
+
+namespace {
+
+// Signature of a state for hash-consing: finality + canonicalized edges
+// (label *content* index, canonical target).
+struct StateSignature {
+  bool final;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+
+  bool operator==(const StateSignature& o) const {
+    return final == o.final && edges == o.edges;
+  }
+};
+
+struct StateSignatureHash {
+  size_t operator()(const StateSignature& s) const {
+    size_t h = s.final ? 0x9e3779b97f4a7c15ULL : 0x517cc1b727220a95ULL;
+    for (const auto& [l, t] : s.edges) {
+      h ^= (static_cast<size_t>(l) * 0x9e3779b97f4a7c15ULL + t) +
+           0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+void OutputNfa::Minimize() {
+  size_t n = states_.size();
+  if (n <= 1) return;
+
+  // Canonical order of label ids by content, so that signatures do not
+  // depend on interning order.
+  std::vector<uint32_t> label_rank(labels_.size());
+  {
+    std::vector<LabelId> order(labels_.size());
+    for (LabelId i = 0; i < labels_.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](LabelId a, LabelId b) {
+      return labels_[a] < labels_[b];
+    });
+    for (uint32_t rank = 0; rank < order.size(); ++rank) {
+      label_rank[order[rank]] = rank;
+    }
+  }
+
+  // The trie invariant (edges point to higher ids) makes descending id order
+  // a reverse topological order: children are canonicalized before parents.
+  std::vector<StateId> canon(n);
+  std::unordered_map<StateSignature, StateId, StateSignatureHash> registry;
+  for (size_t qi = n; qi-- > 0;) {
+    StateId q = static_cast<StateId>(qi);
+    StateSignature sig;
+    sig.final = states_[q].final;
+    sig.edges.reserve(states_[q].edges.size());
+    for (const Edge& e : states_[q].edges) {
+      sig.edges.emplace_back(label_rank[e.label], canon[e.target]);
+    }
+    std::sort(sig.edges.begin(), sig.edges.end());
+    sig.edges.erase(std::unique(sig.edges.begin(), sig.edges.end()),
+                    sig.edges.end());
+    auto [it, inserted] = registry.emplace(sig, q);
+    canon[q] = it->second;
+  }
+
+  // Rewrite edges to canonical targets, keep only canonical states, then
+  // renumber in DFS preorder for a deterministic serialization.
+  for (State& s : states_) {
+    for (Edge& e : s.edges) e.target = canon[e.target];
+  }
+  RenumberDfs();
+}
+
+void OutputNfa::Canonicalize() { RenumberDfs(); }
+
+void OutputNfa::RenumberDfs() {
+  // Sort edges by (label content, subtree) — approximated by label content
+  // then current target id — then renumber states in DFS preorder.
+  for (State& s : states_) {
+    std::sort(s.edges.begin(), s.edges.end(),
+              [&](const Edge& a, const Edge& b) {
+                if (labels_[a.label] != labels_[b.label]) {
+                  return labels_[a.label] < labels_[b.label];
+                }
+                return a.target < b.target;
+              });
+    s.edges.erase(std::unique(s.edges.begin(), s.edges.end(),
+                              [](const Edge& a, const Edge& b) {
+                                return a.label == b.label &&
+                                       a.target == b.target;
+                              }),
+                  s.edges.end());
+  }
+
+  std::vector<StateId> remap(states_.size(), UINT32_MAX);
+  std::vector<StateId> order;
+  order.reserve(states_.size());
+  // Iterative DFS preorder from root, visiting edges in sorted order.
+  std::vector<std::pair<StateId, size_t>> stack;
+  remap[0] = 0;
+  order.push_back(0);
+  stack.emplace_back(0, 0);
+  while (!stack.empty()) {
+    auto& [q, ei] = stack.back();
+    if (ei >= states_[q].edges.size()) {
+      stack.pop_back();
+      continue;
+    }
+    StateId t = states_[q].edges[ei].target;
+    ++ei;
+    if (remap[t] == UINT32_MAX) {
+      remap[t] = static_cast<StateId>(order.size());
+      order.push_back(t);
+      stack.emplace_back(t, 0);
+    }
+  }
+
+  std::vector<State> new_states(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    State& src = states_[order[i]];
+    new_states[i].final = src.final;
+    new_states[i].edges = std::move(src.edges);
+    for (Edge& e : new_states[i].edges) e.target = remap[e.target];
+  }
+  states_ = std::move(new_states);
+}
+
+bool OutputNfa::Language(size_t budget, std::vector<Sequence>* out) const {
+  out->clear();
+  Sequence prefix;
+  bool ok = true;
+  // Recursive lambda DFS expanding output sets.
+  std::function<void(StateId)> dfs = [&](StateId q) {
+    if (!ok) return;
+    if (states_[q].final && !prefix.empty()) {
+      if (out->size() >= budget) {
+        ok = false;
+        return;
+      }
+      out->push_back(prefix);
+    }
+    for (const Edge& e : states_[q].edges) {
+      for (ItemId w : labels_[e.label]) {
+        prefix.push_back(w);
+        dfs(e.target);
+        prefix.pop_back();
+        if (!ok) return;
+      }
+    }
+  };
+  dfs(0);
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return ok;
+}
+
+}  // namespace dseq

@@ -1,0 +1,91 @@
+// Output NFAs for candidate representation (paper Sec. VI-A, Fig. 7/8).
+//
+// D-CAND sends to partition P_k an NFA that accepts exactly ρk(T): the
+// candidate subsequences of T with pivot item k. The NFA's edges are labeled
+// with *output sets* (one edge per non-ε output set of an accepting run;
+// items larger than the pivot are dropped — they can only produce candidates
+// with a larger pivot). Runs are inserted into a trie which is subsequently
+// minimized; tries are acyclic, so minimization is linear (Revuz).
+#ifndef DSEQ_NFA_OUTPUT_NFA_H_
+#define DSEQ_NFA_OUTPUT_NFA_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/core/grid.h"
+#include "src/util/common.h"
+
+namespace dseq {
+
+/// A weighted acyclic NFA over output-set labels. State 0 is the root.
+/// Invariant: every edge points from a lower to a higher state id until
+/// Minimize() renumbers states in canonical DFS order.
+class OutputNfa {
+ public:
+  /// Label id into labels(); labels are interned output sets.
+  using LabelId = uint32_t;
+
+  struct Edge {
+    LabelId label;
+    StateId target;
+  };
+
+  OutputNfa() { states_.emplace_back(); }
+
+  size_t num_states() const { return states_.size(); }
+  size_t num_edges() const;
+  bool IsFinal(StateId q) const { return states_[q].final; }
+  const std::vector<Edge>& EdgesOf(StateId q) const {
+    return states_[q].edges;
+  }
+  const Sequence& Label(LabelId id) const { return labels_[id]; }
+  bool empty() const { return states_.size() == 1 && states_[0].edges.empty(); }
+
+  /// Inserts one accepting run: the sequence of its non-ε output sets, with
+  /// items > pivot removed. Sets that become empty must not occur (the pivot
+  /// search guarantees every output set contains an item <= pivot when the
+  /// pivot is in K(r)); such runs are skipped defensively. Runs whose label
+  /// string is empty (all-ε output) are ignored — the empty candidate is
+  /// never mined.
+  void AddRun(const std::vector<const StateGrid::Edge*>& run, ItemId pivot);
+
+  /// Inserts a pre-trimmed label string (used by tests and deserialization).
+  void AddLabelString(const std::vector<Sequence>& label_string);
+
+  /// Adds a single edge (used by the deserializer). Creates states on demand.
+  StateId AddEdge(StateId from, const Sequence& label, StateId to_or_new,
+                  bool create_new, bool mark_final);
+
+  /// Minimizes the acyclic automaton by bottom-up hash-consing and renumbers
+  /// states in canonical DFS preorder with edges sorted by label content.
+  /// Equal candidate sets inserted in any run order serialize identically
+  /// afterwards (required for shuffle aggregation).
+  void Minimize();
+
+  /// Sorts edges by label content and renumbers in DFS preorder without
+  /// merging states (canonicalization for unminimized tries).
+  void Canonicalize();
+
+  /// Enumerates the accepted language (expanding output sets), deduplicated
+  /// and sorted; stops and returns false if more than `budget` raw sequences
+  /// are produced. Test/oracle helper.
+  bool Language(size_t budget, std::vector<Sequence>* out) const;
+
+ private:
+  struct State {
+    bool final = false;
+    std::vector<Edge> edges;
+  };
+
+  LabelId InternLabel(const Sequence& label);
+  void RenumberDfs();
+
+  std::vector<State> states_;
+  std::vector<Sequence> labels_;
+  std::map<Sequence, LabelId> label_ids_;
+};
+
+}  // namespace dseq
+
+#endif  // DSEQ_NFA_OUTPUT_NFA_H_

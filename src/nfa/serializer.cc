@@ -1,0 +1,131 @@
+#include "src/nfa/serializer.h"
+
+#include <vector>
+
+#include "src/util/varint.h"
+
+namespace dseq {
+namespace {
+
+constexpr uint8_t kHasSource = 1;
+constexpr uint8_t kHasTarget = 2;
+constexpr uint8_t kFinalMarker = 4;
+
+void PutLabel(std::string* out, const Sequence& label) {
+  PutVarint(out, label.size());
+  ItemId prev = 0;
+  for (ItemId w : label) {
+    // Labels are sorted ascending, so plain deltas suffice.
+    PutVarint(out, w - prev);
+    prev = w;
+  }
+}
+
+bool GetLabel(const std::string& data, size_t* pos, Sequence* label) {
+  uint64_t n = 0;
+  if (!GetVarint(data, pos, &n)) return false;
+  label->clear();
+  label->reserve(n);
+  ItemId prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t delta = 0;
+    if (!GetVarint(data, pos, &delta)) return false;
+    prev += static_cast<ItemId>(delta);
+    label->push_back(prev);
+  }
+  return true;
+}
+
+}  // namespace
+
+void SerializeNfaTo(const OutputNfa& nfa, std::string* out) {
+  PutVarint(out, nfa.num_edges());
+  if (nfa.num_edges() == 0) return;
+
+  // DFS in state-id order (ids are DFS preorder after Canonicalize or
+  // Minimize). Track visited states and the previous record's target to
+  // apply the paper's implicit source/target compression.
+  std::vector<uint8_t> visited(nfa.num_states(), 0);
+  visited[0] = 1;
+  StateId prev_target = 0;
+  std::vector<std::pair<StateId, size_t>> stack;
+  stack.emplace_back(0, 0);
+  while (!stack.empty()) {
+    auto& [q, ei] = stack.back();
+    if (ei >= nfa.EdgesOf(q).size()) {
+      stack.pop_back();
+      continue;
+    }
+    const OutputNfa::Edge& e = nfa.EdgesOf(q)[ei];
+    ++ei;
+
+    uint8_t header = 0;
+    bool target_new = !visited[e.target];
+    if (q != prev_target) header |= kHasSource;
+    if (!target_new) header |= kHasTarget;
+    if (target_new && nfa.IsFinal(e.target)) header |= kFinalMarker;
+    out->push_back(static_cast<char>(header));
+    if (header & kHasSource) PutVarint(out, q);
+    PutLabel(out, nfa.Label(e.label));
+    if (header & kHasTarget) PutVarint(out, e.target);
+
+    prev_target = e.target;
+    if (target_new) {
+      visited[e.target] = 1;
+      stack.emplace_back(e.target, 0);
+    }
+  }
+}
+
+std::string SerializeNfa(const OutputNfa& nfa) {
+  std::string out;
+  SerializeNfaTo(nfa, &out);
+  return out;
+}
+
+OutputNfa DeserializeNfa(const std::string& bytes, size_t* pos) {
+  uint64_t num_edges = 0;
+  if (!GetVarint(bytes, pos, &num_edges)) {
+    throw NfaParseError("truncated NFA header");
+  }
+  OutputNfa nfa;
+  StateId prev_target = 0;
+  Sequence label;
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    if (*pos >= bytes.size()) throw NfaParseError("truncated NFA record");
+    uint8_t header = static_cast<uint8_t>(bytes[*pos]);
+    ++*pos;
+    StateId src = prev_target;
+    if (header & kHasSource) {
+      uint64_t v = 0;
+      if (!GetVarint(bytes, pos, &v)) throw NfaParseError("bad source state");
+      src = static_cast<StateId>(v);
+    }
+    if (src >= nfa.num_states()) throw NfaParseError("source out of range");
+    if (!GetLabel(bytes, pos, &label) || label.empty()) {
+      throw NfaParseError("bad label");
+    }
+    StateId tgt;
+    if (header & kHasTarget) {
+      uint64_t v = 0;
+      if (!GetVarint(bytes, pos, &v)) throw NfaParseError("bad target state");
+      if (v >= nfa.num_states()) throw NfaParseError("target out of range");
+      tgt = nfa.AddEdge(src, label, static_cast<StateId>(v),
+                        /*create_new=*/false, /*mark_final=*/false);
+    } else {
+      tgt = nfa.AddEdge(src, label, 0, /*create_new=*/true,
+                        /*mark_final=*/(header & kFinalMarker) != 0);
+    }
+    prev_target = tgt;
+  }
+  return nfa;
+}
+
+OutputNfa DeserializeNfa(const std::string& bytes) {
+  size_t pos = 0;
+  OutputNfa nfa = DeserializeNfa(bytes, &pos);
+  if (pos != bytes.size()) throw NfaParseError("trailing bytes after NFA");
+  return nfa;
+}
+
+}  // namespace dseq

@@ -1,0 +1,113 @@
+#include "src/patex/patex.h"
+
+namespace dseq {
+
+std::unique_ptr<PatEx> PatEx::Item(std::string name, bool generalize,
+                                   bool exact) {
+  auto node = std::make_unique<PatEx>();
+  node->kind = Kind::kItem;
+  node->item = std::move(name);
+  node->generalize = generalize;
+  node->exact = exact;
+  return node;
+}
+
+std::unique_ptr<PatEx> PatEx::Dot(bool generalize) {
+  auto node = std::make_unique<PatEx>();
+  node->kind = Kind::kDot;
+  node->generalize = generalize;
+  return node;
+}
+
+std::unique_ptr<PatEx> PatEx::Concat(
+    std::vector<std::unique_ptr<PatEx>> children) {
+  if (children.size() == 1) return std::move(children[0]);
+  auto node = std::make_unique<PatEx>();
+  node->kind = Kind::kConcat;
+  node->children = std::move(children);
+  return node;
+}
+
+std::unique_ptr<PatEx> PatEx::Alt(
+    std::vector<std::unique_ptr<PatEx>> children) {
+  if (children.size() == 1) return std::move(children[0]);
+  auto node = std::make_unique<PatEx>();
+  node->kind = Kind::kAlt;
+  node->children = std::move(children);
+  return node;
+}
+
+std::unique_ptr<PatEx> PatEx::Repeat(std::unique_ptr<PatEx> child, int min_rep,
+                                     int max_rep) {
+  auto node = std::make_unique<PatEx>();
+  node->kind = Kind::kRepeat;
+  node->min_rep = min_rep;
+  node->max_rep = max_rep;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PatEx> PatEx::Capture(std::unique_ptr<PatEx> child) {
+  auto node = std::make_unique<PatEx>();
+  node->kind = Kind::kCapture;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PatEx> PatEx::Clone() const {
+  auto node = std::make_unique<PatEx>();
+  node->kind = kind;
+  node->item = item;
+  node->generalize = generalize;
+  node->exact = exact;
+  node->min_rep = min_rep;
+  node->max_rep = max_rep;
+  node->children.reserve(children.size());
+  for (const auto& c : children) node->children.push_back(c->Clone());
+  return node;
+}
+
+std::string PatEx::ToString() const {
+  switch (kind) {
+    case Kind::kItem:
+      return item + (generalize ? "^" : "") + (exact ? "=" : "");
+    case Kind::kDot:
+      return generalize ? ".^" : ".";
+    case Kind::kConcat: {
+      std::string out;
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += children[i]->ToString();
+      }
+      return "[" + out + "]";
+    }
+    case Kind::kAlt: {
+      std::string out;
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += '|';
+        out += children[i]->ToString();
+      }
+      return "[" + out + "]";
+    }
+    case Kind::kRepeat: {
+      std::string base = children[0]->ToString();
+      if (min_rep == 0 && max_rep == -1) return base + "*";
+      if (min_rep == 1 && max_rep == -1) return base + "+";
+      if (min_rep == 0 && max_rep == 1) return base + "?";
+      std::string out = base + "{" + std::to_string(min_rep);
+      if (max_rep == -1) {
+        out += ",}";
+      } else if (max_rep == min_rep) {
+        out += "}";
+      } else {
+        out += "," + std::to_string(max_rep) + "}";
+      }
+      return out;
+    }
+    case Kind::kCapture:
+      return "(" + children[0]->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace dseq

@@ -1,0 +1,71 @@
+// Pattern expression AST (paper Sec. II, "Pattern expression language").
+//
+// Pattern expressions extend regular expressions with capture groups,
+// hierarchies, and generalizations:
+//
+//   atom        := '.' | '.^' | item | item '=' | item '^' | item '^='
+//   grouping    := '[' expr ']'        (plain group)
+//                | '(' expr ')'        (capture group: matched items are
+//                                       *output*; outside captures, matched
+//                                       items produce no output)
+//   postfix     := '*' | '+' | '?' | '{n}' | '{n,}' | '{,m}' | '{n,m}'
+//   concatenation by juxtaposition, alternation with '|'
+//
+// '^' renders the paper's ↑ (generalization), '=' forbids descendants:
+//   w    matches any descendant of w (incl. w);   captured output: matched item
+//   w=   matches exactly w;                       captured output: w
+//   w^   matches any descendant of w;             captured output: all
+//        generalizations of the matched item up to w (anc(t) ∩ desc(w))
+//   w^=  matches any descendant of w;             captured output: w
+//   .    matches any item;                        captured output: matched item
+//   .^   matches any item;                        captured output: anc(t)
+#ifndef DSEQ_PATEX_PATEX_H_
+#define DSEQ_PATEX_PATEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dseq {
+
+/// A node of the pattern expression AST.
+struct PatEx {
+  enum class Kind {
+    kItem,      // leaf: named item (fields item, generalize, exact)
+    kDot,       // leaf: '.' or '.^' (field generalize)
+    kConcat,    // children in order
+    kAlt,       // children are alternatives
+    kRepeat,    // children[0] repeated min_rep..max_rep times (max_rep = -1
+                // for unbounded); covers * + ? {n} {n,} {n,m} {,m}
+    kCapture,   // children[0] with output enabled
+  };
+
+  Kind kind;
+  std::string item;          // kItem only
+  bool generalize = false;   // kItem / kDot: '^' present
+  bool exact = false;        // kItem: '=' present
+  int min_rep = 0;           // kRepeat
+  int max_rep = -1;          // kRepeat; -1 = unbounded
+  std::vector<std::unique_ptr<PatEx>> children;
+
+  static std::unique_ptr<PatEx> Item(std::string name, bool generalize,
+                                     bool exact);
+  static std::unique_ptr<PatEx> Dot(bool generalize);
+  static std::unique_ptr<PatEx> Concat(
+      std::vector<std::unique_ptr<PatEx>> children);
+  static std::unique_ptr<PatEx> Alt(
+      std::vector<std::unique_ptr<PatEx>> children);
+  static std::unique_ptr<PatEx> Repeat(std::unique_ptr<PatEx> child,
+                                       int min_rep, int max_rep);
+  static std::unique_ptr<PatEx> Capture(std::unique_ptr<PatEx> child);
+
+  /// Deep copy (used to expand bounded repetitions during FST compilation).
+  std::unique_ptr<PatEx> Clone() const;
+
+  /// Unparses to a canonical string (for debugging and error messages).
+  std::string ToString() const;
+};
+
+}  // namespace dseq
+
+#endif  // DSEQ_PATEX_PATEX_H_

@@ -1,0 +1,28 @@
+// Basic shared types for the dseq library.
+#ifndef DSEQ_UTIL_COMMON_H_
+#define DSEQ_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dseq {
+
+/// Item identifier. After frequency-based recoding, item ids ("fids") are
+/// assigned by decreasing document frequency starting at 1; the total order
+/// `<` of the paper is then simply numeric order of fids, and the *pivot
+/// item* of a sequence is its maximum fid (its least frequent item).
+/// Id 0 is reserved (invalid / "no item").
+using ItemId = uint32_t;
+
+/// Reserved invalid item id.
+inline constexpr ItemId kNoItem = 0;
+
+/// A sequence of items (fid-encoded after recoding).
+using Sequence = std::vector<ItemId>;
+
+/// FST / NFA state identifier.
+using StateId = uint32_t;
+
+}  // namespace dseq
+
+#endif  // DSEQ_UTIL_COMMON_H_

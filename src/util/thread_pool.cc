@@ -1,0 +1,54 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dseq {
+
+int DefaultWorkers() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+void ParallelWorkers(int num_workers, const std::function<void(int)>& fn) {
+  if (num_workers <= 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers);
+  std::exception_ptr first_error = nullptr;
+  std::mutex error_mutex;
+  for (int w = 0; w < num_workers; ++w) {
+    threads.emplace_back([&, w]() {
+      try {
+        fn(w);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelShards(size_t num_items, int num_workers,
+                    const std::function<void(int, size_t, size_t)>& fn) {
+  num_workers = std::max(1, num_workers);
+  if (num_workers == 1 || num_items <= 1) {
+    fn(0, 0, num_items);
+    return;
+  }
+  size_t shard = (num_items + num_workers - 1) / num_workers;
+  ParallelWorkers(num_workers, [&](int w) {
+    size_t begin = std::min(num_items, static_cast<size_t>(w) * shard);
+    size_t end = std::min(num_items, begin + shard);
+    if (begin < end) fn(w, begin, end);
+  });
+}
+
+}  // namespace dseq

@@ -1,0 +1,28 @@
+// Minimal parallel-for utilities used by the dataflow engine and benches.
+#ifndef DSEQ_UTIL_THREAD_POOL_H_
+#define DSEQ_UTIL_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace dseq {
+
+/// Runs `fn(worker_id, begin, end)` over `num_items` items split into
+/// `num_workers` contiguous shards, one std::thread per shard. Blocks until
+/// all shards complete. If `num_workers <= 1` or `num_items` is small, runs
+/// inline on the calling thread (worker_id 0).
+///
+/// Exceptions thrown by `fn` are rethrown on the calling thread (first one
+/// wins); remaining shards still run to completion.
+void ParallelShards(size_t num_items, int num_workers,
+                    const std::function<void(int, size_t, size_t)>& fn);
+
+/// Runs `fn(worker_id)` on `num_workers` threads and joins.
+void ParallelWorkers(int num_workers, const std::function<void(int)>& fn);
+
+/// Returns a sensible default worker count (hardware concurrency, >= 1).
+int DefaultWorkers();
+
+}  // namespace dseq
+
+#endif  // DSEQ_UTIL_THREAD_POOL_H_

@@ -1,0 +1,55 @@
+#include "src/util/varint.h"
+
+namespace dseq {
+
+void PutVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint(const std::string& data, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < data.size()) {
+    uint8_t byte = static_cast<uint8_t>(data[*pos]);
+    ++*pos;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+    if (shift >= 64) return false;
+  }
+  return false;
+}
+
+void PutSequence(std::string* out, const Sequence& seq) {
+  PutVarint(out, seq.size());
+  int64_t prev = 0;
+  for (ItemId w : seq) {
+    PutVarint(out, ZigzagEncode(static_cast<int64_t>(w) - prev));
+    prev = static_cast<int64_t>(w);
+  }
+}
+
+bool GetSequence(const std::string& data, size_t* pos, Sequence* seq) {
+  uint64_t n = 0;
+  if (!GetVarint(data, pos, &n)) return false;
+  seq->clear();
+  seq->reserve(n);
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t delta = 0;
+    if (!GetVarint(data, pos, &delta)) return false;
+    prev += ZigzagDecode(delta);
+    if (prev < 0) return false;
+    seq->push_back(static_cast<ItemId>(prev));
+  }
+  return true;
+}
+
+}  // namespace dseq

@@ -1,0 +1,41 @@
+// Variable-length integer encoding used for all shuffle serialization.
+//
+// The dataflow layer measures shuffle sizes in bytes (the paper's
+// `shuffleWriteBytes` metric), so all records that cross the simulated
+// network are encoded with LEB128-style varints for honest, compact sizes.
+#ifndef DSEQ_UTIL_VARINT_H_
+#define DSEQ_UTIL_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/util/common.h"
+
+namespace dseq {
+
+/// Appends `value` to `out` as a LEB128 varint (1-10 bytes).
+void PutVarint(std::string* out, uint64_t value);
+
+/// Reads a varint from `data` starting at `*pos`; advances `*pos`.
+/// Returns false on truncated input.
+bool GetVarint(const std::string& data, size_t* pos, uint64_t* value);
+
+/// Appends a sequence: varint length followed by delta-encoded item ids.
+/// Items need not be sorted; deltas are zigzag-encoded.
+void PutSequence(std::string* out, const Sequence& seq);
+
+/// Reads a sequence written by PutSequence.
+bool GetSequence(const std::string& data, size_t* pos, Sequence* seq);
+
+/// Zigzag encoding helpers (map signed to unsigned for varint coding).
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace dseq
+
+#endif  // DSEQ_UTIL_VARINT_H_

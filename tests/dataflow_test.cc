@@ -1,0 +1,227 @@
+#include "src/dataflow/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "src/util/varint.h"
+
+namespace dseq {
+namespace {
+
+// Distributed word count over synthetic records, with and without combiner.
+std::map<std::string, uint64_t> WordCount(const std::vector<std::string>& docs,
+                                          bool use_combiner, int map_workers,
+                                          int reduce_workers,
+                                          DataflowMetrics* metrics_out) {
+  std::map<std::string, uint64_t> counts;
+  std::mutex mu;
+  MapFn map_fn = [&](size_t i, const EmitFn& emit) {
+    std::string word;
+    std::string one;
+    PutVarint(&one, 1);
+    for (char c : docs[i] + " ") {
+      if (c == ' ') {
+        if (!word.empty()) emit(word, one);
+        word.clear();
+      } else {
+        word += c;
+      }
+    }
+  };
+  ReduceFn reduce_fn = [&](int, const std::string& key,
+                           std::vector<std::string>& values) {
+    uint64_t total = 0;
+    for (const auto& v : values) {
+      size_t pos = 0;
+      uint64_t c = 0;
+      GetVarint(v, &pos, &c);
+      total += c;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    counts[key] += total;
+  };
+  DataflowOptions options;
+  options.num_map_workers = map_workers;
+  options.num_reduce_workers = reduce_workers;
+  DataflowMetrics metrics =
+      RunMapReduce(docs.size(), map_fn,
+                   use_combiner ? CombinerFactory(MakeSumCombiner)
+                                : CombinerFactory(nullptr),
+                   reduce_fn, options);
+  if (metrics_out != nullptr) *metrics_out = metrics;
+  return counts;
+}
+
+TEST(DataflowTest, WordCountSingleWorker) {
+  std::vector<std::string> docs = {"a b a", "b c", "a"};
+  auto counts = WordCount(docs, false, 1, 1, nullptr);
+  EXPECT_EQ(counts["a"], 3u);
+  EXPECT_EQ(counts["b"], 2u);
+  EXPECT_EQ(counts["c"], 1u);
+}
+
+TEST(DataflowTest, ResultsIndependentOfWorkerCount) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 200; ++i) {
+    docs.push_back("w" + std::to_string(i % 7) + " w" + std::to_string(i % 3));
+  }
+  auto reference = WordCount(docs, false, 1, 1, nullptr);
+  for (int mw : {2, 4}) {
+    for (int rw : {1, 3}) {
+      EXPECT_EQ(WordCount(docs, false, mw, rw, nullptr), reference)
+          << mw << "x" << rw;
+      EXPECT_EQ(WordCount(docs, true, mw, rw, nullptr), reference)
+          << mw << "x" << rw << " combined";
+    }
+  }
+}
+
+TEST(DataflowTest, CombinerReducesShuffleVolume) {
+  std::vector<std::string> docs(50, "x x x x x x x x");
+  DataflowMetrics without;
+  DataflowMetrics with;
+  WordCount(docs, false, 1, 1, &without);
+  WordCount(docs, true, 1, 1, &with);
+  EXPECT_LT(with.shuffle_records, without.shuffle_records);
+  EXPECT_LT(with.shuffle_bytes, without.shuffle_bytes);
+  // Pre-combine record counts are identical.
+  EXPECT_EQ(with.map_output_records, without.map_output_records);
+}
+
+TEST(DataflowTest, MetricsCountRecords) {
+  std::vector<std::string> docs = {"a b", "c"};
+  DataflowMetrics metrics;
+  WordCount(docs, false, 1, 1, &metrics);
+  EXPECT_EQ(metrics.map_output_records, 3u);
+  EXPECT_EQ(metrics.shuffle_records, 3u);
+  EXPECT_GT(metrics.shuffle_bytes, 0u);
+  EXPECT_GE(metrics.map_seconds, 0.0);
+  EXPECT_GE(metrics.reduce_seconds, 0.0);
+}
+
+TEST(DataflowTest, ShuffleBudgetEnforced) {
+  std::vector<std::string> docs(100, "aaaaaaaaaa bbbbbbbbbb cccccccccc");
+  DataflowOptions options;
+  options.shuffle_budget_bytes = 50;
+  MapFn map_fn = [&](size_t i, const EmitFn& emit) {
+    emit(docs[i], "1");
+  };
+  ReduceFn reduce_fn = [](int, const std::string&,
+                          std::vector<std::string>&) {};
+  EXPECT_THROW(RunMapReduce(docs.size(), map_fn, nullptr, reduce_fn, options),
+               ShuffleOverflowError);
+}
+
+TEST(DataflowTest, BudgetAppliesPostCombine) {
+  // 1000 identical keys combine into one record that fits the budget.
+  DataflowOptions options;
+  options.shuffle_budget_bytes = 100;
+  MapFn map_fn = [&](size_t, const EmitFn& emit) {
+    std::string one;
+    PutVarint(&one, 1);
+    for (int i = 0; i < 1000; ++i) emit("key", one);
+  };
+  std::atomic<uint64_t> total{0};
+  ReduceFn reduce_fn = [&](int, const std::string&,
+                           std::vector<std::string>& values) {
+    for (const auto& v : values) {
+      size_t pos = 0;
+      uint64_t c = 0;
+      GetVarint(v, &pos, &c);
+      total += c;
+    }
+  };
+  DataflowMetrics metrics =
+      RunMapReduce(1, map_fn, MakeSumCombiner, reduce_fn, options);
+  EXPECT_EQ(total.load(), 1000u);
+  EXPECT_EQ(metrics.shuffle_records, 1u);
+}
+
+TEST(DataflowTest, EachKeyReducedExactlyOnce) {
+  std::atomic<int> reduce_calls{0};
+  MapFn map_fn = [&](size_t i, const EmitFn& emit) {
+    emit("k" + std::to_string(i % 10), "v");
+  };
+  ReduceFn reduce_fn = [&](int, const std::string&,
+                           std::vector<std::string>& values) {
+    ++reduce_calls;
+    EXPECT_EQ(values.size(), 10u);
+  };
+  DataflowOptions options;
+  options.num_map_workers = 4;
+  options.num_reduce_workers = 4;
+  RunMapReduce(100, map_fn, nullptr, reduce_fn, options);
+  EXPECT_EQ(reduce_calls.load(), 10);
+}
+
+TEST(DataflowTest, EmptyInput) {
+  MapFn map_fn = [](size_t, const EmitFn&) { FAIL(); };
+  ReduceFn reduce_fn = [](int, const std::string&,
+                          std::vector<std::string>&) { FAIL(); };
+  DataflowMetrics metrics = RunMapReduce(0, map_fn, nullptr, reduce_fn, {});
+  EXPECT_EQ(metrics.shuffle_records, 0u);
+}
+
+TEST(DataflowTest, SimulatedExecutionProducesSameResults) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 100; ++i) {
+    docs.push_back("w" + std::to_string(i % 5) + " w" + std::to_string(i % 3));
+  }
+  auto threads = WordCount(docs, true, 4, 4, nullptr);
+
+  // Same run under cluster simulation.
+  std::map<std::string, uint64_t> counts;
+  std::mutex mu;
+  MapFn map_fn = [&](size_t i, const EmitFn& emit) {
+    std::string word;
+    std::string one;
+    PutVarint(&one, 1);
+    for (char c : docs[i] + " ") {
+      if (c == ' ') {
+        if (!word.empty()) emit(word, one);
+        word.clear();
+      } else {
+        word += c;
+      }
+    }
+  };
+  ReduceFn reduce_fn = [&](int, const std::string& key,
+                           std::vector<std::string>& values) {
+    uint64_t total = 0;
+    for (const auto& v : values) {
+      size_t pos = 0;
+      uint64_t c = 0;
+      GetVarint(v, &pos, &c);
+      total += c;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    counts[key] += total;
+  };
+  DataflowOptions options;
+  options.num_map_workers = 4;
+  options.num_reduce_workers = 4;
+  options.execution = Execution::kSimulated;
+  DataflowMetrics metrics =
+      RunMapReduce(docs.size(), map_fn, MakeSumCombiner, reduce_fn, options);
+  EXPECT_EQ(counts, threads);
+  EXPECT_GE(metrics.map_seconds, 0.0);
+  EXPECT_GE(metrics.reduce_seconds, 0.0);
+}
+
+TEST(DataflowTest, MapExceptionPropagates) {
+  MapFn map_fn = [](size_t i, const EmitFn&) {
+    if (i == 5) throw std::runtime_error("boom");
+  };
+  ReduceFn reduce_fn = [](int, const std::string&,
+                          std::vector<std::string>&) {};
+  DataflowOptions options;
+  options.num_map_workers = 3;
+  EXPECT_THROW(RunMapReduce(10, map_fn, nullptr, reduce_fn, options),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dseq

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "src/datagen/market_baskets.h"
+#include "src/datagen/text_corpus.h"
+#include "src/datagen/web_text.h"
+#include "src/datagen/zipf.h"
+
+namespace dseq {
+namespace {
+
+TEST(ZipfTest, RanksSkewTowardsZero) {
+  ZipfSampler zipf(1000, 1.1);
+  std::mt19937_64 rng(1);
+  size_t low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (zipf.Sample(rng) < 10) ++low;
+  }
+  // The 10 most popular ranks should take a large share.
+  EXPECT_GT(low, 2000u);
+}
+
+TEST(ZipfTest, AllRanksReachable) {
+  ZipfSampler zipf(5, 0.5);
+  std::mt19937_64 rng(2);
+  std::vector<bool> seen(5, false);
+  for (int i = 0; i < 10000; ++i) seen[zipf.Sample(rng)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(TextCorpusTest, GeneratesRequestedSize) {
+  TextCorpusOptions options;
+  options.num_sentences = 500;
+  options.lemmas_per_pos = 100;
+  options.num_entities = 50;
+  SequenceDatabase db = GenerateTextCorpus(options);
+  EXPECT_EQ(db.size(), 500u);
+  EXPECT_GT(db.dict.size(), 300u);
+}
+
+TEST(TextCorpusTest, HierarchyShapeMatchesNyt) {
+  TextCorpusOptions options;
+  options.num_sentences = 200;
+  options.lemmas_per_pos = 50;
+  options.num_entities = 30;
+  SequenceDatabase db = GenerateTextCorpus(options);
+  const Dictionary& dict = db.dict;
+
+  // POS tags, entity types, and the copula exist.
+  for (const char* name :
+       {"VERB", "NOUN", "DET", "PREP", "ADJ", "ADV", "ENTITY", "PER", "ORG",
+        "LOC", "be", "is", "was"}) {
+    EXPECT_NE(dict.ItemByName(name), kNoItem) << name;
+  }
+  // "is" generalizes to "be" and then VERB.
+  ItemId is = dict.ItemByName("is");
+  EXPECT_TRUE(dict.IsAncestorOrSelf(dict.ItemByName("be"), is));
+  EXPECT_TRUE(dict.IsAncestorOrSelf(dict.ItemByName("VERB"), is));
+  // Entities generalize to ENTITY.
+  ItemId ent0 = dict.ItemByName("ent0");
+  ASSERT_NE(ent0, kNoItem);
+  EXPECT_TRUE(dict.IsAncestorOrSelf(dict.ItemByName("ENTITY"), ent0));
+}
+
+TEST(TextCorpusTest, SequencesContainOnlyLeafTokens) {
+  TextCorpusOptions options;
+  options.num_sentences = 100;
+  options.lemmas_per_pos = 50;
+  options.num_entities = 30;
+  SequenceDatabase db = GenerateTextCorpus(options);
+  // Sequence items are word forms / entity mentions: they have parents.
+  for (const Sequence& s : db.sequences) {
+    for (ItemId t : s) {
+      EXPECT_FALSE(db.dict.Parents(t).empty());
+    }
+  }
+}
+
+TEST(TextCorpusTest, DeterministicForSeed) {
+  TextCorpusOptions options;
+  options.num_sentences = 50;
+  options.lemmas_per_pos = 30;
+  options.num_entities = 10;
+  SequenceDatabase a = GenerateTextCorpus(options);
+  SequenceDatabase b = GenerateTextCorpus(options);
+  EXPECT_EQ(a.sequences, b.sequences);
+}
+
+TEST(MarketBasketsTest, GeneratesDagHierarchy) {
+  MarketBasketOptions options;
+  options.num_customers = 500;
+  SequenceDatabase db = GenerateMarketBaskets(options);
+  EXPECT_EQ(db.size(), 500u);
+  EXPECT_FALSE(db.dict.IsForest());  // multi-parent products exist
+  for (const char* name : {"Electr", "Book", "MusicInstr", "DigitalCamera"}) {
+    EXPECT_NE(db.dict.ItemByName(name), kNoItem) << name;
+  }
+}
+
+TEST(MarketBasketsTest, ProductsGeneralizeToDepartment) {
+  MarketBasketOptions options;
+  options.num_customers = 200;
+  SequenceDatabase db = GenerateMarketBaskets(options);
+  ItemId p0 = db.dict.ItemByName("p0");
+  ASSERT_NE(p0, kNoItem);
+  // p0 is in the first subcategory (DigitalCamera) under Electr.
+  EXPECT_TRUE(db.dict.IsAncestorOrSelf(db.dict.ItemByName("DigitalCamera"), p0));
+  EXPECT_TRUE(db.dict.IsAncestorOrSelf(db.dict.ItemByName("Electr"), p0));
+}
+
+TEST(MarketBasketsTest, ToForestRemovesMultiParents) {
+  MarketBasketOptions options;
+  options.num_customers = 300;
+  SequenceDatabase db = GenerateMarketBaskets(options);
+  SequenceDatabase forest = ToForest(db);
+  EXPECT_TRUE(forest.dict.IsForest());
+  EXPECT_EQ(forest.size(), db.size());
+  EXPECT_EQ(forest.TotalItems(), db.TotalItems());
+  // Forest hierarchy has max 1 ancestor path; mean ancestors drops.
+  EXPECT_LE(forest.dict.MeanAncestors(), db.dict.MeanAncestors());
+}
+
+TEST(WebTextTest, FlatVocabulary) {
+  WebTextOptions options;
+  options.num_sentences = 300;
+  options.vocabulary_size = 1000;
+  SequenceDatabase db = GenerateWebText(options);
+  EXPECT_EQ(db.size(), 300u);
+  EXPECT_TRUE(db.dict.IsForest());
+  EXPECT_EQ(db.dict.MaxAncestors(), 0u);
+  EXPECT_GT(db.MeanSequenceLength(), 5.0);
+}
+
+}  // namespace
+}  // namespace dseq

@@ -1,0 +1,120 @@
+#include "src/dist/dseq_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/desq_dfs.h"
+#include "src/dict/sequence.h"
+#include "src/fst/compiler.h"
+#include "tests/test_util.h"
+
+namespace dseq {
+namespace {
+
+constexpr char kPatternEx[] = ".*(A)[(.^).*]*(b).*";
+
+TEST(DSeqTest, RunningExampleGolden) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  DSeqOptions options;
+  options.sigma = 2;
+  DistributedResult result = MineDSeq(db.sequences, fst, db.dict, options);
+  MiningResult expected = {
+      {db.ParseSequence("a1 b"), 3},
+      {db.ParseSequence("a1 a1 b"), 2},
+      {db.ParseSequence("a1 A b"), 2},
+  };
+  Canonicalize(&expected);
+  EXPECT_EQ(result.patterns, expected)
+      << testing::Format(result.patterns, db.dict);
+}
+
+TEST(DSeqTest, RewritingReducesShuffle) {
+  SequenceDatabase db = testing::RandomDatabase(11, 8, 200, 12);
+  Fst fst = CompileFst(".*(i0)[(.^).*]*(i1).*", db.dict);
+  DSeqOptions with;
+  with.sigma = 2;
+  DSeqOptions without = with;
+  without.rewrite = false;
+  DistributedResult r1 = MineDSeq(db.sequences, fst, db.dict, with);
+  DistributedResult r2 = MineDSeq(db.sequences, fst, db.dict, without);
+  EXPECT_EQ(r1.patterns, r2.patterns);
+  EXPECT_LE(r1.metrics.shuffle_bytes, r2.metrics.shuffle_bytes);
+}
+
+TEST(DSeqTest, AblationsAgree) {
+  SequenceDatabase db = testing::RandomDatabase(12, 8, 60, 9);
+  Fst fst = CompileFst(".*(i0)[(.^).*]*(i1).*", db.dict);
+  DSeqOptions base;
+  base.sigma = 2;
+  DistributedResult reference = MineDSeq(db.sequences, fst, db.dict, base);
+  for (bool grid : {false, true}) {
+    for (bool rewrite : {false, true}) {
+      for (bool stop : {false, true}) {
+        DSeqOptions options = base;
+        options.use_grid = grid;
+        options.rewrite = rewrite;
+        options.early_stop = stop;
+        DistributedResult actual =
+            MineDSeq(db.sequences, fst, db.dict, options);
+        EXPECT_EQ(actual.patterns, reference.patterns)
+            << "grid=" << grid << " rewrite=" << rewrite << " stop=" << stop;
+      }
+    }
+  }
+}
+
+TEST(DSeqTest, MultiWorkerDeterminism) {
+  SequenceDatabase db = testing::RandomDatabase(13, 8, 100, 10);
+  Fst fst = CompileFst(".*(.^)[.{0,1}(.^)]{1,2}.*", db.dict);
+  DSeqOptions options;
+  options.sigma = 3;
+  DistributedResult reference = MineDSeq(db.sequences, fst, db.dict, options);
+  options.num_map_workers = 4;
+  options.num_reduce_workers = 3;
+  DistributedResult parallel = MineDSeq(db.sequences, fst, db.dict, options);
+  EXPECT_EQ(parallel.patterns, reference.patterns);
+}
+
+TEST(DSeqTest, NoGridBudgetThrows) {
+  SequenceDatabase db = testing::RandomDatabase(14, 6, 20, 12);
+  Fst fst = CompileFst(".*(.^)[.{0,1}(.^)]{1,2}.*", db.dict);
+  DSeqOptions options;
+  options.sigma = 1;
+  options.use_grid = false;
+  options.nogrid_step_budget = 3;
+  EXPECT_THROW(MineDSeq(db.sequences, fst, db.dict, options),
+               MiningBudgetError);
+}
+
+class DSeqPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(DSeqPropertyTest, MatchesDesqDfs) {
+  auto [seed, pattern] = GetParam();
+  SequenceDatabase db = testing::RandomDatabase(seed + 700, 8, 40, 8);
+  Fst fst = CompileFst(pattern, db.dict);
+  for (uint64_t sigma : {1, 2, 4}) {
+    DesqDfsOptions seq_options;
+    seq_options.sigma = sigma;
+    MiningResult expected =
+        MineDesqDfs(db.sequences, fst, db.dict, seq_options);
+
+    DSeqOptions options;
+    options.sigma = sigma;
+    options.num_map_workers = 2;
+    options.num_reduce_workers = 2;
+    DistributedResult actual = MineDSeq(db.sequences, fst, db.dict, options);
+    EXPECT_EQ(actual.patterns, expected)
+        << "pattern=" << pattern << " sigma=" << sigma << "\nactual:\n"
+        << testing::Format(actual.patterns, db.dict) << "expected:\n"
+        << testing::Format(expected, db.dict);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedDSeq, DSeqPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::ValuesIn(testing::PropertyPatterns())));
+
+}  // namespace
+}  // namespace dseq

@@ -1,0 +1,173 @@
+#include "src/core/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/candidates.h"
+#include "src/dict/sequence.h"
+#include "src/fst/compiler.h"
+
+namespace dseq {
+namespace {
+
+constexpr char kPatternEx[] = ".*(A)[(.^).*]*(b).*";
+
+TEST(GridTest, EmptyForNonMatchingSequence) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  StateGrid grid = StateGrid::Build(db.sequences[2], fst, db.dict, {});
+  EXPECT_FALSE(grid.HasAcceptingRun());
+  EXPECT_EQ(grid.num_edges(), 0u);
+}
+
+TEST(GridTest, LayersMatchSequenceLength) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  StateGrid grid = StateGrid::Build(db.sequences[1], fst, db.dict, {});
+  EXPECT_TRUE(grid.HasAcceptingRun());
+  EXPECT_EQ(grid.length(), 7u);
+}
+
+TEST(GridTest, InitialStateAliveWhenAccepting) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  StateGrid grid = StateGrid::Build(db.sequences[0], fst, db.dict, {});
+  EXPECT_TRUE(grid.Alive(0, grid.initial_state()));
+}
+
+TEST(GridTest, DeadEndsPruned) {
+  SequenceDatabase db = MakeRunningExample();
+  // Anchored pattern: on T1 = a1cdcb, taking (a1) at position 1 and then
+  // failing later must not leave dead edges.
+  Fst fst = CompileFst("(a1)(c)(d)(c)(b)", db.dict);
+  StateGrid grid = StateGrid::Build(db.sequences[0], fst, db.dict, {});
+  ASSERT_TRUE(grid.HasAcceptingRun());
+  // Exactly one run: every layer has exactly one edge.
+  for (size_t i = 0; i < grid.length(); ++i) {
+    EXPECT_EQ(grid.EdgesAt(i).size(), 1u) << "layer " << i;
+  }
+}
+
+TEST(GridTest, SigmaPruningDropsInfrequentOutputs) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  // At sigma=2, items e and a2 are infrequent. T4 = a2 d b only generates
+  // candidates containing a2, so the pruned grid must reject.
+  GridOptions options;
+  options.prune_sigma = 2;
+  StateGrid grid = StateGrid::Build(db.sequences[3], fst, db.dict, options);
+  EXPECT_FALSE(grid.HasAcceptingRun());
+}
+
+TEST(GridTest, SigmaPruningKeepsEpsilonEdges) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  GridOptions options;
+  options.prune_sigma = 2;
+  // T2 contains infrequent e's, but they are consumed by ε-output dots.
+  StateGrid grid = StateGrid::Build(db.sequences[1], fst, db.dict, options);
+  EXPECT_TRUE(grid.HasAcceptingRun());
+  std::vector<Sequence> candidates;
+  EXPECT_TRUE(EnumerateCandidates(grid, 1000, &candidates));
+  EXPECT_EQ(candidates.size(), 3u);  // a1a1b, a1Ab, a1b
+}
+
+TEST(GridTest, ForwardActiveSupersetOfAlive) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  StateGrid grid = StateGrid::Build(db.sequences[0], fst, db.dict, {});
+  for (size_t i = 0; i <= grid.length(); ++i) {
+    for (StateId q = 0; q < grid.num_states(); ++q) {
+      if (grid.Alive(i, q)) EXPECT_TRUE(grid.ForwardActive(i, q));
+    }
+  }
+}
+
+TEST(GridTest, EpsAcceptTable) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  StateGrid grid = StateGrid::Build(db.sequences[0], fst, db.dict, {});
+  std::vector<uint8_t> eps = grid.ComputeEpsAcceptTable();
+  size_t ns = grid.num_states();
+  // Final coordinates are ε-accepting by definition.
+  for (StateId q = 0; q < ns; ++q) {
+    if (grid.Alive(grid.length(), q) && grid.IsFinalState(q)) {
+      EXPECT_TRUE(eps[grid.length() * ns + q]);
+    }
+  }
+  // The initial coordinate is not ε-accepting: producing a1...b requires
+  // output.
+  EXPECT_FALSE(eps[0 * ns + grid.initial_state()]);
+}
+
+TEST(GridTest, EmptySequence) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(".*", db.dict);
+  StateGrid grid = StateGrid::Build({}, fst, db.dict, {});
+  EXPECT_TRUE(grid.HasAcceptingRun());
+  EXPECT_EQ(grid.length(), 0u);
+}
+
+TEST(GridTest, EdgesSortedByFromState) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  StateGrid grid = StateGrid::Build(db.sequences[1], fst, db.dict, {});
+  for (size_t i = 0; i < grid.length(); ++i) {
+    const auto& edges = grid.EdgesAt(i);
+    for (size_t e = 1; e < edges.size(); ++e) {
+      EXPECT_LE(edges[e - 1].from, edges[e].from);
+    }
+  }
+}
+
+TEST(GridTest, OutputSetsSortedAscending) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  StateGrid grid = StateGrid::Build(db.sequences[1], fst, db.dict, {});
+  for (size_t i = 0; i < grid.length(); ++i) {
+    for (const auto& edge : grid.EdgesAt(i)) {
+      EXPECT_TRUE(std::is_sorted(edge.out.begin(), edge.out.end()));
+    }
+  }
+}
+
+TEST(CandidatesTest, BudgetRespected) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  StateGrid grid = StateGrid::Build(db.sequences[1], fst, db.dict, {});
+  std::vector<Sequence> candidates;
+  EXPECT_FALSE(EnumerateCandidates(grid, 3, &candidates));
+}
+
+TEST(CandidatesTest, RunCounting) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  // T5 = a1 a1 b has exactly 3 accepting runs (paper Sec. IV).
+  StateGrid grid = StateGrid::Build(db.sequences[4], fst, db.dict, {});
+  EXPECT_EQ(CountAcceptingRuns(grid, 1000), 3u);
+}
+
+TEST(CandidatesTest, RunEnumerationYieldsFullRuns) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  StateGrid grid = StateGrid::Build(db.sequences[4], fst, db.dict, {});
+  ForEachAcceptingRun(grid, 1000,
+                      [&](const std::vector<const StateGrid::Edge*>& run) {
+                        EXPECT_EQ(run.size(), grid.length());
+                      });
+}
+
+TEST(CandidatesTest, RunBudgetStopsEnumeration) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  StateGrid grid = StateGrid::Build(db.sequences[4], fst, db.dict, {});
+  uint64_t seen = 0;
+  bool complete = ForEachAcceptingRun(
+      grid, 2, [&](const std::vector<const StateGrid::Edge*>&) { ++seen; });
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(seen, 2u);
+}
+
+}  // namespace
+}  // namespace dseq

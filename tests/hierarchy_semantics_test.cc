@@ -1,0 +1,136 @@
+// FST output semantics on DAG-shaped hierarchies (multi-parent items),
+// which the AMZN dataset exhibits and forest-only systems cannot handle.
+#include <gtest/gtest.h>
+
+#include "src/core/candidates.h"
+#include "src/core/desq_dfs.h"
+#include "src/core/grid.h"
+#include "src/dict/sequence.h"
+#include "src/fst/compiler.h"
+#include "tests/test_util.h"
+
+namespace dseq {
+namespace {
+
+// Diamond hierarchy: x -> {p, q} -> root, plus a sibling y -> p.
+struct DiamondDb {
+  SequenceDatabase db;
+  ItemId x, y, p, q, root;
+
+  DiamondDb() {
+    DictionaryBuilder builder;
+    x = builder.AddItem("x");
+    y = builder.AddItem("y");
+    p = builder.AddItem("p");
+    q = builder.AddItem("q");
+    root = builder.AddItem("root");
+    builder.AddParent(x, p);
+    builder.AddParent(x, q);
+    builder.AddParent(y, p);
+    builder.AddParent(p, root);
+    builder.AddParent(q, root);
+    db.dict = builder.Build();
+    db.sequences = {{x}, {x, y}, {y, x}};
+    db.Recode();
+    // Re-resolve ids after recoding.
+    x = db.dict.ItemByName("x");
+    y = db.dict.ItemByName("y");
+    p = db.dict.ItemByName("p");
+    q = db.dict.ItemByName("q");
+    root = db.dict.ItemByName("root");
+  }
+};
+
+std::vector<std::string> Candidates(const SequenceDatabase& db,
+                                    const std::string& pattern,
+                                    const Sequence& T) {
+  Fst fst = CompileFst(pattern, db.dict);
+  StateGrid grid = StateGrid::Build(T, fst, db.dict, {});
+  std::vector<Sequence> candidates;
+  EnumerateCandidates(grid, 100000, &candidates);
+  std::vector<std::string> out;
+  for (const Sequence& s : candidates) out.push_back(db.FormatSequence(s));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> Sorted(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(DagSemanticsTest, DotGeneralizeOutputsAllAncestorsAcrossBothParents) {
+  DiamondDb d;
+  EXPECT_EQ(Candidates(d.db, "(.^)", {d.x}),
+            Sorted({"x", "p", "q", "root"}));
+}
+
+TEST(DagSemanticsTest, GeneralizeUpToStopsAtBound) {
+  DiamondDb d;
+  // (p^) on x: ancestors of x that are descendants of p: {x, p} (not q,
+  // not root).
+  EXPECT_EQ(Candidates(d.db, "(p^)", {d.x}), Sorted({"x", "p"}));
+  // (root^) on x: everything up to root.
+  EXPECT_EQ(Candidates(d.db, "(root^)", {d.x}),
+            Sorted({"x", "p", "q", "root"}));
+}
+
+TEST(DagSemanticsTest, DescendantMatchFollowsBothParents) {
+  DiamondDb d;
+  // q's descendants include x (via the second parent edge) but not y.
+  EXPECT_EQ(Candidates(d.db, "(q)", {d.x}), Sorted({"x"}));
+  EXPECT_TRUE(Candidates(d.db, "(q)", {d.y}).empty());
+}
+
+TEST(DagSemanticsTest, ForcedGeneralizationToSharedAncestor) {
+  DiamondDb d;
+  // Both x and y force-generalize to p.
+  EXPECT_EQ(Candidates(d.db, "(p^=)(p^=)", {d.x, d.y}), Sorted({"p p"}));
+}
+
+TEST(DagSemanticsTest, InnerNodesCanAppearInSequences) {
+  // Sequences may contain non-leaf items; matching and generalization work.
+  DiamondDb d;
+  SequenceDatabase& db = d.db;
+  db.sequences.push_back({d.p});
+  EXPECT_EQ(Candidates(db, "(root^)", {d.p}), Sorted({"p", "root"}));
+  EXPECT_EQ(Candidates(db, "(.)", {d.p}), Sorted({"p"}));
+}
+
+TEST(DagSemanticsTest, MiningAgreesAcrossAlgorithmsOnDag) {
+  DiamondDb d;
+  Fst fst = CompileFst(".*(.^).*", d.db.dict);
+  DesqDfsOptions options;
+  options.sigma = 2;
+  MiningResult dfs = MineDesqDfs(d.db.sequences, fst, d.db.dict, options);
+  MiningResult brute =
+      testing::BruteForceMine(d.db.sequences, fst, d.db.dict, 2);
+  EXPECT_EQ(dfs, brute);
+  // f(root) = 3 (all sequences), f(p) = 3, f(q) = 3 (x occurs in all).
+  bool found_root = false;
+  for (const auto& pc : dfs) {
+    if (pc.pattern == Sequence{d.root}) {
+      found_root = true;
+      EXPECT_EQ(pc.frequency, 3u);
+    }
+  }
+  EXPECT_TRUE(found_root);
+}
+
+TEST(DagSemanticsTest, N5StylePatternOnDag) {
+  DiamondDb d;
+  // One of three positions generalized.
+  auto c = Candidates(d.db, "([.^.]|[..^])", {d.x, d.y});
+  // First generalized: {x,p,q,root} x {y}; second: {x} x {y,p,root}.
+  EXPECT_EQ(c, Sorted({"x y", "p y", "q y", "root y", "x p", "x root"}));
+}
+
+TEST(DagSemanticsTest, ExactMatchOnInnerNode) {
+  DiamondDb d;
+  d.db.sequences.push_back({d.p});
+  EXPECT_TRUE(Candidates(d.db, "(p=)", {d.x}).empty());
+  EXPECT_EQ(Candidates(d.db, "(p=)", {d.p}), Sorted({"p"}));
+}
+
+}  // namespace
+}  // namespace dseq

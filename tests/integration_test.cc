@@ -1,0 +1,165 @@
+// End-to-end integration tests: all algorithms agree on small instances of
+// the generated benchmark datasets with the paper's Tab. III constraints.
+#include <gtest/gtest.h>
+
+#include "src/baselines/gap_miner.h"
+#include "src/baselines/prefix_span.h"
+#include "src/core/desq_dfs.h"
+#include "src/datagen/market_baskets.h"
+#include "src/datagen/text_corpus.h"
+#include "src/datagen/web_text.h"
+#include "src/dist/dcand_miner.h"
+#include "src/dist/dseq_miner.h"
+#include "src/dist/naive.h"
+#include "src/fst/compiler.h"
+#include "tests/test_util.h"
+
+namespace dseq {
+namespace {
+
+const SequenceDatabase& SmallNyt() {
+  static SequenceDatabase db = [] {
+    TextCorpusOptions options;
+    options.num_sentences = 2'000;
+    options.lemmas_per_pos = 200;
+    options.num_entities = 150;
+    return GenerateTextCorpus(options);
+  }();
+  return db;
+}
+
+const SequenceDatabase& SmallAmzn() {
+  static SequenceDatabase db = [] {
+    MarketBasketOptions options;
+    options.num_customers = 2'000;
+    return GenerateMarketBaskets(options);
+  }();
+  return db;
+}
+
+void ExpectAllAgree(const SequenceDatabase& db, const std::string& pattern,
+                    uint64_t sigma) {
+  Fst fst = CompileFst(pattern, db.dict);
+  DesqDfsOptions seq_options;
+  seq_options.sigma = sigma;
+  MiningResult expected = MineDesqDfs(db.sequences, fst, db.dict, seq_options);
+
+  NaiveOptions semi;
+  semi.sigma = sigma;
+  semi.semi_naive = true;
+  semi.num_map_workers = 4;
+  semi.num_reduce_workers = 4;
+  EXPECT_EQ(MineNaive(db.sequences, fst, db.dict, semi).patterns, expected)
+      << "SEMI-NAIVE for " << pattern;
+
+  DSeqOptions dseq_options;
+  dseq_options.sigma = sigma;
+  dseq_options.num_map_workers = 4;
+  dseq_options.num_reduce_workers = 4;
+  EXPECT_EQ(MineDSeq(db.sequences, fst, db.dict, dseq_options).patterns,
+            expected)
+      << "D-SEQ for " << pattern;
+
+  DCandOptions dcand_options;
+  dcand_options.sigma = sigma;
+  dcand_options.num_map_workers = 4;
+  dcand_options.num_reduce_workers = 4;
+  EXPECT_EQ(MineDCand(db.sequences, fst, db.dict, dcand_options).patterns,
+            expected)
+      << "D-CAND for " << pattern;
+
+  // Sanity: something was mined (the constraints are productive).
+  EXPECT_FALSE(expected.empty()) << pattern;
+}
+
+TEST(IntegrationTest, NytConstraintsAgree) {
+  ExpectAllAgree(SmallNyt(), ".* ENTITY (VERB+ NOUN+? PREP?) ENTITY .*", 3);
+  ExpectAllAgree(SmallNyt(), ".* (ENTITY^ VERB+ NOUN+? PREP? ENTITY^) .*", 5);
+  ExpectAllAgree(SmallNyt(), ".* (ENTITY^ be^=) DET? (ADV? ADJ? NOUN) .*", 3);
+  ExpectAllAgree(SmallNyt(), ".* (.^){3} NOUN .*", 50);
+  ExpectAllAgree(SmallNyt(), ".* ([.^. .]|[. .^.]|[. . .^]) .*", 10);
+}
+
+TEST(IntegrationTest, AmznConstraintsAgree) {
+  ExpectAllAgree(SmallAmzn(), ".*(Electr^)[.{0,2}(Electr^)]{1,4}.*", 20);
+  ExpectAllAgree(SmallAmzn(), ".*(Book)[.{0,2}(Book)]{1,4}.*", 2);
+  ExpectAllAgree(SmallAmzn(), ".*DigitalCamera[.{0,3}(.^)]{1,4}.*", 10);
+  ExpectAllAgree(SmallAmzn(), ".*(MusicInstr^)[.{0,2}(MusicInstr^)]{1,4}.*",
+                 10);
+}
+
+TEST(IntegrationTest, TraditionalConstraintsAgreeWithSpecializedMiners) {
+  WebTextOptions options;
+  options.num_sentences = 1'500;
+  options.vocabulary_size = 500;
+  options.mean_sentence_length = 10;
+  SequenceDatabase db = GenerateWebText(options);
+
+  // T2(20, 1, 4): D-SEQ vs MG-FSM-style specialized miner.
+  {
+    Fst fst = CompileFst(".*(.)[.{0,1}(.)]{1,3}.*", db.dict);
+    DesqDfsOptions seq_options;
+    seq_options.sigma = 20;
+    MiningResult expected =
+        MineDesqDfs(db.sequences, fst, db.dict, seq_options);
+    GapMinerOptions gap;
+    gap.sigma = 20;
+    gap.gamma = 1;
+    gap.lambda = 4;
+    gap.use_hierarchy = false;
+    gap.num_map_workers = 4;
+    gap.num_reduce_workers = 4;
+    EXPECT_EQ(MineGapConstrained(db.sequences, db.dict, gap).patterns,
+              expected);
+    EXPECT_FALSE(expected.empty());
+  }
+
+  // T1(30, 3): D-SEQ vs PrefixSpan.
+  {
+    Fst fst = CompileFst(".*(.)[.*(.)]{0,2}.*", db.dict);
+    DesqDfsOptions seq_options;
+    seq_options.sigma = 30;
+    MiningResult expected =
+        MineDesqDfs(db.sequences, fst, db.dict, seq_options);
+    PrefixSpanOptions ps;
+    ps.sigma = 30;
+    ps.lambda = 3;
+    ps.num_map_workers = 4;
+    ps.num_reduce_workers = 4;
+    EXPECT_EQ(MinePrefixSpan(db.sequences, db.dict, ps).patterns, expected);
+    EXPECT_FALSE(expected.empty());
+  }
+}
+
+TEST(IntegrationTest, ForestConversionPreservesT3MiningSemantics) {
+  // AMZN-F mining uses the forest hierarchy; results generally differ from
+  // the DAG (fewer generalizations) but all miners must still agree.
+  SequenceDatabase forest = ToForest(SmallAmzn());
+  Fst fst = CompileFst(".*(.^)[.{0,1}(.^)]{1,4}.*", forest.dict);
+  DesqDfsOptions seq_options;
+  seq_options.sigma = 50;
+  MiningResult expected =
+      MineDesqDfs(forest.sequences, fst, forest.dict, seq_options);
+
+  GapMinerOptions gap;
+  gap.sigma = 50;
+  gap.gamma = 1;
+  gap.lambda = 5;
+  gap.use_hierarchy = true;
+  gap.num_map_workers = 4;
+  gap.num_reduce_workers = 4;
+  EXPECT_EQ(MineGapConstrained(forest.sequences, forest.dict, gap).patterns,
+            expected);
+
+  DSeqOptions dseq_options;
+  dseq_options.sigma = 50;
+  dseq_options.num_map_workers = 4;
+  dseq_options.num_reduce_workers = 4;
+  EXPECT_EQ(
+      MineDSeq(forest.sequences, fst, forest.dict, dseq_options).patterns,
+      expected);
+  EXPECT_FALSE(expected.empty());
+}
+
+}  // namespace
+}  // namespace dseq

@@ -1,0 +1,158 @@
+#include "src/io/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/desq_dfs.h"
+#include "src/datagen/market_baskets.h"
+#include "src/fst/compiler.h"
+#include "tests/test_util.h"
+
+namespace dseq {
+namespace {
+
+constexpr char kSequences[] =
+    "a1 c d c b\n"
+    "e e a1 e a1 e b\n"
+    "# a comment line\n"
+    "c d c b\n"
+    "a2 d b\n"
+    "\n"
+    "a1 a1 b\n";
+constexpr char kHierarchy[] =
+    "a1 A\n"
+    "a2 A\n";
+
+TEST(TextIoTest, ReadsRunningExample) {
+  std::istringstream sequences(kSequences);
+  std::istringstream hierarchy(kHierarchy);
+  SequenceDatabase db = ReadTextDatabase(sequences, &hierarchy);
+  EXPECT_EQ(db.size(), 5u);
+  EXPECT_EQ(db.dict.size(), 7u);
+  // Recoding puts b first (most frequent).
+  EXPECT_EQ(db.dict.ItemByName("b"), 1u);
+  EXPECT_TRUE(db.dict.IsAncestorOrSelf(db.dict.ItemByName("A"),
+                                       db.dict.ItemByName("a1")));
+  EXPECT_EQ(db.FormatSequence(db.sequences[0]), "a1 c d c b");
+}
+
+TEST(TextIoTest, MinedResultsMatchBuiltInExample) {
+  std::istringstream sequences(kSequences);
+  std::istringstream hierarchy(kHierarchy);
+  SequenceDatabase db = ReadTextDatabase(sequences, &hierarchy);
+  Fst fst = CompileFst(".*(A)[(.^).*]*(b).*", db.dict);
+  DesqDfsOptions options;
+  options.sigma = 2;
+  MiningResult result = MineDesqDfs(db.sequences, fst, db.dict, options);
+  ASSERT_EQ(result.size(), 3u);
+}
+
+TEST(TextIoTest, MalformedHierarchyThrows) {
+  std::istringstream sequences("a b\n");
+  std::istringstream hierarchy("childonly\n");
+  EXPECT_THROW(ReadTextDatabase(sequences, &hierarchy), DatasetIoError);
+}
+
+TEST(TextIoTest, MissingFileThrows) {
+  EXPECT_THROW(ReadTextDatabaseFromFiles("/nonexistent/path.txt", ""),
+               DatasetIoError);
+}
+
+TEST(TextIoTest, WriteReadRoundTrip) {
+  SequenceDatabase db = MakeRunningExample();
+  std::ostringstream seq_out;
+  std::ostringstream hier_out;
+  WriteTextDatabase(db, seq_out);
+  WriteTextHierarchy(db.dict, hier_out);
+
+  std::istringstream seq_in(seq_out.str());
+  std::istringstream hier_in(hier_out.str());
+  SequenceDatabase reloaded = ReadTextDatabase(seq_in, &hier_in);
+  ASSERT_EQ(reloaded.size(), db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(reloaded.FormatSequence(reloaded.sequences[i]),
+              db.FormatSequence(db.sequences[i]));
+  }
+}
+
+TEST(BinaryIoTest, RoundTripRunningExample) {
+  SequenceDatabase db = MakeRunningExample();
+  std::ostringstream out;
+  WriteBinaryDatabase(db, out);
+  std::istringstream in(out.str());
+  SequenceDatabase reloaded = ReadBinaryDatabase(in);
+
+  ASSERT_EQ(reloaded.size(), db.size());
+  ASSERT_EQ(reloaded.dict.size(), db.dict.size());
+  EXPECT_EQ(reloaded.sequences, db.sequences);
+  for (ItemId w = 1; w <= db.dict.size(); ++w) {
+    EXPECT_EQ(reloaded.dict.Name(w), db.dict.Name(w));
+    EXPECT_EQ(reloaded.dict.Parents(w), db.dict.Parents(w));
+    EXPECT_EQ(reloaded.dict.DocFrequency(w), db.dict.DocFrequency(w));
+  }
+}
+
+TEST(BinaryIoTest, RoundTripDagHierarchy) {
+  MarketBasketOptions options;
+  options.num_customers = 300;
+  SequenceDatabase db = GenerateMarketBaskets(options);
+  std::ostringstream out;
+  WriteBinaryDatabase(db, out);
+  std::istringstream in(out.str());
+  SequenceDatabase reloaded = ReadBinaryDatabase(in);
+  EXPECT_EQ(reloaded.sequences, db.sequences);
+  EXPECT_EQ(reloaded.dict.IsForest(), db.dict.IsForest());
+  EXPECT_EQ(reloaded.dict.MeanAncestors(), db.dict.MeanAncestors());
+}
+
+TEST(BinaryIoTest, MiningEquivalentAfterRoundTrip) {
+  SequenceDatabase db = testing::RandomDatabase(5, 8, 40, 8);
+  std::ostringstream out;
+  WriteBinaryDatabase(db, out);
+  std::istringstream in(out.str());
+  SequenceDatabase reloaded = ReadBinaryDatabase(in);
+
+  Fst fst1 = CompileFst(".*(i0)[(.^).*]*(i1).*", db.dict);
+  Fst fst2 = CompileFst(".*(i0)[(.^).*]*(i1).*", reloaded.dict);
+  DesqDfsOptions options;
+  options.sigma = 2;
+  EXPECT_EQ(MineDesqDfs(db.sequences, fst1, db.dict, options),
+            MineDesqDfs(reloaded.sequences, fst2, reloaded.dict, options));
+}
+
+TEST(BinaryIoTest, BadMagicThrows) {
+  std::istringstream in("NOTDSEQ");
+  EXPECT_THROW(ReadBinaryDatabase(in), DatasetIoError);
+}
+
+TEST(BinaryIoTest, TruncatedThrows) {
+  SequenceDatabase db = MakeRunningExample();
+  std::ostringstream out;
+  WriteBinaryDatabase(db, out);
+  std::string data = out.str();
+  for (size_t cut : {data.size() - 1, data.size() / 2, size_t{8}}) {
+    std::istringstream in(data.substr(0, cut));
+    EXPECT_THROW(ReadBinaryDatabase(in), DatasetIoError) << "cut " << cut;
+  }
+}
+
+TEST(BinaryIoTest, TrailingBytesThrow) {
+  SequenceDatabase db = MakeRunningExample();
+  std::ostringstream out;
+  WriteBinaryDatabase(db, out);
+  std::istringstream in(out.str() + "x");
+  EXPECT_THROW(ReadBinaryDatabase(in), DatasetIoError);
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  SequenceDatabase db = MakeRunningExample();
+  std::string path = ::testing::TempDir() + "/dseq_io_test.bin";
+  WriteBinaryDatabaseToFile(db, path);
+  SequenceDatabase reloaded = ReadBinaryDatabaseFromFile(path);
+  EXPECT_EQ(reloaded.sequences, db.sequences);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dseq

@@ -1,0 +1,239 @@
+#include "src/nfa/output_nfa.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/candidates.h"
+#include "src/core/mining.h"
+#include "src/core/pivot.h"
+#include "src/dict/sequence.h"
+#include "src/fst/compiler.h"
+#include "src/nfa/serializer.h"
+#include "tests/test_util.h"
+
+namespace dseq {
+namespace {
+
+constexpr char kPatternEx[] = ".*(A)[(.^).*]*(b).*";
+
+// Builds the per-pivot NFA trie for one sequence (the D-CAND map step).
+OutputNfa BuildTrie(const SequenceDatabase& db, const Fst& fst,
+                    const Sequence& T, ItemId pivot, uint64_t sigma) {
+  GridOptions options;
+  options.prune_sigma = sigma;
+  StateGrid grid = StateGrid::Build(T, fst, db.dict, options);
+  OutputNfa trie;
+  ForEachAcceptingRun(grid, 1'000'000,
+                      [&](const std::vector<const StateGrid::Edge*>& run) {
+                        std::vector<Sequence> sets;
+                        for (const auto* e : run) sets.push_back(e->out);
+                        PivotSet pivots = PivotsOfOutputSets(sets);
+                        if (std::binary_search(pivots.items.begin(),
+                                               pivots.items.end(), pivot)) {
+                          trie.AddRun(run, pivot);
+                        }
+                      });
+  return trie;
+}
+
+// ρk(T) via candidate enumeration (oracle).
+std::vector<Sequence> PivotCandidates(const SequenceDatabase& db,
+                                      const Fst& fst, const Sequence& T,
+                                      ItemId pivot, uint64_t sigma) {
+  GridOptions options;
+  options.prune_sigma = sigma;
+  StateGrid grid = StateGrid::Build(T, fst, db.dict, options);
+  std::vector<Sequence> all;
+  EnumerateCandidates(grid, 1'000'000, &all);
+  std::vector<Sequence> result;
+  for (const Sequence& s : all) {
+    if (PivotItem(s) == pivot) result.push_back(s);
+  }
+  return result;
+}
+
+TEST(OutputNfaTest, EmptyNfa) {
+  OutputNfa nfa;
+  EXPECT_TRUE(nfa.empty());
+  EXPECT_EQ(nfa.num_states(), 1u);
+  EXPECT_EQ(nfa.num_edges(), 0u);
+}
+
+// Paper Fig. 7: NFAs for ρc(T1). The trie has 13 vertices and 12 edges; the
+// minimized NFA has 7 vertices and 10 edges.
+TEST(OutputNfaTest, PaperFig7TrieShape) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  ItemId c = db.dict.ItemByName("c");
+  OutputNfa trie = BuildTrie(db, fst, db.sequences[0], c, 2);
+  EXPECT_EQ(trie.num_states(), 13u);
+  EXPECT_EQ(trie.num_edges(), 12u);
+}
+
+TEST(OutputNfaTest, PaperFig7MinimizedShape) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  ItemId c = db.dict.ItemByName("c");
+  OutputNfa trie = BuildTrie(db, fst, db.sequences[0], c, 2);
+  std::vector<Sequence> before;
+  ASSERT_TRUE(trie.Language(1000, &before));
+  trie.Minimize();
+  EXPECT_EQ(trie.num_states(), 7u);
+  EXPECT_EQ(trie.num_edges(), 10u);
+  std::vector<Sequence> after;
+  ASSERT_TRUE(trie.Language(1000, &after));
+  EXPECT_EQ(before, after);
+}
+
+TEST(OutputNfaTest, LanguageEqualsPivotCandidates) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  for (size_t i = 0; i < db.sequences.size(); ++i) {
+    for (ItemId k = 1; k <= db.dict.size(); ++k) {
+      OutputNfa trie = BuildTrie(db, fst, db.sequences[i], k, 2);
+      std::vector<Sequence> language;
+      ASSERT_TRUE(trie.Language(100000, &language));
+      EXPECT_EQ(language, PivotCandidates(db, fst, db.sequences[i], k, 2))
+          << "T" << (i + 1) << " pivot " << db.dict.Name(k);
+    }
+  }
+}
+
+TEST(OutputNfaTest, MinimizeIsIdempotent) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  ItemId c = db.dict.ItemByName("c");
+  OutputNfa trie = BuildTrie(db, fst, db.sequences[0], c, 2);
+  trie.Minimize();
+  size_t states = trie.num_states();
+  size_t edges = trie.num_edges();
+  trie.Minimize();
+  EXPECT_EQ(trie.num_states(), states);
+  EXPECT_EQ(trie.num_edges(), edges);
+}
+
+TEST(OutputNfaTest, InsertionOrderInvariance) {
+  // Equal run sets inserted in different orders minimize to identical
+  // serializations (required for shuffle aggregation).
+  std::vector<std::vector<Sequence>> runs = {
+      {{1}, {2, 3}, {4}},
+      {{1}, {2}, {4}},
+      {{1}, {5}},
+  };
+  OutputNfa forward;
+  for (const auto& r : runs) forward.AddLabelString(r);
+  OutputNfa backward;
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    backward.AddLabelString(*it);
+  }
+  forward.Minimize();
+  backward.Minimize();
+  EXPECT_EQ(SerializeNfa(forward), SerializeNfa(backward));
+}
+
+TEST(SerializerTest, PaperFig8Example) {
+  // NFA for ρa1(T5): root -{a1}-> s1; s1 -{a1,A}-> s2 -{b}-> s3(final);
+  // s1 -{b}-> s3. The paper serializes 4 transitions.
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  ItemId a1 = db.dict.ItemByName("a1");
+  OutputNfa trie = BuildTrie(db, fst, db.sequences[4], a1, 2);
+  trie.Minimize();
+  EXPECT_EQ(trie.num_states(), 4u);
+  EXPECT_EQ(trie.num_edges(), 4u);
+
+  std::string bytes = SerializeNfa(trie);
+  OutputNfa parsed = DeserializeNfa(bytes);
+  std::vector<Sequence> expected_lang;
+  ASSERT_TRUE(trie.Language(1000, &expected_lang));
+  std::vector<Sequence> parsed_lang;
+  ASSERT_TRUE(parsed.Language(1000, &parsed_lang));
+  EXPECT_EQ(parsed_lang, expected_lang);
+  EXPECT_EQ(expected_lang.size(), 3u);  // a1a1b, a1Ab, a1b
+}
+
+TEST(SerializerTest, RoundTripPreservesLanguageAndShape) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  for (size_t i = 0; i < db.sequences.size(); ++i) {
+    for (ItemId k = 1; k <= db.dict.size(); ++k) {
+      OutputNfa trie = BuildTrie(db, fst, db.sequences[i], k, 2);
+      if (trie.empty()) continue;
+      trie.Minimize();
+      std::string bytes = SerializeNfa(trie);
+      OutputNfa parsed = DeserializeNfa(bytes);
+      EXPECT_EQ(parsed.num_states(), trie.num_states());
+      EXPECT_EQ(parsed.num_edges(), trie.num_edges());
+      std::vector<Sequence> a;
+      std::vector<Sequence> b;
+      ASSERT_TRUE(trie.Language(100000, &a));
+      ASSERT_TRUE(parsed.Language(100000, &b));
+      EXPECT_EQ(a, b);
+      // Canonical re-serialization is stable.
+      parsed.Minimize();
+      EXPECT_EQ(SerializeNfa(parsed), bytes);
+    }
+  }
+}
+
+TEST(SerializerTest, RandomTriesRoundTrip) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    OutputNfa trie;
+    size_t num_runs = 1 + rng() % 8;
+    for (size_t r = 0; r < num_runs; ++r) {
+      std::vector<Sequence> label_string;
+      size_t len = 1 + rng() % 5;
+      for (size_t i = 0; i < len; ++i) {
+        Sequence label;
+        size_t ls = 1 + rng() % 3;
+        for (size_t j = 0; j < ls; ++j) {
+          label.push_back(static_cast<ItemId>(rng() % 20 + 1));
+        }
+        std::sort(label.begin(), label.end());
+        label.erase(std::unique(label.begin(), label.end()), label.end());
+        label_string.push_back(std::move(label));
+      }
+      trie.AddLabelString(label_string);
+    }
+    std::vector<Sequence> before;
+    ASSERT_TRUE(trie.Language(1'000'000, &before));
+    if (rng() % 2 == 0) {
+      trie.Minimize();
+    } else {
+      trie.Canonicalize();
+    }
+    std::string bytes = SerializeNfa(trie);
+    OutputNfa parsed = DeserializeNfa(bytes);
+    std::vector<Sequence> after;
+    ASSERT_TRUE(parsed.Language(1'000'000, &after));
+    EXPECT_EQ(before, after) << "trial " << trial;
+  }
+}
+
+TEST(SerializerTest, MalformedInputThrows) {
+  EXPECT_THROW(DeserializeNfa("\xff\xff\xff"), NfaParseError);
+  OutputNfa trie;
+  trie.AddLabelString({{1}, {2}});
+  trie.Canonicalize();
+  std::string bytes = SerializeNfa(trie);
+  bytes.pop_back();
+  EXPECT_THROW(DeserializeNfa(bytes), NfaParseError);
+  bytes = SerializeNfa(trie) + "x";
+  EXPECT_THROW(DeserializeNfa(bytes), NfaParseError);
+}
+
+TEST(SerializerTest, MinimizationShrinksSerialization) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  ItemId c = db.dict.ItemByName("c");
+  OutputNfa trie = BuildTrie(db, fst, db.sequences[0], c, 2);
+  OutputNfa minimized = trie;
+  trie.Canonicalize();
+  minimized.Minimize();
+  EXPECT_LT(SerializeNfa(minimized).size(), SerializeNfa(trie).size());
+}
+
+}  // namespace
+}  // namespace dseq

@@ -1,0 +1,74 @@
+#include "src/dist/partition_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dict/sequence.h"
+#include "src/fst/compiler.h"
+#include "tests/test_util.h"
+
+namespace dseq {
+namespace {
+
+constexpr char kPatternEx[] = ".*(A)[(.^).*]*(b).*";
+
+TEST(PartitionStatsTest, RunningExamplePartitions) {
+  // Paper Fig. 3 (σ=2): partitions P_a1 (T1, T2, T5) and P_c (T1).
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  std::vector<PartitionStats> stats =
+      ComputePartitionStats(db.sequences, fst, db.dict, 2);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].pivot, db.dict.ItemByName("a1"));
+  EXPECT_EQ(stats[0].num_sequences, 3u);
+  EXPECT_EQ(stats[1].pivot, db.dict.ItemByName("c"));
+  EXPECT_EQ(stats[1].num_sequences, 1u);
+  EXPECT_GT(stats[0].total_bytes, 0u);
+}
+
+TEST(PartitionStatsTest, ParallelMatchesSerial) {
+  SequenceDatabase db = testing::RandomDatabase(31, 8, 80, 8);
+  Fst fst = CompileFst(".*(.^)[.{0,1}(.^)]{1,2}.*", db.dict);
+  auto serial = ComputePartitionStats(db.sequences, fst, db.dict, 2, 1);
+  auto parallel = ComputePartitionStats(db.sequences, fst, db.dict, 2, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].pivot, parallel[i].pivot);
+    EXPECT_EQ(serial[i].num_sequences, parallel[i].num_sequences);
+    EXPECT_EQ(serial[i].total_bytes, parallel[i].total_bytes);
+  }
+}
+
+TEST(PartitionStatsTest, SummaryMeasures) {
+  std::vector<PartitionStats> stats = {
+      {1, 10, 100},
+      {2, 10, 100},
+      {3, 10, 200},
+  };
+  BalanceSummary summary = SummarizeBalance(stats);
+  EXPECT_EQ(summary.num_partitions, 3u);
+  EXPECT_EQ(summary.total_bytes, 400u);
+  EXPECT_NEAR(summary.max_to_mean_bytes, 200.0 / (400.0 / 3), 1e-9);
+  EXPECT_NEAR(summary.largest_share, 0.5, 1e-9);
+}
+
+TEST(PartitionStatsTest, EmptySummary) {
+  BalanceSummary summary = SummarizeBalance({});
+  EXPECT_EQ(summary.num_partitions, 0u);
+  EXPECT_EQ(summary.total_bytes, 0u);
+}
+
+TEST(PartitionStatsTest, FrequentItemsReceiveLittleData) {
+  // The paper's balance argument: partitions of frequent items (small fids)
+  // should not dominate the shuffle volume.
+  SequenceDatabase db = testing::RandomDatabase(33, 10, 300, 10);
+  Fst fst = CompileFst(".*(.^)[.{0,1}(.^)]{1,2}.*", db.dict);
+  std::vector<PartitionStats> stats =
+      ComputePartitionStats(db.sequences, fst, db.dict, 2);
+  ASSERT_GT(stats.size(), 2u);
+  BalanceSummary summary = SummarizeBalance(stats);
+  // No partition holds everything.
+  EXPECT_LT(summary.largest_share, 0.9);
+}
+
+}  // namespace
+}  // namespace dseq

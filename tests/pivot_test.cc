@@ -1,0 +1,227 @@
+#include "src/core/pivot.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/candidates.h"
+#include "src/core/mining.h"
+#include "src/dict/sequence.h"
+#include "src/fst/compiler.h"
+#include "tests/test_util.h"
+
+namespace dseq {
+namespace {
+
+constexpr char kPatternEx[] = ".*(A)[(.^).*]*(b).*";
+
+PivotSet Items(Sequence s) { return PivotSet::Items(std::move(s)); }
+
+TEST(PivotMergeTest, PaperExampleRun) {
+  // Paper Sec. V-A: run r4 with output sets {b,c}-{A}-{d,a1} over the order
+  // b < A < d < a1 < c has pivots {c, d, a1} = K(r4).
+  SequenceDatabase db = MakeRunningExample();
+  ItemId b = db.dict.ItemByName("b");
+  ItemId A = db.dict.ItemByName("A");
+  ItemId d = db.dict.ItemByName("d");
+  ItemId a1 = db.dict.ItemByName("a1");
+  ItemId c = db.dict.ItemByName("c");
+
+  PivotSet result = PivotsOfOutputSets({{b, c}, {A}, {d, a1}});
+  EXPECT_EQ(result.items, (Sequence{d, a1, c}));
+  EXPECT_FALSE(result.has_eps);
+}
+
+TEST(PivotMergeTest, SingleSetAllPivots) {
+  // A run of length 1: all items are pivots.
+  PivotSet result = PivotsOfOutputSets({{1, 5}});
+  EXPECT_EQ(result.items, (Sequence{1, 5}));
+}
+
+TEST(PivotMergeTest, TwoSets) {
+  // r4'': {b,c}-{A}: pivots A and c (paper example; b < A < c as fids
+  // 1 < 2 < 3 here).
+  PivotSet result = PivotsOfOutputSets({{1, 3}, {2}});
+  EXPECT_EQ(result.items, (Sequence{2, 3}));
+}
+
+TEST(PivotMergeTest, EpsilonSetsAreNeutral) {
+  PivotSet result = PivotsOfOutputSets({{}, {3, 4}, {}});
+  EXPECT_EQ(result.items, (Sequence{3, 4}));
+  EXPECT_FALSE(result.has_eps);
+}
+
+TEST(PivotMergeTest, AllEpsilonGivesEps) {
+  PivotSet result = PivotsOfOutputSets({{}, {}});
+  EXPECT_TRUE(result.has_eps);
+  EXPECT_TRUE(result.items.empty());
+}
+
+TEST(PivotMergeTest, EmptyOperandAnnihilates) {
+  PivotSet empty;
+  PivotSet some = Items({1, 2});
+  EXPECT_TRUE(PivotMerge(empty, some).IsEmpty());
+  EXPECT_TRUE(PivotMerge(some, empty).IsEmpty());
+}
+
+TEST(PivotMergeTest, Commutative) {
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto random_set = [&]() {
+      PivotSet s;
+      s.has_eps = rng() % 3 == 0;
+      size_t n = rng() % 4;
+      for (size_t i = 0; i < n; ++i) {
+        s.items.push_back(static_cast<ItemId>(rng() % 10 + 1));
+      }
+      std::sort(s.items.begin(), s.items.end());
+      s.items.erase(std::unique(s.items.begin(), s.items.end()),
+                    s.items.end());
+      return s;
+    };
+    PivotSet u = random_set();
+    PivotSet q = random_set();
+    EXPECT_EQ(PivotMerge(u, q), PivotMerge(q, u));
+  }
+}
+
+TEST(PivotMergeTest, Associative) {
+  std::mt19937_64 rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto random_set = [&]() {
+      PivotSet s;
+      s.has_eps = rng() % 3 == 0;
+      size_t n = 1 + rng() % 3;
+      for (size_t i = 0; i < n; ++i) {
+        s.items.push_back(static_cast<ItemId>(rng() % 10 + 1));
+      }
+      std::sort(s.items.begin(), s.items.end());
+      s.items.erase(std::unique(s.items.begin(), s.items.end()),
+                    s.items.end());
+      return s;
+    };
+    PivotSet a = random_set();
+    PivotSet b = random_set();
+    PivotSet c = random_set();
+    EXPECT_EQ(PivotMerge(PivotMerge(a, b), c), PivotMerge(a, PivotMerge(b, c)));
+  }
+}
+
+// Theorem 1 brute-force check: pivots via ⊕ equal the max items of the
+// Cartesian product of random output-set lists.
+TEST(PivotMergeTest, Theorem1AgainstBruteForce) {
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t run_len = 1 + rng() % 5;
+    std::vector<Sequence> sets(run_len);
+    for (auto& s : sets) {
+      size_t n = rng() % 3;  // may be empty (ε)
+      for (size_t i = 0; i < n; ++i) {
+        s.push_back(static_cast<ItemId>(rng() % 8 + 1));
+      }
+      std::sort(s.begin(), s.end());
+      s.erase(std::unique(s.begin(), s.end()), s.end());
+    }
+    // Brute force: expand the Cartesian product (ε sets contribute nothing).
+    std::vector<Sequence> partial = {{}};
+    for (const Sequence& s : sets) {
+      if (s.empty()) continue;
+      std::vector<Sequence> next;
+      for (const Sequence& p : partial) {
+        for (ItemId w : s) {
+          Sequence ext = p;
+          ext.push_back(w);
+          next.push_back(std::move(ext));
+        }
+      }
+      partial = std::move(next);
+    }
+    PivotSet expected;
+    for (const Sequence& cand : partial) {
+      if (cand.empty()) {
+        expected.has_eps = true;
+      } else {
+        expected.items.push_back(PivotItem(cand));
+      }
+    }
+    std::sort(expected.items.begin(), expected.items.end());
+    expected.items.erase(
+        std::unique(expected.items.begin(), expected.items.end()),
+        expected.items.end());
+
+    EXPECT_EQ(PivotsOfOutputSets(sets), expected) << "trial " << trial;
+  }
+}
+
+TEST(PivotSearchTest, RunningExamplePivots) {
+  // Paper Fig. 3 (σ=2): K(T1)={a1,c}, K(T2)={a1} after σ-filter (e is
+  // infrequent), K(T4)=∅ (a2 infrequent), K(T5)={a1}.
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  ItemId a1 = db.dict.ItemByName("a1");
+  ItemId c = db.dict.ItemByName("c");
+  GridOptions options;
+  options.prune_sigma = 2;
+
+  auto pivots = [&](size_t i) {
+    StateGrid grid = StateGrid::Build(db.sequences[i], fst, db.dict, options);
+    return FindPivotItems(grid);
+  };
+  EXPECT_EQ(pivots(0), (Sequence{a1, c}));
+  EXPECT_EQ(pivots(1), (Sequence{a1}));
+  EXPECT_EQ(pivots(2), Sequence{});
+  EXPECT_EQ(pivots(3), Sequence{});
+  EXPECT_EQ(pivots(4), (Sequence{a1}));
+}
+
+TEST(PivotSearchTest, UnfilteredPivotsOfT2) {
+  // Without σ-filtering, K(T2) = {a1, e} (paper Fig. 5b).
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  StateGrid grid = StateGrid::Build(db.sequences[1], fst, db.dict, {});
+  EXPECT_EQ(FindPivotItems(grid),
+            (Sequence{db.dict.ItemByName("a1"), db.dict.ItemByName("e")}));
+}
+
+// Property: grid pivot search == pivots of brute-force candidates, for many
+// random databases and patterns.
+class PivotPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(PivotPropertyTest, GridMatchesBruteForce) {
+  auto [seed, pattern] = GetParam();
+  SequenceDatabase db = testing::RandomDatabase(seed, 8, 30, 8);
+  Fst fst = CompileFst(pattern, db.dict);
+  for (uint64_t sigma : {1, 2, 4}) {
+    GridOptions options;
+    options.prune_sigma = sigma;
+    for (const Sequence& T : db.sequences) {
+      StateGrid grid = StateGrid::Build(T, fst, db.dict, options);
+      Sequence via_grid = FindPivotItems(grid);
+
+      std::vector<Sequence> candidates;
+      ASSERT_TRUE(EnumerateCandidates(grid, 1'000'000, &candidates));
+      Sequence expected;
+      for (const Sequence& s : candidates) expected.push_back(PivotItem(s));
+      std::sort(expected.begin(), expected.end());
+      expected.erase(std::unique(expected.begin(), expected.end()),
+                     expected.end());
+
+      EXPECT_EQ(via_grid, expected) << "sigma=" << sigma;
+
+      // The no-grid ablation must agree as well.
+      Sequence via_nogrid;
+      ASSERT_TRUE(FindPivotItemsNoGrid(T, fst, db.dict, sigma, 100'000'000,
+                                       &via_nogrid));
+      EXPECT_EQ(via_nogrid, expected) << "sigma=" << sigma << " (no grid)";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedPivots, PivotPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::ValuesIn(testing::PropertyPatterns())));
+
+}  // namespace
+}  // namespace dseq

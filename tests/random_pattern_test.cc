@@ -1,0 +1,163 @@
+// Fuzz-style property tests: generate random pattern expression ASTs,
+// round-trip them through the parser, and cross-check DESQ-DFS, D-SEQ and
+// D-CAND against the brute-force oracle on random databases.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/desq_dfs.h"
+#include "src/dist/dcand_miner.h"
+#include "src/dist/dseq_miner.h"
+#include "src/fst/compiler.h"
+#include "src/patex/parser.h"
+#include "tests/test_util.h"
+
+namespace dseq {
+namespace {
+
+// Generates a random pattern expression over items i0..i{num_items-1}.
+// Depth-bounded so FSTs stay small and brute-force enumeration feasible.
+class PatternGenerator {
+ public:
+  PatternGenerator(uint64_t seed, size_t num_items)
+      : rng_(seed), num_items_(num_items) {}
+
+  std::unique_ptr<PatEx> Generate() {
+    // Ensure at least one capture somewhere: retry until the pattern can
+    // produce output.
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      captures_ = 0;
+      auto ast = Node(/*depth=*/0, /*captured=*/false);
+      if (captures_ > 0) return ast;
+    }
+    // Fall back to a guaranteed-capture pattern.
+    std::vector<std::unique_ptr<PatEx>> parts;
+    parts.push_back(Star());
+    parts.push_back(PatEx::Capture(PatEx::Dot(false)));
+    parts.push_back(Star());
+    return PatEx::Concat(std::move(parts));
+  }
+
+ private:
+  std::unique_ptr<PatEx> Star() {
+    return PatEx::Repeat(PatEx::Dot(false), 0, -1);
+  }
+
+  std::unique_ptr<PatEx> Leaf(bool captured) {
+    switch (rng_() % 4) {
+      case 0:
+        return PatEx::Dot(rng_() % 2 == 0);
+      default: {
+        std::string name = "i" + std::to_string(rng_() % num_items_);
+        bool gen = rng_() % 2 == 0;
+        bool exact = rng_() % 3 == 0;
+        (void)captured;
+        return PatEx::Item(name, gen, exact);
+      }
+    }
+  }
+
+  std::unique_ptr<PatEx> Node(int depth, bool captured) {
+    int choice = depth >= 3 ? 0 : static_cast<int>(rng_() % 10);
+    switch (choice) {
+      case 1: case 2: {  // concat of 2-3 nodes
+        std::vector<std::unique_ptr<PatEx>> parts;
+        size_t n = 2 + rng_() % 2;
+        for (size_t i = 0; i < n; ++i) {
+          parts.push_back(Node(depth + 1, captured));
+        }
+        return PatEx::Concat(std::move(parts));
+      }
+      case 3: {  // alternation
+        std::vector<std::unique_ptr<PatEx>> alts;
+        size_t n = 2 + rng_() % 2;
+        for (size_t i = 0; i < n; ++i) {
+          alts.push_back(Node(depth + 1, captured));
+        }
+        return PatEx::Alt(std::move(alts));
+      }
+      case 4: {  // bounded repeat
+        int lo = static_cast<int>(rng_() % 2);
+        int hi = lo + 1 + static_cast<int>(rng_() % 2);
+        return PatEx::Repeat(Node(depth + 1, captured), lo, hi);
+      }
+      case 5:  // optional
+        return PatEx::Repeat(Node(depth + 1, captured), 0, 1);
+      case 6: {  // unbounded star (kept small: dot body only)
+        return Star();
+      }
+      case 7: case 8: {  // capture
+        if (!captured) {
+          ++captures_;
+          return PatEx::Capture(Node(depth + 1, /*captured=*/true));
+        }
+        return Node(depth + 1, captured);
+      }
+      default:
+        if (captured) ++captures_;  // leaves inside captures emit output
+        return Leaf(captured);
+    }
+  }
+
+  std::mt19937_64 rng_;
+  size_t num_items_;
+  int captures_ = 0;
+};
+
+class RandomPatternTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPatternTest, AllMinersMatchBruteForce) {
+  int seed = GetParam();
+  SequenceDatabase db = testing::RandomDatabase(seed * 131 + 7, 6, 30, 7);
+  PatternGenerator generator(seed * 977 + 13, 6);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    auto ast = generator.Generate();
+    std::string text = ast->ToString();
+
+    // Parser round-trip must reproduce the same structure.
+    auto reparsed = ParsePatEx(text);
+    ASSERT_EQ(reparsed->ToString(), text) << text;
+
+    Fst fst;
+    try {
+      fst = CompileFst(*ast, db.dict);
+    } catch (const FstCompileError&) {
+      continue;  // e.g. pattern references only expansion-bounded repeats
+    }
+
+    for (uint64_t sigma : {1, 3}) {
+      MiningResult expected =
+          testing::BruteForceMine(db.sequences, fst, db.dict, sigma);
+
+      DesqDfsOptions dfs_options;
+      dfs_options.sigma = sigma;
+      EXPECT_EQ(MineDesqDfs(db.sequences, fst, db.dict, dfs_options),
+                expected)
+          << "DESQ-DFS, pattern " << text << " sigma " << sigma;
+
+      DSeqOptions dseq_options;
+      dseq_options.sigma = sigma;
+      dseq_options.num_map_workers = 2;
+      dseq_options.num_reduce_workers = 2;
+      EXPECT_EQ(MineDSeq(db.sequences, fst, db.dict, dseq_options).patterns,
+                expected)
+          << "D-SEQ, pattern " << text << " sigma " << sigma;
+
+      DCandOptions dcand_options;
+      dcand_options.sigma = sigma;
+      dcand_options.num_map_workers = 2;
+      dcand_options.num_reduce_workers = 2;
+      EXPECT_EQ(
+          MineDCand(db.sequences, fst, db.dict, dcand_options).patterns,
+          expected)
+          << "D-CAND, pattern " << text << " sigma " << sigma;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomPatternTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace dseq

@@ -1,0 +1,110 @@
+#include "src/dist/dseq_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/desq_dfs.h"
+#include "src/core/pivot.h"
+#include "src/dict/sequence.h"
+#include "src/fst/compiler.h"
+#include "tests/test_util.h"
+
+namespace dseq {
+namespace {
+
+constexpr char kPatternEx[] = ".*(A)[(.^).*]*(b).*";
+
+TEST(RewriteTest, PaperExampleT2ForPivotA1) {
+  // Paper Sec. V-B: for pivot a1, the two leading e's of T2 are irrelevant,
+  // so ρa1(T2) = a1ea1eb.
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  GridOptions options;
+  options.prune_sigma = 2;
+  const Sequence& T2 = db.sequences[1];
+  StateGrid grid = StateGrid::Build(T2, fst, db.dict, options);
+  ASSERT_TRUE(grid.HasAcceptingRun());
+  Sequence rewritten = RewriteForPivot(T2, grid, db.dict.ItemByName("a1"));
+  EXPECT_EQ(db.FormatSequence(rewritten), "a1 e a1 e b");
+}
+
+TEST(RewriteTest, NoTrimWhenEverythingRelevant) {
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  GridOptions options;
+  options.prune_sigma = 2;
+  const Sequence& T5 = db.sequences[4];  // a1 a1 b
+  StateGrid grid = StateGrid::Build(T5, fst, db.dict, options);
+  Sequence rewritten = RewriteForPivot(T5, grid, db.dict.ItemByName("a1"));
+  EXPECT_EQ(rewritten, T5);
+}
+
+TEST(RewriteTest, RewrittenNeverLongerThanInput) {
+  SequenceDatabase db = testing::RandomDatabase(77, 8, 50, 10);
+  Fst fst = CompileFst(".*(i0)[(.^).*]*(i1).*", db.dict);
+  GridOptions options;
+  options.prune_sigma = 2;
+  for (const Sequence& T : db.sequences) {
+    StateGrid grid = StateGrid::Build(T, fst, db.dict, options);
+    if (!grid.HasAcceptingRun()) continue;
+    for (ItemId k : FindPivotItems(grid)) {
+      Sequence rewritten = RewriteForPivot(T, grid, k);
+      EXPECT_LE(rewritten.size(), T.size());
+      EXPECT_FALSE(rewritten.empty());
+    }
+  }
+}
+
+// Core soundness property (paper Sec. V-B): for every pivot k of T, mining
+// ρk(T) restricted to pivot k produces exactly the pivot-k candidates of T.
+class RewritePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(RewritePropertyTest, RewritePreservesPivotCandidates) {
+  auto [seed, pattern] = GetParam();
+  SequenceDatabase db = testing::RandomDatabase(seed + 500, 8, 40, 9);
+  Fst fst = CompileFst(pattern, db.dict);
+  for (uint64_t sigma : {1, 2}) {
+    GridOptions options;
+    options.prune_sigma = sigma;
+    for (const Sequence& T : db.sequences) {
+      StateGrid grid = StateGrid::Build(T, fst, db.dict, options);
+      if (!grid.HasAcceptingRun()) continue;
+
+      std::vector<Sequence> candidates;
+      ASSERT_TRUE(EnumerateCandidates(grid, 1'000'000, &candidates));
+
+      for (ItemId k : FindPivotItems(grid)) {
+        // Expected: pivot-k candidates of the original sequence.
+        std::vector<Sequence> expected;
+        for (const Sequence& s : candidates) {
+          if (PivotItem(s) == k) expected.push_back(s);
+        }
+        std::sort(expected.begin(), expected.end());
+
+        // Actual: pivot-k candidates of the rewritten sequence.
+        Sequence rewritten = RewriteForPivot(T, grid, k);
+        StateGrid regrid = StateGrid::Build(rewritten, fst, db.dict, options);
+        std::vector<Sequence> recand;
+        ASSERT_TRUE(EnumerateCandidates(regrid, 1'000'000, &recand));
+        std::vector<Sequence> actual;
+        for (const Sequence& s : recand) {
+          if (PivotItem(s) == k) actual.push_back(s);
+        }
+        std::sort(actual.begin(), actual.end());
+
+        EXPECT_EQ(actual, expected)
+            << "pattern=" << pattern << " sigma=" << sigma << " pivot=" << k
+            << " T=" << db.FormatSequence(T)
+            << " rewritten=" << db.FormatSequence(rewritten);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedRewrites, RewritePropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::ValuesIn(testing::PropertyPatterns())));
+
+}  // namespace
+}  // namespace dseq

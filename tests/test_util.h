@@ -1,0 +1,125 @@
+// Shared helpers for dseq tests: random databases, a brute-force reference
+// miner, and result formatting.
+#ifndef DSEQ_TESTS_TEST_UTIL_H_
+#define DSEQ_TESTS_TEST_UTIL_H_
+
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/candidates.h"
+#include "src/core/grid.h"
+#include "src/core/mining.h"
+#include "src/dict/sequence.h"
+#include "src/fst/compiler.h"
+
+namespace dseq {
+namespace testing {
+
+/// Builds a random sequence database over `num_items` items named
+/// "i0".."iN" with a random DAG hierarchy (parents always have smaller
+/// insertion index, so the hierarchy is acyclic), recoded by frequency.
+inline SequenceDatabase RandomDatabase(uint64_t seed, size_t num_items,
+                                       size_t num_sequences, size_t max_length) {
+  std::mt19937_64 rng(seed);
+  DictionaryBuilder builder;
+  std::vector<ItemId> items;
+  for (size_t i = 0; i < num_items; ++i) {
+    items.push_back(builder.AddItem("i" + std::to_string(i)));
+  }
+  for (size_t i = 1; i < num_items; ++i) {
+    size_t num_parents = rng() % 3;  // 0, 1, or 2 parents
+    for (size_t p = 0; p < num_parents; ++p) {
+      builder.AddParent(items[i], items[rng() % i]);
+    }
+  }
+  SequenceDatabase db;
+  db.dict = builder.Build();
+  for (size_t s = 0; s < num_sequences; ++s) {
+    size_t len = 1 + rng() % max_length;
+    Sequence seq;
+    for (size_t j = 0; j < len; ++j) {
+      seq.push_back(items[rng() % num_items]);
+    }
+    db.sequences.push_back(std::move(seq));
+  }
+  db.Recode();
+  return db;
+}
+
+/// Brute-force reference miner: enumerates Gσπ(T) per sequence via the grid
+/// and counts distinct-sequence support. Independent of the pattern-growth
+/// code paths.
+inline MiningResult BruteForceMine(const std::vector<Sequence>& db,
+                                   const Fst& fst, const Dictionary& dict,
+                                   uint64_t sigma) {
+  struct SeqHash {
+    size_t operator()(const Sequence& s) const {
+      size_t h = 1469598103934665603ULL;
+      for (ItemId w : s) h = (h ^ w) * 1099511628211ULL;
+      return h;
+    }
+  };
+  std::unordered_map<Sequence, uint64_t, SeqHash> counts;
+  GridOptions options;
+  options.prune_sigma = sigma;
+  for (const Sequence& T : db) {
+    StateGrid grid = StateGrid::Build(T, fst, dict, options);
+    if (!grid.HasAcceptingRun()) continue;
+    std::vector<Sequence> candidates;
+    EnumerateCandidates(grid, 10'000'000, &candidates);
+    for (const Sequence& s : candidates) counts[s] += 1;
+  }
+  MiningResult result;
+  for (auto& [pattern, count] : counts) {
+    if (count >= sigma) result.push_back(PatternCount{pattern, count});
+  }
+  Canonicalize(&result);
+  return result;
+}
+
+/// Formats a mining result for readable gtest failure messages.
+inline std::string Format(const MiningResult& result,
+                          const Dictionary& dict) {
+  std::string out;
+  for (const PatternCount& pc : result) {
+    for (size_t i = 0; i < pc.pattern.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += dict.Name(pc.pattern[i]);
+    }
+    out += ":" + std::to_string(pc.frequency) + "\n";
+  }
+  return out;
+}
+
+/// Pattern expressions exercising captures, hierarchies, generalizations,
+/// alternation, bounded gaps, and anchored/unanchored forms over items
+/// i0..i5 (valid for RandomDatabase with num_items >= 6).
+inline std::vector<std::string> PropertyPatterns() {
+  return {
+      ".*(i0).*",
+      ".*(.^).*",
+      ".*(.)[.*(.)]{0,2}.*",
+      ".*(.^)[.{0,1}(.^)]{1,2}.*",
+      ".*(i0)[(.^).*]*(i1).*",
+      ".*[(i0)|(i1^)].*",
+      "[.*(i0).*]|[.*(i1)(i2).*]",
+      ".*(i0=)(.).*",
+      ".*(i0^=)(i1?).*",
+      "(.^){2}.*",
+      ".*(i2^)[.{0,2}(i2^)]{1,3}.*",
+      "(i0|i1|i2)(.*)",
+      ".*((i0)|(i1^))(i2?).*",
+      ".*[(i0)(i1)]{1,2}.*",
+      ".*(i3)[(i4^)|.]*(i5).*",
+      "[.{1,3}](i0^).*",
+      ".*(i0^=)[.*(i1^=)]{0,2}.*",
+      "(.)(.).*",
+  };
+}
+
+}  // namespace testing
+}  // namespace dseq
+
+#endif  // DSEQ_TESTS_TEST_UTIL_H_

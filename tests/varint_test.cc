@@ -1,0 +1,135 @@
+#include "src/util/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+namespace dseq {
+namespace {
+
+TEST(VarintTest, RoundTripSmallValues) {
+  for (uint64_t v = 0; v < 300; ++v) {
+    std::string buf;
+    PutVarint(&buf, v);
+    size_t pos = 0;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint(buf, &pos, &decoded));
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, RoundTripBoundaryValues) {
+  const uint64_t values[] = {0,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ULL << 32) - 1,
+                             1ULL << 32,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint(&buf, v);
+    size_t pos = 0;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint(buf, &pos, &decoded)) << v;
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(VarintTest, SmallValuesUseOneByte) {
+  std::string buf;
+  PutVarint(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint(&buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint(&buf, 1ULL << 40);
+  buf.pop_back();
+  size_t pos = 0;
+  uint64_t decoded = 0;
+  EXPECT_FALSE(GetVarint(buf, &pos, &decoded));
+}
+
+TEST(VarintTest, MultipleValuesInSequence) {
+  std::string buf;
+  for (uint64_t v = 0; v < 100; ++v) PutVarint(&buf, v * v * 1000);
+  size_t pos = 0;
+  for (uint64_t v = 0; v < 100; ++v) {
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint(buf, &pos, &decoded));
+    EXPECT_EQ(decoded, v * v * 1000);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(ZigzagTest, RoundTrip) {
+  const int64_t values[] = {0, 1, -1, 2, -2, 1000, -1000,
+                            std::numeric_limits<int64_t>::max(),
+                            std::numeric_limits<int64_t>::min()};
+  for (int64_t v : values) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+}
+
+TEST(ZigzagTest, SmallMagnitudesEncodeSmall) {
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+}
+
+TEST(SequenceCodingTest, RoundTripEmpty) {
+  std::string buf;
+  PutSequence(&buf, {});
+  size_t pos = 0;
+  Sequence decoded;
+  ASSERT_TRUE(GetSequence(buf, &pos, &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(SequenceCodingTest, RoundTripRandom) {
+  std::mt19937_64 rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    Sequence seq;
+    size_t len = rng() % 200;
+    for (size_t i = 0; i < len; ++i) {
+      seq.push_back(static_cast<ItemId>(rng() % 100'000 + 1));
+    }
+    std::string buf;
+    PutSequence(&buf, seq);
+    size_t pos = 0;
+    Sequence decoded;
+    ASSERT_TRUE(GetSequence(buf, &pos, &decoded));
+    EXPECT_EQ(decoded, seq);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(SequenceCodingTest, DeltaCodingIsCompactForSortedRuns) {
+  Sequence seq;
+  for (ItemId w = 1000; w < 1100; ++w) seq.push_back(w);
+  std::string buf;
+  PutSequence(&buf, seq);
+  // 100 deltas of 1 (zigzag 2) = 1 byte each + first item + length.
+  EXPECT_LE(buf.size(), 110u);
+}
+
+TEST(SequenceCodingTest, TruncatedSequenceFails) {
+  Sequence seq = {5, 10, 15};
+  std::string buf;
+  PutSequence(&buf, seq);
+  buf.pop_back();
+  size_t pos = 0;
+  Sequence decoded;
+  EXPECT_FALSE(GetSequence(buf, &pos, &decoded));
+}
+
+}  // namespace
+}  // namespace dseq

@@ -1,0 +1,175 @@
+// dseq command-line miner.
+//
+// Reads a sequence database from text files, compiles a pattern expression,
+// and mines frequent subsequences with a selectable algorithm:
+//
+//   dseq_cli --sequences corpus.txt [--hierarchy edges.txt]
+//            --pattern '.*(A)[(.^).*]*(b).*' --sigma 2
+//            [--algorithm dseq|dcand|naive|semi-naive|desq-dfs|desq-count]
+//            [--workers N] [--limit N] [--stats]
+//
+// Input format: one sequence per line, whitespace-separated item names; the
+// hierarchy file has one "child parent" pair per line. Output: one frequent
+// sequence per line with its frequency, ordered by decreasing frequency.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/desq_count.h"
+#include "src/core/desq_dfs.h"
+#include "src/dist/dcand_miner.h"
+#include "src/dist/dseq_miner.h"
+#include "src/dist/naive.h"
+#include "src/fst/compiler.h"
+#include "src/io/dataset_io.h"
+#include "src/util/thread_pool.h"
+
+namespace {
+
+struct Args {
+  std::string sequences;
+  std::string hierarchy;
+  std::string pattern;
+  std::string algorithm = "dseq";
+  uint64_t sigma = 2;
+  int workers = 0;  // 0 = hardware default
+  size_t limit = 0;  // 0 = print all
+  bool stats = false;
+};
+
+[[noreturn]] void Usage(const char* message) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
+  std::fprintf(
+      stderr,
+      "usage: dseq_cli --sequences FILE --pattern EXPR [options]\n"
+      "  --sequences FILE   one sequence per line, item names\n"
+      "  --hierarchy FILE   'child parent' lines (optional)\n"
+      "  --pattern EXPR     pattern expression ('^' is the paper's ^)\n"
+      "  --sigma N          minimum support (default 2)\n"
+      "  --algorithm A      dseq | dcand | naive | semi-naive |\n"
+      "                     desq-dfs | desq-count (default dseq)\n"
+      "  --workers N        map/reduce workers (default: hardware)\n"
+      "  --limit N          print at most N sequences (default: all)\n"
+      "  --stats            print dataset and run statistics to stderr\n");
+  std::exit(2);
+}
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        Usage((std::string(flag) + " requires a value").c_str());
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--sequences") == 0) {
+      args.sequences = need_value("--sequences");
+    } else if (std::strcmp(argv[i], "--hierarchy") == 0) {
+      args.hierarchy = need_value("--hierarchy");
+    } else if (std::strcmp(argv[i], "--pattern") == 0) {
+      args.pattern = need_value("--pattern");
+    } else if (std::strcmp(argv[i], "--sigma") == 0) {
+      args.sigma = std::strtoull(need_value("--sigma"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--algorithm") == 0) {
+      args.algorithm = need_value("--algorithm");
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      args.workers = static_cast<int>(
+          std::strtol(need_value("--workers"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--limit") == 0) {
+      args.limit = std::strtoull(need_value("--limit"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      args.stats = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage(nullptr);
+    } else {
+      Usage((std::string("unknown flag: ") + argv[i]).c_str());
+    }
+  }
+  if (args.sequences.empty()) Usage("--sequences is required");
+  if (args.pattern.empty()) Usage("--pattern is required");
+  if (args.sigma == 0) Usage("--sigma must be positive");
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dseq;
+  Args args = ParseArgs(argc, argv);
+  int workers = args.workers > 0 ? args.workers : DefaultWorkers();
+
+  try {
+    SequenceDatabase db =
+        ReadTextDatabaseFromFiles(args.sequences, args.hierarchy);
+    if (args.stats) {
+      std::fprintf(stderr,
+                   "database: %zu sequences, %zu items, mean length %.1f\n",
+                   db.size(), db.dict.size(), db.MeanSequenceLength());
+    }
+    Fst fst = CompileFst(args.pattern, db.dict);
+    if (args.stats) {
+      std::fprintf(stderr, "fst: %zu states, %zu transitions\n",
+                   fst.num_states(), fst.num_transitions());
+    }
+
+    MiningResult patterns;
+    if (args.algorithm == "dseq") {
+      DSeqOptions options;
+      options.sigma = args.sigma;
+      options.num_map_workers = workers;
+      options.num_reduce_workers = workers;
+      patterns = MineDSeq(db.sequences, fst, db.dict, options).patterns;
+    } else if (args.algorithm == "dcand") {
+      DCandOptions options;
+      options.sigma = args.sigma;
+      options.num_map_workers = workers;
+      options.num_reduce_workers = workers;
+      patterns = MineDCand(db.sequences, fst, db.dict, options).patterns;
+    } else if (args.algorithm == "naive" || args.algorithm == "semi-naive") {
+      NaiveOptions options;
+      options.sigma = args.sigma;
+      options.semi_naive = args.algorithm == "semi-naive";
+      options.num_map_workers = workers;
+      options.num_reduce_workers = workers;
+      patterns = MineNaive(db.sequences, fst, db.dict, options).patterns;
+    } else if (args.algorithm == "desq-dfs") {
+      DesqDfsOptions options;
+      options.sigma = args.sigma;
+      patterns = MineDesqDfs(db.sequences, fst, db.dict, options);
+    } else if (args.algorithm == "desq-count") {
+      DesqCountOptions options;
+      options.sigma = args.sigma;
+      options.num_workers = workers;
+      patterns = MineDesqCount(db.sequences, fst, db.dict, options);
+    } else {
+      Usage(("unknown algorithm: " + args.algorithm).c_str());
+    }
+
+    std::sort(patterns.begin(), patterns.end(),
+              [](const PatternCount& a, const PatternCount& b) {
+                if (a.frequency != b.frequency) {
+                  return a.frequency > b.frequency;
+                }
+                return a.pattern < b.pattern;
+              });
+    size_t shown = 0;
+    for (const PatternCount& pc : patterns) {
+      if (args.limit > 0 && shown >= args.limit) break;
+      std::printf("%llu\t%s\n",
+                  static_cast<unsigned long long>(pc.frequency),
+                  db.FormatSequence(pc.pattern).c_str());
+      ++shown;
+    }
+    if (args.stats) {
+      std::fprintf(stderr, "frequent sequences: %zu (printed %zu)\n",
+                   patterns.size(), shown);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
