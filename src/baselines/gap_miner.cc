@@ -134,7 +134,6 @@ class LocalGapMiner {
 DistributedResult MineGapConstrained(const std::vector<Sequence>& db,
                                      const Dictionary& dict,
                                      const GapMinerOptions& options) {
-  DistributedResult result;
   uint32_t reach = (options.gamma + 1) * (options.lambda - 1);
 
   MapFn map_fn = [&](size_t index, const EmitFn& emit) {
@@ -179,10 +178,9 @@ DistributedResult MineGapConstrained(const std::vector<Sequence>& db,
     }
   };
 
-  std::vector<MiningResult> per_worker(
-      std::max(1, options.num_reduce_workers));
-  ReduceFn reduce_fn = [&](int worker, const std::string& key,
-                           std::vector<std::string>& values) {
+  PartitionReduceFn reduce_fn = [&](const std::string& key,
+                                    std::vector<std::string>& values,
+                                    MiningResult& out) {
     ItemId pivot = DecodePivotKey(key);
     std::vector<Sequence> sequences;
     sequences.reserve(values.size());
@@ -195,26 +193,11 @@ DistributedResult MineGapConstrained(const std::vector<Sequence>& db,
     MiningResult local;
     LocalGapMiner miner(sequences, dict, options, pivot, &local);
     miner.Run();
-    MiningResult& out = per_worker[worker];
     out.insert(out.end(), std::make_move_iterator(local.begin()),
                std::make_move_iterator(local.end()));
   };
 
-  DataflowOptions dataflow_options;
-  dataflow_options.num_map_workers = options.num_map_workers;
-  dataflow_options.num_reduce_workers = options.num_reduce_workers;
-  dataflow_options.execution = options.execution;
-  dataflow_options.shuffle_budget_bytes = options.shuffle_budget_bytes;
-
-  result.metrics =
-      RunMapReduce(db.size(), map_fn, nullptr, reduce_fn, dataflow_options);
-  for (auto& part : per_worker) {
-    result.patterns.insert(result.patterns.end(),
-                           std::make_move_iterator(part.begin()),
-                           std::make_move_iterator(part.end()));
-  }
-  Canonicalize(&result.patterns);
-  return result;
+  return RunDistributedMining(db.size(), map_fn, nullptr, reduce_fn, options);
 }
 
 }  // namespace dseq

@@ -18,16 +18,12 @@
 
 namespace dseq {
 
-struct GapMinerOptions {
+struct GapMinerOptions : DistributedRunOptions {
   uint64_t sigma = 1;
   uint32_t gamma = 0;   // max gap between consecutive picked positions
   uint32_t lambda = 5;  // max output length
   uint32_t min_length = 2;
   bool use_hierarchy = true;  // LASH (T3) if true, MG-FSM (T2) if false
-  int num_map_workers = 1;
-  int num_reduce_workers = 1;
-  Execution execution = Execution::kThreads;
-  uint64_t shuffle_budget_bytes = 0;
 };
 
 /// Runs the specialized miner. Result patterns are canonicalized and agree

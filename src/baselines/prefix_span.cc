@@ -59,8 +59,6 @@ class LocalPrefixSpan {
 DistributedResult MinePrefixSpan(const std::vector<Sequence>& db,
                                  const Dictionary& dict,
                                  const PrefixSpanOptions& options) {
-  DistributedResult result;
-
   MapFn map_fn = [&](size_t index, const EmitFn& emit) {
     const Sequence& T = db[index];
     // First occurrence of each frequent item; emit the projected suffix.
@@ -76,13 +74,11 @@ DistributedResult MinePrefixSpan(const std::vector<Sequence>& db,
     }
   };
 
-  std::vector<MiningResult> per_worker(
-      std::max(1, options.num_reduce_workers));
-  ReduceFn reduce_fn = [&](int worker, const std::string& key,
-                           std::vector<std::string>& values) {
+  PartitionReduceFn reduce_fn = [&](const std::string& key,
+                                    std::vector<std::string>& values,
+                                    MiningResult& out) {
     ItemId w = DecodePivotKey(key);
     if (values.size() < options.sigma) return;
-    MiningResult& out = per_worker[worker];
     out.push_back(PatternCount{Sequence{w}, values.size()});
     std::vector<Sequence> suffixes;
     suffixes.reserve(values.size());
@@ -96,21 +92,7 @@ DistributedResult MinePrefixSpan(const std::vector<Sequence>& db,
                     &out);
   };
 
-  DataflowOptions dataflow_options;
-  dataflow_options.num_map_workers = options.num_map_workers;
-  dataflow_options.num_reduce_workers = options.num_reduce_workers;
-  dataflow_options.execution = options.execution;
-  dataflow_options.shuffle_budget_bytes = options.shuffle_budget_bytes;
-
-  result.metrics =
-      RunMapReduce(db.size(), map_fn, nullptr, reduce_fn, dataflow_options);
-  for (auto& part : per_worker) {
-    result.patterns.insert(result.patterns.end(),
-                           std::make_move_iterator(part.begin()),
-                           std::make_move_iterator(part.end()));
-  }
-  Canonicalize(&result.patterns);
-  return result;
+  return RunDistributedMining(db.size(), map_fn, nullptr, reduce_fn, options);
 }
 
 }  // namespace dseq

@@ -14,13 +14,9 @@
 
 namespace dseq {
 
-struct PrefixSpanOptions {
+struct PrefixSpanOptions : DistributedRunOptions {
   uint64_t sigma = 1;
   uint32_t lambda = 5;  // max output length
-  int num_map_workers = 1;
-  int num_reduce_workers = 1;
-  Execution execution = Execution::kThreads;
-  uint64_t shuffle_budget_bytes = 0;
 };
 
 /// Runs distributed PrefixSpan. Results agree with MineDesqDfs on the

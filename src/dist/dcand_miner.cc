@@ -1,0 +1,226 @@
+#include "src/dist/dcand_miner.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "src/core/candidates.h"
+#include "src/core/grid.h"
+#include "src/core/pivot.h"
+#include "src/nfa/serializer.h"
+
+namespace dseq {
+namespace {
+
+// Pattern growth over weighted NFAs: the candidate partition's local miner.
+// Mirrors the DESQ-DFS posting structure with (nfa, state) postings; the
+// NFAs are acyclic, so expansion terminates without position tracking.
+class NfaMiner {
+ public:
+  NfaMiner(const std::vector<OutputNfa>& nfas,
+           const std::vector<uint64_t>& weights, uint64_t sigma, ItemId pivot,
+           MiningResult* out)
+      : nfas_(nfas), weights_(weights), sigma_(sigma), pivot_(pivot),
+        out_(out) {}
+
+  void Run() {
+    std::vector<Posting> roots;
+    for (uint32_t n = 0; n < nfas_.size(); ++n) {
+      if (!nfas_[n].empty()) roots.push_back(Posting{n, 0});
+    }
+    Expand(roots, /*has_pivot=*/false);
+  }
+
+ private:
+  struct Posting {
+    uint32_t nfa;
+    StateId state;
+
+    bool operator<(const Posting& o) const {
+      if (nfa != o.nfa) return nfa < o.nfa;
+      return state < o.state;
+    }
+    bool operator==(const Posting& o) const {
+      return nfa == o.nfa && state == o.state;
+    }
+  };
+
+  // Total weight of distinct NFAs in the postings: an upper bound on the
+  // support of the prefix and all of its extensions.
+  uint64_t PotentialSupport(const std::vector<Posting>& postings) const {
+    uint64_t total = 0;
+    uint32_t prev = UINT32_MAX;
+    for (const Posting& p : postings) {
+      if (p.nfa != prev) {
+        total += weights_[p.nfa];
+        prev = p.nfa;
+      }
+    }
+    return total;
+  }
+
+  // Weight of distinct NFAs with a final-state posting: each NFA counts a
+  // candidate once, regardless of how many accepting paths produce it.
+  uint64_t Support(const std::vector<Posting>& postings) const {
+    uint64_t support = 0;
+    uint32_t prev = UINT32_MAX;
+    bool counted = false;
+    for (const Posting& p : postings) {
+      if (p.nfa != prev) {
+        prev = p.nfa;
+        counted = false;
+      }
+      if (counted) continue;
+      if (nfas_[p.nfa].IsFinal(p.state)) {
+        support += weights_[p.nfa];
+        counted = true;
+      }
+    }
+    return support;
+  }
+
+  void Expand(const std::vector<Posting>& postings, bool has_pivot) {
+    if (PotentialSupport(postings) < sigma_) return;
+    if (!prefix_.empty() && has_pivot) {
+      uint64_t support = Support(postings);
+      if (support >= sigma_) {
+        out_->push_back(PatternCount{prefix_, support});
+      }
+    }
+
+    std::map<ItemId, std::vector<Posting>> children;
+    for (const Posting& p : postings) {
+      const OutputNfa& nfa = nfas_[p.nfa];
+      for (const OutputNfa::Edge& e : nfa.EdgesOf(p.state)) {
+        for (ItemId w : nfa.Label(e.label)) {
+          if (w > pivot_) continue;
+          children[w].push_back(Posting{p.nfa, e.target});
+        }
+      }
+    }
+    for (auto& [w, child] : children) {
+      std::sort(child.begin(), child.end());
+      child.erase(std::unique(child.begin(), child.end()), child.end());
+      prefix_.push_back(w);
+      Expand(child, has_pivot || w == pivot_);
+      prefix_.pop_back();
+    }
+  }
+
+  const std::vector<OutputNfa>& nfas_;
+  const std::vector<uint64_t>& weights_;
+  uint64_t sigma_;
+  ItemId pivot_;
+  MiningResult* out_;
+  Sequence prefix_;
+};
+
+}  // namespace
+
+MiningResult MineNfas(const std::vector<OutputNfa>& nfas,
+                      const std::vector<uint64_t>& weights, uint64_t sigma,
+                      ItemId pivot) {
+  MiningResult result;
+  NfaMiner miner(nfas, weights, sigma, pivot, &result);
+  miner.Run();
+  Canonicalize(&result);
+  return result;
+}
+
+DistributedResult MineDCand(const std::vector<Sequence>& db, const Fst& fst,
+                            const Dictionary& dict,
+                            const DCandOptions& options) {
+  GridOptions grid_options;
+  grid_options.prune_sigma = options.sigma;
+  const uint64_t max_runs =
+      options.max_runs_per_sequence == 0
+          ? std::numeric_limits<uint64_t>::max()
+          : options.max_runs_per_sequence;
+
+  MapFn map_fn = [&](size_t index, const EmitFn& emit) {
+    StateGrid grid = StateGrid::Build(db[index], fst, dict, grid_options);
+    if (!grid.HasAcceptingRun()) return;
+    Sequence pivots = FindPivotItems(grid);
+    if (pivots.empty()) return;
+
+    // One NFA per pivot partition; every accepting run is inserted into the
+    // NFAs of exactly the pivots it can produce (Theorem 1 on its output
+    // sets), with items above the pivot dropped.
+    std::vector<OutputNfa> partition_nfas(pivots.size());
+    std::vector<Sequence> output_sets;
+    uint64_t trie_states = pivots.size();  // every trie starts with its root
+    bool within_budget = ForEachAcceptingRun(
+        grid, max_runs, [&](const std::vector<const StateGrid::Edge*>& run) {
+          output_sets.clear();
+          for (const StateGrid::Edge* e : run) output_sets.push_back(e->out);
+          PivotSet run_pivots = PivotsOfOutputSets(output_sets);
+          for (ItemId k : run_pivots.items) {
+            auto it = std::lower_bound(pivots.begin(), pivots.end(), k);
+            OutputNfa& nfa = partition_nfas[it - pivots.begin()];
+            trie_states -= nfa.num_states();
+            nfa.AddRun(run, k);
+            trie_states += nfa.num_states();
+          }
+          if (options.max_trie_states_per_sequence > 0 &&
+              trie_states > options.max_trie_states_per_sequence) {
+            throw MiningBudgetError(
+                "D-CAND trie construction exceeded its per-sequence state "
+                "budget");
+          }
+        });
+    if (!within_budget) {
+      throw MiningBudgetError(
+          "D-CAND run enumeration exceeded its per-sequence budget");
+    }
+
+    for (size_t i = 0; i < pivots.size(); ++i) {
+      OutputNfa& nfa = partition_nfas[i];
+      if (nfa.empty()) continue;
+      if (options.minimize_nfas) {
+        nfa.Minimize();
+      } else {
+        nfa.Canonicalize();
+      }
+      std::string value;
+      PutVarint(&value, 1);
+      SerializeNfaTo(nfa, &value);
+      emit(EncodePivotKey(pivots[i]), std::move(value));
+    }
+  };
+
+  CombinerFactory combiner_factory;
+  if (options.aggregate_nfas) {
+    combiner_factory = MakeWeightedValueCombiner;
+  }
+
+  PartitionReduceFn reduce_fn = [&](const std::string& key,
+                                    std::vector<std::string>& values,
+                                    MiningResult& out) {
+    ItemId pivot = DecodePivotKey(key);
+    std::vector<OutputNfa> nfas;
+    nfas.reserve(values.size());
+    std::vector<uint64_t> weights;
+    weights.reserve(values.size());
+    for (const std::string& v : values) {
+      size_t pos = 0;
+      uint64_t weight = 0;
+      if (!GetVarint(v, &pos, &weight) || weight == 0) {
+        throw NfaParseError("malformed weighted NFA record");
+      }
+      nfas.push_back(DeserializeNfa(v, &pos));
+      if (pos != v.size()) {
+        throw NfaParseError("trailing bytes after NFA record");
+      }
+      weights.push_back(weight);
+    }
+    MiningResult local = MineNfas(nfas, weights, options.sigma, pivot);
+    out.insert(out.end(), std::make_move_iterator(local.begin()),
+               std::make_move_iterator(local.end()));
+  };
+
+  return RunDistributedMining(db.size(), map_fn, combiner_factory, reduce_fn,
+                              options);
+}
+
+}  // namespace dseq

@@ -1,0 +1,60 @@
+#include "src/dist/distributed.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dseq {
+
+std::string EncodePivotKey(ItemId pivot) {
+  std::string key;
+  PutVarint(&key, pivot);
+  return key;
+}
+
+ItemId DecodePivotKey(const std::string& key) {
+  size_t pos = 0;
+  uint64_t value = 0;
+  if (!GetVarint(key, &pos, &value) || pos != key.size() ||
+      value > std::numeric_limits<ItemId>::max()) {
+    throw std::invalid_argument("malformed pivot partition key");
+  }
+  return static_cast<ItemId>(value);
+}
+
+DistributedResult RunDistributedMining(size_t num_inputs, const MapFn& map_fn,
+                                       const CombinerFactory& combiner_factory,
+                                       const PartitionReduceFn& reduce_fn,
+                                       const DistributedRunOptions& options) {
+  std::vector<MiningResult> per_worker(
+      std::max(1, options.num_reduce_workers));
+  ReduceFn worker_reduce = [&](int worker, const std::string& key,
+                               std::vector<std::string>& values) {
+    reduce_fn(key, values, per_worker[worker]);
+  };
+
+  DataflowOptions dataflow_options;
+  dataflow_options.num_map_workers = options.num_map_workers;
+  dataflow_options.num_reduce_workers = options.num_reduce_workers;
+  dataflow_options.execution = options.execution;
+  dataflow_options.shuffle_budget_bytes = options.shuffle_budget_bytes;
+
+  DistributedResult result;
+  result.metrics = RunMapReduce(num_inputs, map_fn, combiner_factory,
+                                worker_reduce, dataflow_options);
+  for (auto& part : per_worker) {
+    result.patterns.insert(result.patterns.end(),
+                           std::make_move_iterator(part.begin()),
+                           std::make_move_iterator(part.end()));
+  }
+  Canonicalize(&result.patterns);
+  return result;
+}
+
+size_t DistinctSequences(std::vector<Sequence> sequences) {
+  std::sort(sequences.begin(), sequences.end());
+  return static_cast<size_t>(
+      std::unique(sequences.begin(), sequences.end()) - sequences.begin());
+}
+
+}  // namespace dseq

@@ -1,0 +1,70 @@
+// Shared infrastructure of the distributed miners (paper Sec. III).
+//
+// Every distributed algorithm in this library (NAIVE/SEMI-NAIVE, D-SEQ,
+// D-CAND, and the specialized LASH/MG-FSM/PrefixSpan baselines) is one
+// map-shuffle-reduce round over the in-process dataflow engine. This header
+// collects what they all share: the result type (patterns + dataflow
+// metrics), the pivot-partition key coding, and small helpers.
+#ifndef DSEQ_DIST_DISTRIBUTED_H_
+#define DSEQ_DIST_DISTRIBUTED_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/mining.h"
+#include "src/dataflow/engine.h"
+#include "src/util/common.h"
+#include "src/util/varint.h"
+
+namespace dseq {
+
+/// Result of one distributed mining run: the frequent patterns
+/// (canonicalized, sorted by pattern) plus the dataflow metrics of the
+/// map-shuffle-reduce round that produced them.
+struct DistributedResult {
+  MiningResult patterns;
+  DataflowMetrics metrics;
+};
+
+/// Dataflow knobs every distributed miner shares; the per-algorithm
+/// options structs extend this.
+struct DistributedRunOptions {
+  int num_map_workers = 1;
+  int num_reduce_workers = 1;
+  Execution execution = Execution::kThreads;
+  uint64_t shuffle_budget_bytes = 0;
+};
+
+/// Reduce callback of the shared driver: one call per distinct shuffle key,
+/// appending the partition's frequent patterns to `out` (a per-reduce-worker
+/// buffer, so no locking is needed).
+using PartitionReduceFn = std::function<void(
+    const std::string& key, std::vector<std::string>& values,
+    MiningResult& out)>;
+
+/// Shared driver of all distributed miners: runs one map-shuffle-reduce
+/// round, collects per-reduce-worker patterns, and returns the merged,
+/// canonicalized result plus the round's metrics.
+DistributedResult RunDistributedMining(size_t num_inputs, const MapFn& map_fn,
+                                       const CombinerFactory& combiner_factory,
+                                       const PartitionReduceFn& reduce_fn,
+                                       const DistributedRunOptions& options);
+
+/// Encodes an item-partition key (the pivot item) as a shuffle key. Varint
+/// coded so that shuffle-size accounting stays honest for frequent (small
+/// fid) pivots.
+std::string EncodePivotKey(ItemId pivot);
+
+/// Decodes a key written by EncodePivotKey. Throws std::invalid_argument on
+/// malformed keys (they never cross a trust boundary, but the shuffle is
+/// serialized end-to-end and decoding errors should fail loudly).
+ItemId DecodePivotKey(const std::string& key);
+
+/// Number of distinct sequences in `sequences` (order-insensitive). Used for
+/// distinct-sequence support accounting in tests and diagnostics.
+size_t DistinctSequences(std::vector<Sequence> sequences);
+
+}  // namespace dseq
+
+#endif  // DSEQ_DIST_DISTRIBUTED_H_

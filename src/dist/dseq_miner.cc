@@ -1,0 +1,186 @@
+#include "src/dist/dseq_miner.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+namespace dseq {
+
+// --- Sequence rewriting (paper Sec. V-B) -----------------------------------
+//
+// The rewriter trims a prefix and a suffix of T while preserving the set of
+// pivot-k candidate subsequences exactly. A leading position i can be
+// dropped while (a) the grid has an alive ε self-loop on the initial state
+// at layer i (so runs of the trimmed sequence extend back to runs of T by
+// idling in the initial state) and (b) no other alive edge at layer i lies
+// on a run producing a pivot-k candidate (so every pivot-k run of T idles
+// in the initial state through layer i and survives the trim). Trailing
+// positions are symmetric with "ε self-loop on a final state"; additionally
+// the cut layer must not expose new acceptances: every final state that is
+// forward-reachable at the cut must have an ε-only completion in T
+// (otherwise the trimmed sequence would accept a candidate T does not).
+//
+// "Lies on a run producing a pivot-k candidate" is decided with the pivot
+// DPs: the pivots of all candidates of runs through edge e at layer i are
+// K(i, e.from) ⊕ out(e) ⊕ B(i+1, e.to), because ⊕ distributes over the
+// per-coordinate unions the DP tables take.
+
+PivotRewriter::PivotRewriter(const Sequence& T, const StateGrid& grid)
+    : T_(T), grid_(grid) {
+  if (!grid.HasAcceptingRun()) return;
+  fwd_ = ComputeForwardPivots(grid);
+  bwd_ = ComputeBackwardPivots(grid);
+  eps_accept_ = grid.ComputeEpsAcceptTable();
+}
+
+bool PivotRewriter::EdgeProducesPivot(size_t layer,
+                                      const StateGrid::Edge& edge,
+                                      ItemId pivot) const {
+  size_t ns = grid_.num_states();
+  PivotSet through = fwd_[layer * ns + edge.from];
+  if (through.IsEmpty()) return false;
+  if (!edge.out.empty()) {
+    through = PivotMerge(through, PivotSet::Items(edge.out));
+  }
+  through = PivotMerge(through, bwd_[(layer + 1) * ns + edge.to]);
+  return std::binary_search(through.items.begin(), through.items.end(),
+                            pivot);
+}
+
+Sequence PivotRewriter::Rewrite(ItemId pivot) const {
+  size_t n = grid_.length();
+  if (!grid_.HasAcceptingRun() || n == 0) return T_;
+  size_t ns = grid_.num_states();
+  StateId initial = grid_.initial_state();
+
+  // Leading trim.
+  size_t lead = 0;
+  while (lead < n) {
+    bool has_initial_self_loop = false;
+    bool safe = true;
+    for (const StateGrid::Edge& e : grid_.EdgesAt(lead)) {
+      if (e.from == initial && e.to == initial && e.out.empty()) {
+        has_initial_self_loop = true;
+        continue;
+      }
+      if (EdgeProducesPivot(lead, e, pivot)) {
+        safe = false;
+        break;
+      }
+    }
+    if (!safe || !has_initial_self_loop) break;
+    ++lead;
+  }
+
+  // Trailing trim: keep T[lead..cut).
+  size_t cut = n;
+  while (cut > lead + 1) {
+    size_t layer = cut - 1;
+    bool safe = true;
+    for (const StateGrid::Edge& e : grid_.EdgesAt(layer)) {
+      bool final_self_loop =
+          e.from == e.to && e.out.empty() && grid_.IsFinalState(e.from);
+      if (!final_self_loop && EdgeProducesPivot(layer, e, pivot)) {
+        safe = false;
+        break;
+      }
+    }
+    if (!safe) break;
+    // Cut-layer acceptance check: a run of the trimmed sequence ends in any
+    // forward-reachable final state at `layer`; its candidate is one of T's
+    // only if T can finish from there without further output.
+    for (StateId q = 0; q < ns && safe; ++q) {
+      if (!grid_.IsFinalState(q) || !grid_.ForwardActive(layer, q)) continue;
+      if (!grid_.Alive(layer, q) || !eps_accept_[layer * ns + q]) safe = false;
+    }
+    if (!safe) break;
+    --cut;
+  }
+
+  if (lead == 0 && cut == n) return T_;
+  return Sequence(T_.begin() + lead, T_.begin() + cut);
+}
+
+Sequence RewriteForPivot(const Sequence& T, const StateGrid& grid,
+                         ItemId pivot) {
+  return PivotRewriter(T, grid).Rewrite(pivot);
+}
+
+// --- The miner -------------------------------------------------------------
+
+DistributedResult MineDSeq(const std::vector<Sequence>& db, const Fst& fst,
+                           const Dictionary& dict,
+                           const DSeqOptions& options) {
+  GridOptions grid_options;
+  grid_options.prune_sigma = options.sigma;
+
+  MapFn map_fn = [&](size_t index, const EmitFn& emit) {
+    const Sequence& T = db[index];
+    StateGrid grid;
+    Sequence pivots;
+    if (options.use_grid) {
+      grid = StateGrid::Build(T, fst, dict, grid_options);
+      if (!grid.HasAcceptingRun()) return;
+      pivots = FindPivotItems(grid);
+    } else {
+      if (!FindPivotItemsNoGrid(T, fst, dict, options.sigma,
+                                options.nogrid_step_budget, &pivots)) {
+        throw MiningBudgetError(
+            "D-SEQ no-grid pivot search exceeded its step budget");
+      }
+    }
+    if (pivots.empty()) return;
+
+    // Only pay for the rewriting DPs when rewriting is on — the Fig. 10a
+    // "no rewriting" ablation must not include their cost in map time.
+    std::optional<PivotRewriter> rewriter;
+    if (options.rewrite && options.use_grid) rewriter.emplace(T, grid);
+    for (ItemId k : pivots) {
+      std::string value;
+      if (options.aggregate_sequences) PutVarint(&value, 1);
+      PutSequence(&value, rewriter ? rewriter->Rewrite(k) : T);
+      emit(EncodePivotKey(k), std::move(value));
+    }
+  };
+
+  CombinerFactory combiner_factory;
+  if (options.aggregate_sequences) {
+    combiner_factory = MakeWeightedValueCombiner;
+  }
+
+  PartitionReduceFn reduce_fn = [&](const std::string& key,
+                                    std::vector<std::string>& values,
+                                    MiningResult& out) {
+    ItemId pivot = DecodePivotKey(key);
+    std::vector<StateGrid> grids;
+    grids.reserve(values.size());
+    std::vector<uint64_t> weights;
+    weights.reserve(values.size());
+    Sequence seq;
+    for (const std::string& v : values) {
+      size_t pos = 0;
+      uint64_t weight = 1;
+      if (options.aggregate_sequences && !GetVarint(v, &pos, &weight)) {
+        throw std::invalid_argument("malformed weighted shuffle record");
+      }
+      if (!GetSequence(v, &pos, &seq) || pos != v.size()) {
+        throw std::invalid_argument("malformed D-SEQ shuffle record");
+      }
+      grids.push_back(StateGrid::Build(seq, fst, dict, grid_options));
+      weights.push_back(weight);
+    }
+
+    DesqDfsOptions local;
+    local.sigma = options.sigma;
+    local.pivot = pivot;
+    local.early_stop = options.early_stop;
+    MiningResult local_result = MineDesqDfsGrids(grids, weights, local);
+    out.insert(out.end(), std::make_move_iterator(local_result.begin()),
+               std::make_move_iterator(local_result.end()));
+  };
+
+  return RunDistributedMining(db.size(), map_fn, combiner_factory, reduce_fn,
+                              options);
+}
+
+}  // namespace dseq

@@ -1,0 +1,89 @@
+// D-SEQ: distributed mining with sequence-represented partitions (paper
+// Sec. V).
+//
+// One map-shuffle-reduce round:
+//   map    : per input sequence T, build the σ-pruned position–state grid,
+//            find the pivot items K(T) (Theorem 1 DP), and send a rewritten
+//            copy ρk(T) of T to every partition P_k, k ∈ K(T)
+//   shuffle: partitions are keyed by pivot item; an optional combiner
+//            aggregates identical rewritten sequences into weighted ones
+//            (the LASH trick applied to D-SEQ; DESIGN extension)
+//   reduce : each partition runs pivot-restricted DESQ-DFS (Sec. V-C) on its
+//            rewritten sequences and emits the pivot-k frequent patterns
+//
+// Ablation toggles mirror paper Fig. 10a: the grid DP vs naive run
+// enumeration for pivot search, input rewriting, and early stopping.
+#ifndef DSEQ_DIST_DSEQ_MINER_H_
+#define DSEQ_DIST_DSEQ_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/desq_dfs.h"
+#include "src/core/grid.h"
+#include "src/core/pivot.h"
+#include "src/dict/dictionary.h"
+#include "src/dist/distributed.h"
+#include "src/fst/fst.h"
+
+namespace dseq {
+
+struct DSeqOptions : DistributedRunOptions {
+  uint64_t sigma = 1;
+
+  /// Pivot search via the position–state grid DP (Theorem 1). When false,
+  /// pivots are found by naively folding ⊕ over every accepting run (the
+  /// paper's "no grid" ablation, exponential in the worst case).
+  bool use_grid = true;
+
+  /// Rewrite (trim) input sequences per pivot before shuffling (Sec. V-B).
+  /// Only effective with use_grid (the rewriter works on the grid).
+  bool rewrite = true;
+
+  /// Early stopping in the pivot-restricted local miners (Sec. V-C).
+  bool early_stop = true;
+
+  /// D-SEQ aggregation extension: combine identical rewritten sequences into
+  /// weighted sequences in the shuffle.
+  bool aggregate_sequences = false;
+
+  /// Simulation-step budget for the no-grid pivot search; exceeding it
+  /// throws MiningBudgetError (the ablation's OOM/timeout emulation).
+  uint64_t nogrid_step_budget = 1'000'000'000;
+};
+
+/// Per-grid rewriter: precomputes the forward/backward pivot DPs and the
+/// ε-acceptance table once, then rewrites for any number of pivots. Used by
+/// the D-SEQ map phase (one sequence, many pivots).
+class PivotRewriter {
+ public:
+  PivotRewriter(const Sequence& T, const StateGrid& grid);
+
+  /// ρk(T): T with irrelevant leading/trailing positions removed, such that
+  /// the pivot-k candidate subsequences of the rewritten sequence are
+  /// exactly those of T (paper Sec. V-B). Never longer than T.
+  Sequence Rewrite(ItemId pivot) const;
+
+ private:
+  bool EdgeProducesPivot(size_t layer, const StateGrid::Edge& edge,
+                         ItemId pivot) const;
+
+  const Sequence& T_;
+  const StateGrid& grid_;
+  std::vector<PivotSet> fwd_;
+  std::vector<PivotSet> bwd_;
+  std::vector<uint8_t> eps_accept_;
+};
+
+/// One-shot convenience wrapper around PivotRewriter.
+Sequence RewriteForPivot(const Sequence& T, const StateGrid& grid,
+                         ItemId pivot);
+
+/// Runs D-SEQ. `db` must be fid-recoded with `dict`'s frequencies (the state
+/// SequenceDatabase::Recode leaves behind).
+DistributedResult MineDSeq(const std::vector<Sequence>& db, const Fst& fst,
+                           const Dictionary& dict, const DSeqOptions& options);
+
+}  // namespace dseq
+
+#endif  // DSEQ_DIST_DSEQ_MINER_H_

@@ -1,0 +1,68 @@
+#include "src/dist/naive.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "src/core/candidates.h"
+#include "src/core/grid.h"
+
+namespace dseq {
+
+DistributedResult MineNaive(const std::vector<Sequence>& db, const Fst& fst,
+                            const Dictionary& dict,
+                            const NaiveOptions& options) {
+  GridOptions grid_options;
+  // SEMI-NAIVE communicates only candidates made of frequent items; NAIVE
+  // ships the raw candidate space and lets the reducers discard the rest.
+  grid_options.prune_sigma = options.semi_naive ? options.sigma : 0;
+  const size_t budget =
+      options.candidates_per_sequence_budget == 0
+          ? std::numeric_limits<size_t>::max()
+          : static_cast<size_t>(options.candidates_per_sequence_budget);
+
+  MapFn map_fn = [&](size_t index, const EmitFn& emit) {
+    StateGrid grid = StateGrid::Build(db[index], fst, dict, grid_options);
+    if (!grid.HasAcceptingRun()) return;
+    std::vector<Sequence> candidates;
+    if (!EnumerateCandidates(grid, budget, &candidates)) {
+      throw MiningBudgetError(
+          "NAIVE candidate enumeration exceeded its per-sequence budget");
+    }
+    std::string value;
+    PutVarint(&value, 1);
+    // EnumerateCandidates deduplicates, so each candidate counts the input
+    // sequence once (distinct-sequence support).
+    for (const Sequence& candidate : candidates) {
+      std::string key;
+      PutSequence(&key, candidate);
+      emit(std::move(key), value);
+    }
+  };
+
+  PartitionReduceFn reduce_fn = [&](const std::string& key,
+                                    std::vector<std::string>& values,
+                                    MiningResult& out) {
+    uint64_t support = 0;
+    for (const std::string& v : values) {
+      size_t pos = 0;
+      uint64_t count = 0;
+      if (!GetVarint(v, &pos, &count)) {
+        throw std::invalid_argument("malformed NAIVE count record");
+      }
+      support += count;
+    }
+    if (support < options.sigma) return;
+    size_t pos = 0;
+    Sequence pattern;
+    if (!GetSequence(key, &pos, &pattern) || pos != key.size()) {
+      throw std::invalid_argument("malformed NAIVE candidate key");
+    }
+    out.push_back(PatternCount{std::move(pattern), support});
+  };
+
+  return RunDistributedMining(db.size(), map_fn, MakeSumCombiner, reduce_fn,
+                              options);
+}
+
+}  // namespace dseq

@@ -1,0 +1,43 @@
+// NAIVE and SEMI-NAIVE distributed baselines (paper Sec. III-C).
+//
+// Word-count-style candidate shipping: the map phase enumerates each input
+// sequence's candidate subsequences and emits one (candidate, 1) record per
+// distinct candidate; a combiner pre-aggregates counts per map worker and
+// the reduce phase sums distinct-sequence supports and filters by σ.
+//
+// NAIVE enumerates the unpruned Gπ(T); SEMI-NAIVE first removes infrequent
+// items from the FST output sets (grid σ-pruning), so only candidates made
+// of frequent items cross the shuffle — same results, smaller shuffle.
+#ifndef DSEQ_DIST_NAIVE_H_
+#define DSEQ_DIST_NAIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/desq_dfs.h"
+#include "src/dict/dictionary.h"
+#include "src/dist/distributed.h"
+#include "src/fst/fst.h"
+
+namespace dseq {
+
+struct NaiveOptions : DistributedRunOptions {
+  uint64_t sigma = 1;
+
+  /// Prune infrequent items before candidate enumeration (SEMI-NAIVE).
+  bool semi_naive = false;
+
+  /// Per-sequence candidate enumeration budget; exceeding it throws
+  /// MiningBudgetError (candidate explosion = certain OOM at cluster
+  /// scale). 0 = unlimited.
+  uint64_t candidates_per_sequence_budget = 0;
+};
+
+/// Runs NAIVE (or SEMI-NAIVE). `db` must be fid-recoded with `dict`.
+DistributedResult MineNaive(const std::vector<Sequence>& db, const Fst& fst,
+                            const Dictionary& dict,
+                            const NaiveOptions& options);
+
+}  // namespace dseq
+
+#endif  // DSEQ_DIST_NAIVE_H_

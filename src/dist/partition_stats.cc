@@ -1,0 +1,76 @@
+#include "src/dist/partition_stats.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/core/grid.h"
+#include "src/core/pivot.h"
+#include "src/dist/dseq_miner.h"
+#include "src/util/thread_pool.h"
+
+namespace dseq {
+
+std::vector<PartitionStats> ComputePartitionStats(
+    const std::vector<Sequence>& db, const Fst& fst, const Dictionary& dict,
+    uint64_t sigma, int num_workers) {
+  GridOptions grid_options;
+  grid_options.prune_sigma = sigma;
+
+  int workers = std::max(1, num_workers);
+  std::vector<std::map<ItemId, PartitionStats>> per_worker(workers);
+  ParallelShards(db.size(), workers, [&](int w, size_t begin, size_t end) {
+    std::map<ItemId, PartitionStats>& local = per_worker[w];
+    std::string value;
+    for (size_t i = begin; i < end; ++i) {
+      const Sequence& T = db[i];
+      StateGrid grid = StateGrid::Build(T, fst, dict, grid_options);
+      if (!grid.HasAcceptingRun()) continue;
+      Sequence pivots = FindPivotItems(grid);
+      if (pivots.empty()) continue;
+      PivotRewriter rewriter(T, grid);
+      for (ItemId k : pivots) {
+        value.clear();
+        PutSequence(&value, rewriter.Rewrite(k));
+        PartitionStats& stats = local[k];
+        stats.pivot = k;
+        stats.num_sequences += 1;
+        stats.total_bytes += value.size();
+      }
+    }
+  });
+
+  std::map<ItemId, PartitionStats> merged;
+  for (const auto& local : per_worker) {
+    for (const auto& [pivot, stats] : local) {
+      PartitionStats& out = merged[pivot];
+      out.pivot = pivot;
+      out.num_sequences += stats.num_sequences;
+      out.total_bytes += stats.total_bytes;
+    }
+  }
+
+  std::vector<PartitionStats> result;
+  result.reserve(merged.size());
+  for (auto& [pivot, stats] : merged) result.push_back(stats);
+  return result;
+}
+
+BalanceSummary SummarizeBalance(const std::vector<PartitionStats>& stats) {
+  BalanceSummary summary;
+  summary.num_partitions = stats.size();
+  if (stats.empty()) return summary;
+  uint64_t largest = 0;
+  for (const PartitionStats& p : stats) {
+    summary.total_bytes += p.total_bytes;
+    largest = std::max(largest, p.total_bytes);
+  }
+  if (summary.total_bytes == 0) return summary;
+  double mean =
+      static_cast<double>(summary.total_bytes) / summary.num_partitions;
+  summary.max_to_mean_bytes = largest / mean;
+  summary.largest_share =
+      static_cast<double>(largest) / summary.total_bytes;
+  return summary;
+}
+
+}  // namespace dseq

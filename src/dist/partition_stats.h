@@ -1,0 +1,48 @@
+// Partition statistics for item-based partitioning (paper Sec. III-B and
+// Tab. IV discussion).
+//
+// Computes, per pivot partition P_k, how many (rewritten) sequences D-SEQ's
+// map phase would send there and how many serialized bytes they occupy, and
+// summarizes the balance of the resulting partitioning. The paper's
+// frequency-based item order assigns the least data to the most frequent
+// items, which is what keeps item-based partitioning balanced.
+#ifndef DSEQ_DIST_PARTITION_STATS_H_
+#define DSEQ_DIST_PARTITION_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dict/dictionary.h"
+#include "src/dist/distributed.h"
+#include "src/fst/fst.h"
+
+namespace dseq {
+
+/// Shuffle volume of one pivot partition under D-SEQ partitioning.
+struct PartitionStats {
+  ItemId pivot = kNoItem;
+  uint64_t num_sequences = 0;  // (rewritten) input sequences sent to P_pivot
+  uint64_t total_bytes = 0;    // serialized bytes of those sequences
+};
+
+/// Computes the per-partition statistics of D-SEQ's map output for `db`
+/// under `fst` with threshold `sigma` (grid σ-pruning + rewriting, exactly
+/// what MineDSeq ships). Result is sorted by pivot ascending; partitions
+/// that receive no data are omitted. Deterministic for any `num_workers`.
+std::vector<PartitionStats> ComputePartitionStats(
+    const std::vector<Sequence>& db, const Fst& fst, const Dictionary& dict,
+    uint64_t sigma, int num_workers = 1);
+
+/// Aggregate balance measures over a partitioning.
+struct BalanceSummary {
+  size_t num_partitions = 0;
+  uint64_t total_bytes = 0;
+  double max_to_mean_bytes = 0.0;  // largest partition / mean partition
+  double largest_share = 0.0;      // largest partition / total
+};
+
+BalanceSummary SummarizeBalance(const std::vector<PartitionStats>& stats);
+
+}  // namespace dseq
+
+#endif  // DSEQ_DIST_PARTITION_STATS_H_

@@ -1,5 +1,6 @@
 #include "src/nfa/serializer.h"
 
+#include <limits>
 #include <vector>
 
 #include "src/util/varint.h"
@@ -25,13 +26,21 @@ bool GetLabel(const std::string& data, size_t* pos, Sequence* label) {
   uint64_t n = 0;
   if (!GetVarint(data, pos, &n)) return false;
   label->clear();
+  // Each encoded item is at least one byte; reject adversarial length
+  // prefixes before they can drive a huge allocation.
+  if (n > data.size() - *pos) return false;
   label->reserve(n);
-  ItemId prev = 0;
+  constexpr uint64_t kMaxItem = std::numeric_limits<ItemId>::max();
+  uint64_t prev = 0;
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t delta = 0;
     if (!GetVarint(data, pos, &delta)) return false;
-    prev += static_cast<ItemId>(delta);
-    label->push_back(prev);
+    // Labels are strictly ascending item sets starting at an item >= 1, so
+    // every delta is positive; the bound is checked before the addition so
+    // an adversarial near-2^64 delta cannot wrap back into range.
+    if (delta == 0 || delta > kMaxItem - prev) return false;
+    prev += delta;
+    label->push_back(static_cast<ItemId>(prev));
   }
   return true;
 }
@@ -87,6 +96,11 @@ OutputNfa DeserializeNfa(const std::string& bytes, size_t* pos) {
   uint64_t num_edges = 0;
   if (!GetVarint(bytes, pos, &num_edges)) {
     throw NfaParseError("truncated NFA header");
+  }
+  // Every serialized edge occupies at least two bytes (header + label), so
+  // an adversarial edge count is rejected up front.
+  if (num_edges > (bytes.size() - *pos) / 2) {
+    throw NfaParseError("NFA edge count exceeds input size");
   }
   OutputNfa nfa;
   StateId prev_target = 0;

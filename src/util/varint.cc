@@ -1,5 +1,7 @@
 #include "src/util/varint.h"
 
+#include <limits>
+
 namespace dseq {
 
 void PutVarint(std::string* out, uint64_t value) {
@@ -16,6 +18,9 @@ bool GetVarint(const std::string& data, size_t* pos, uint64_t* value) {
   while (*pos < data.size()) {
     uint8_t byte = static_cast<uint8_t>(data[*pos]);
     ++*pos;
+    // The 10th byte may only contribute the top bit of the 64-bit value;
+    // anything larger is an overflow, not a longer varint.
+    if (shift == 63 && (byte & 0x7f) > 1) return false;
     result |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
       *value = result;
@@ -40,13 +45,23 @@ bool GetSequence(const std::string& data, size_t* pos, Sequence* seq) {
   uint64_t n = 0;
   if (!GetVarint(data, pos, &n)) return false;
   seq->clear();
+  // Every encoded item occupies at least one byte, so an adversarial length
+  // prefix larger than the remaining input is rejected before it can drive
+  // a huge allocation.
+  if (n > data.size() - *pos) return false;
   seq->reserve(n);
+  constexpr int64_t kMaxItem = std::numeric_limits<ItemId>::max();
   int64_t prev = 0;
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t delta = 0;
     if (!GetVarint(data, pos, &delta)) return false;
-    prev += ZigzagDecode(delta);
-    if (prev < 0) return false;
+    int64_t d = ZigzagDecode(delta);
+    // Valid items fit in ItemId, so no valid delta exceeds kMaxItem in
+    // magnitude; rejecting larger ones also keeps `prev += d` from
+    // overflowing (signed overflow would be UB).
+    if (d > kMaxItem || d < -kMaxItem) return false;
+    prev += d;
+    if (prev < 0 || prev > kMaxItem) return false;
     seq->push_back(static_cast<ItemId>(prev));
   }
   return true;

@@ -5,6 +5,9 @@
 #include <limits>
 #include <random>
 
+#include "src/nfa/output_nfa.h"
+#include "src/nfa/serializer.h"
+
 namespace dseq {
 namespace {
 
@@ -129,6 +132,123 @@ TEST(SequenceCodingTest, TruncatedSequenceFails) {
   size_t pos = 0;
   Sequence decoded;
   EXPECT_FALSE(GetSequence(buf, &pos, &decoded));
+}
+
+// --- adversarial / truncated shuffle records ------------------------------
+
+TEST(VarintTest, OverlongEncodingFails) {
+  // Eleven continuation bytes: more than any uint64 needs.
+  std::string buf(11, static_cast<char>(0x80));
+  size_t pos = 0;
+  uint64_t decoded = 0;
+  EXPECT_FALSE(GetVarint(buf, &pos, &decoded));
+}
+
+TEST(VarintTest, TenBytePayloadOverflowFails) {
+  // Ten bytes whose last contributes more than the top bit of a uint64.
+  std::string buf(9, static_cast<char>(0xff));
+  buf.push_back(0x02);
+  size_t pos = 0;
+  uint64_t decoded = 0;
+  EXPECT_FALSE(GetVarint(buf, &pos, &decoded));
+}
+
+TEST(SequenceCodingTest, AdversarialLengthPrefixFails) {
+  // Claims 2^40 items but carries two bytes of payload: must fail fast
+  // instead of reserving gigabytes.
+  std::string buf;
+  PutVarint(&buf, 1ULL << 40);
+  buf.push_back(0x02);
+  buf.push_back(0x02);
+  size_t pos = 0;
+  Sequence decoded;
+  EXPECT_FALSE(GetSequence(buf, &pos, &decoded));
+}
+
+TEST(SequenceCodingTest, ItemBeyondItemIdRangeFails) {
+  // A delta that pushes the running item above ItemId's range.
+  std::string buf;
+  PutVarint(&buf, 1);  // one item
+  PutVarint(&buf, ZigzagEncode(1ULL << 40));
+  size_t pos = 0;
+  Sequence decoded;
+  EXPECT_FALSE(GetSequence(buf, &pos, &decoded));
+}
+
+TEST(SequenceCodingTest, HugeDeltaSwingsFail) {
+  // Alternating near-int64 deltas would overflow the running sum (UB)
+  // without magnitude rejection.
+  std::string buf;
+  PutVarint(&buf, 3);
+  PutVarint(&buf, ZigzagEncode(5));
+  PutVarint(&buf, ZigzagEncode(std::numeric_limits<int64_t>::max()));
+  PutVarint(&buf, ZigzagEncode(std::numeric_limits<int64_t>::min()));
+  size_t pos = 0;
+  Sequence decoded;
+  EXPECT_FALSE(GetSequence(buf, &pos, &decoded));
+}
+
+OutputNfa MakeSerializableNfa() {
+  OutputNfa nfa;
+  nfa.AddLabelString({{3, 7}, {2}});
+  nfa.AddLabelString({{3, 7}, {5}});
+  nfa.AddLabelString({{4}});
+  nfa.Minimize();
+  return nfa;
+}
+
+TEST(NfaWireFormatTest, TruncatedRecordsThrowAtEveryPrefix) {
+  // Feed every strict prefix of a valid shuffle record through the
+  // deserializer: each must throw NfaParseError, never crash or hang.
+  std::string bytes = SerializeNfa(MakeSerializableNfa());
+  ASSERT_GT(bytes.size(), 2u);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(DeserializeNfa(bytes.substr(0, len)), NfaParseError)
+        << "prefix length " << len;
+  }
+  // The full record still parses.
+  OutputNfa nfa = DeserializeNfa(bytes);
+  EXPECT_EQ(SerializeNfa(nfa), bytes);
+}
+
+TEST(NfaWireFormatTest, WrappingLabelDeltaThrows) {
+  // A second delta near 2^64 would wrap the running item back under
+  // ItemId::max if the bound were checked after the addition; the label
+  // {5, wrapped-to-1} must be rejected, not accepted as non-ascending.
+  std::string bytes;
+  PutVarint(&bytes, 1);   // one edge
+  bytes.push_back(0x00);  // header: implicit source, fresh target
+  PutVarint(&bytes, 2);   // label with two items
+  PutVarint(&bytes, 5);
+  PutVarint(&bytes, std::numeric_limits<uint64_t>::max() - 3);
+  EXPECT_THROW(DeserializeNfa(bytes), NfaParseError);
+}
+
+TEST(NfaWireFormatTest, AdversarialEdgeCountThrows) {
+  std::string bytes;
+  PutVarint(&bytes, 1ULL << 50);  // edge count far beyond the input size
+  bytes.push_back(0x00);
+  EXPECT_THROW(DeserializeNfa(bytes), NfaParseError);
+}
+
+TEST(NfaWireFormatTest, CorruptedLabelBytesThrowOrFailCleanly) {
+  // Flip every byte of a valid record through all 255 alternatives; the
+  // deserializer must either parse (possibly to a different NFA) or throw
+  // NfaParseError — it must never exhibit UB or unbounded allocation.
+  std::string bytes = SerializeNfa(MakeSerializableNfa());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int delta = 1; delta < 256; ++delta) {
+      std::string corrupted = bytes;
+      corrupted[i] = static_cast<char>(
+          (static_cast<uint8_t>(corrupted[i]) + delta) & 0xff);
+      try {
+        OutputNfa nfa = DeserializeNfa(corrupted);
+        EXPECT_LE(nfa.num_edges(), corrupted.size());
+      } catch (const NfaParseError&) {
+        // Expected for most corruptions.
+      }
+    }
+  }
 }
 
 }  // namespace
