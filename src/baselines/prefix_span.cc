@@ -1,7 +1,9 @@
 #include "src/baselines/prefix_span.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
+#include <stdexcept>
 
 namespace dseq {
 namespace {
@@ -59,6 +61,10 @@ class LocalPrefixSpan {
 DistributedResult MinePrefixSpan(const std::vector<Sequence>& db,
                                  const Dictionary& dict,
                                  const PrefixSpanOptions& options) {
+  // lambda bounds the output length; 0 admits no pattern at all (and would
+  // otherwise underflow the `lambda - 1` recursion depth below).
+  if (options.lambda == 0) return {};
+
   MapFn map_fn = [&](size_t index, const EmitFn& emit) {
     const Sequence& T = db[index];
     // First occurrence of each frequent item; emit the projected suffix.
@@ -93,6 +99,96 @@ DistributedResult MinePrefixSpan(const std::vector<Sequence>& db,
   };
 
   return RunDistributedMining(db.size(), map_fn, nullptr, reduce_fn, options);
+}
+
+ChainedDistributedResult MineChainedPrefixSpan(
+    const std::vector<Sequence>& db, const Dictionary& dict,
+    const PrefixSpanOptions& options) {
+  if (options.lambda == 0) return {};  // as in MinePrefixSpan
+
+  DataflowJob job(MakeChainedOptions(options));
+  std::vector<MiningResult> per_worker(std::max(1, options.num_reduce_workers));
+  const uint64_t sigma = options.sigma;
+  const uint32_t lambda = options.lambda;
+
+  // Shared reduce of every round r: key = serialized length-r prefix, values
+  // = the projected suffixes of the input sequences supporting it. Surviving
+  // prefixes are output and, below lambda, extended by one item: the
+  // extension records are next round's map input.
+  ChainReduceFn reduce_fn = [&per_worker, sigma, lambda](
+                                int worker, const std::string& key,
+                                std::vector<std::string>& values,
+                                const EmitFn& emit) {
+    if (values.size() < sigma) return;
+    size_t pos = 0;
+    Sequence prefix;
+    if (!GetSequence(key, &pos, &prefix) || pos != key.size()) {
+      throw std::invalid_argument("malformed chained PrefixSpan prefix key");
+    }
+    per_worker[worker].push_back(PatternCount{prefix, values.size()});
+    if (prefix.size() >= lambda) return;
+
+    Sequence extended = prefix;
+    extended.push_back(kNoItem);
+    Sequence suffix;
+    for (const std::string& v : values) {
+      size_t vpos = 0;
+      if (!GetSequence(v, &vpos, &suffix) || vpos != v.size()) {
+        throw std::invalid_argument("malformed chained PrefixSpan suffix");
+      }
+      // First occurrence of each item in the projected suffix (exactly
+      // LocalPrefixSpan::Grow's projection step).
+      std::map<ItemId, uint32_t> first;
+      for (uint32_t j = 0; j < suffix.size(); ++j) first.emplace(suffix[j], j);
+      for (const auto& [w, j] : first) {
+        extended.back() = w;
+        std::string next_key;
+        PutSequence(&next_key, extended);
+        std::string next_value;
+        PutSequence(&next_value,
+                    Sequence(suffix.begin() + j + 1, suffix.end()));
+        emit(std::move(next_key), std::move(next_value));
+      }
+    }
+  };
+
+  // Round 1: seed with the singleton prefixes of frequent items, one
+  // projected suffix per (sequence, item) first occurrence — the same map
+  // phase as the collapsed baseline, keyed by serialized prefix.
+  MapFn seed_map = [&db, &dict, sigma](size_t index, const EmitFn& emit) {
+    const Sequence& T = db[index];
+    std::map<ItemId, uint32_t> first;
+    for (uint32_t j = 0; j < T.size(); ++j) {
+      if (dict.DocFrequency(T[j]) < sigma) continue;
+      first.emplace(T[j], j);
+    }
+    for (const auto& [w, j] : first) {
+      std::string key;
+      PutSequence(&key, Sequence{w});
+      std::string value;
+      PutSequence(&value, Sequence(T.begin() + j + 1, T.end()));
+      emit(std::move(key), std::move(value));
+    }
+  };
+  job.RunRound(db.size(), seed_map, nullptr, reduce_fn);
+
+  // Rounds 2..lambda: the identity map re-shuffles each extension record to
+  // the reducer owning its grown prefix.
+  RecordMapFn repartition = [](size_t, const Record& record,
+                               const EmitFn& emit) {
+    emit(record.key, record.value);
+  };
+  while (!job.records().empty()) {
+    job.RunChainedRound(repartition, nullptr, reduce_fn);
+  }
+
+  MiningResult patterns;
+  for (auto& part : per_worker) {
+    patterns.insert(patterns.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+  }
+  Canonicalize(&patterns);
+  return MakeChainedResult(std::move(patterns), job);
 }
 
 }  // namespace dseq

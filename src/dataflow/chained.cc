@@ -1,0 +1,90 @@
+#include "src/dataflow/chained.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace dseq {
+
+const DataflowMetrics& DataflowJob::Run(size_t num_inputs, const MapFn& map_fn,
+                                        const CombinerFactory& combiner_factory,
+                                        const ChainReduceFn& reduce_fn) {
+  int reduce_workers = std::max(1, options_.num_reduce_workers);
+  std::vector<std::vector<Record>> out(reduce_workers);
+  // One emitter per reduce worker, built up front: the reduce loop runs once
+  // per distinct key and must not pay a std::function allocation each time.
+  std::vector<EmitFn> emitters;
+  emitters.reserve(reduce_workers);
+  for (int w = 0; w < reduce_workers; ++w) {
+    emitters.push_back([&out, w](std::string k, std::string v) {
+      out[w].push_back(Record{std::move(k), std::move(v)});
+    });
+  }
+  ReduceFn wrapped_reduce = [&](int worker, const std::string& key,
+                                std::vector<std::string>& values) {
+    reduce_fn(worker, key, values, emitters[worker]);
+  };
+
+  DataflowOptions round_options = options_;
+  if (options_.cumulative_shuffle_budget_bytes > 0) {
+    // The engine throws once a round shuffles more than its per-round budget,
+    // so the cumulative budget becomes a per-round budget of whatever is left
+    // of it. An exhausted cumulative budget must still fail on the first
+    // record of the next round; budget 0 means "unlimited" to the engine, so
+    // clamp the remainder to one byte (every record is larger).
+    uint64_t remaining =
+        options_.cumulative_shuffle_budget_bytes > cumulative_shuffle_bytes_
+            ? options_.cumulative_shuffle_budget_bytes -
+                  cumulative_shuffle_bytes_
+            : 1;
+    round_options.shuffle_budget_bytes =
+        options_.shuffle_budget_bytes == 0
+            ? remaining
+            : std::min(options_.shuffle_budget_bytes, remaining);
+  }
+
+  DataflowMetrics metrics = RunMapReduce(num_inputs, map_fn, combiner_factory,
+                                         wrapped_reduce, round_options);
+  cumulative_shuffle_bytes_ += metrics.shuffle_bytes;
+
+  records_.clear();
+  size_t total = 0;
+  for (const auto& worker_records : out) total += worker_records.size();
+  records_.reserve(total);
+  for (auto& worker_records : out) {
+    records_.insert(records_.end(),
+                    std::make_move_iterator(worker_records.begin()),
+                    std::make_move_iterator(worker_records.end()));
+  }
+  round_metrics_.push_back(metrics);
+  return round_metrics_.back();
+}
+
+const DataflowMetrics& DataflowJob::RunRound(
+    size_t num_inputs, const MapFn& map_fn,
+    const CombinerFactory& combiner_factory, const ChainReduceFn& reduce_fn) {
+  return Run(num_inputs, map_fn, combiner_factory, reduce_fn);
+}
+
+const DataflowMetrics& DataflowJob::RunChainedRound(
+    const RecordMapFn& map_fn, const CombinerFactory& combiner_factory,
+    const ChainReduceFn& reduce_fn) {
+  std::vector<Record> inputs = TakeRecords();
+  MapFn wrapped_map = [&](size_t index, const EmitFn& emit) {
+    map_fn(index, inputs[index], emit);
+  };
+  return Run(inputs.size(), wrapped_map, combiner_factory, reduce_fn);
+}
+
+DataflowMetrics DataflowJob::aggregate_metrics() const {
+  DataflowMetrics total;
+  for (const DataflowMetrics& m : round_metrics_) {
+    total.map_seconds += m.map_seconds;
+    total.reduce_seconds += m.reduce_seconds;
+    total.shuffle_bytes += m.shuffle_bytes;
+    total.shuffle_records += m.shuffle_records;
+    total.map_output_records += m.map_output_records;
+  }
+  return total;
+}
+
+}  // namespace dseq

@@ -1,0 +1,127 @@
+// Chained multi-round dataflow on top of the single-round engine.
+//
+// The paper's substrate (Spark) runs iterative jobs as chains of shuffle
+// rounds; this is the in-process analogue. A DataflowJob strings together
+// map-shuffle-reduce rounds such that each round's reduce output becomes the
+// next round's map input. Output records cross the round boundary only in
+// serialized form (a Record is a key/value byte-string pair), so the shuffle
+// accounting of every round stays honest — there is no way to smuggle
+// deserialized state from one round into the next.
+//
+// Metrics are collected per round (the paper's per-stage `shuffleWriteBytes`)
+// and as an aggregate. The shuffle budget is enforced at two levels: the
+// inherited DataflowOptions::shuffle_budget_bytes applies to each round
+// independently, and cumulative_shuffle_budget_bytes bounds the total volume
+// of the whole chain — both throw ShuffleOverflowError mid-round, exactly
+// when the offending record is buffered.
+#ifndef DSEQ_DATAFLOW_CHAINED_H_
+#define DSEQ_DATAFLOW_CHAINED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/dataflow/engine.h"
+
+namespace dseq {
+
+/// One serialized record crossing a round boundary.
+struct Record {
+  std::string key;
+  std::string value;
+
+  bool operator==(const Record& o) const {
+    return key == o.key && value == o.value;
+  }
+  bool operator<(const Record& o) const {
+    if (key != o.key) return key < o.key;
+    return value < o.value;
+  }
+};
+
+struct ChainedDataflowOptions : DataflowOptions {
+  /// 0 = unlimited. Otherwise ShuffleOverflowError once the total shuffle
+  /// volume across all rounds of the job exceeds this many bytes. The
+  /// inherited shuffle_budget_bytes still applies to every round on its own.
+  uint64_t cumulative_shuffle_budget_bytes = 0;
+};
+
+/// Map function of a chained round: called once per record of the previous
+/// round's reduce output.
+using RecordMapFn = std::function<void(size_t input_index, const Record& input,
+                                       const EmitFn& emit)>;
+
+/// Reduce function of a chained round: like ReduceFn, plus an emitter whose
+/// records become the round's output (the next round's map input). Emitting
+/// nothing ends the chain's data; emitted records are buffered per reduce
+/// worker, so no locking is needed.
+using ChainReduceFn = std::function<void(int worker, const std::string& key,
+                                         std::vector<std::string>& values,
+                                         const EmitFn& emit)>;
+
+/// A chain of map-shuffle-reduce rounds with shared budgets and metrics.
+///
+/// Usage: seed the chain with RunRound (map input = external indices, e.g.
+/// the sequence database), then call RunChainedRound any number of times
+/// (map input = previous round's output records). Rounds may also be
+/// re-seeded with RunRound mid-chain after collecting records() — the
+/// in-process analogue of Spark's collect-and-broadcast between jobs (used
+/// by the frequency-recount drivers).
+///
+/// After a ShuffleOverflowError the job is dead: per-round metrics cover
+/// only completed rounds and records() is unspecified.
+class DataflowJob {
+ public:
+  explicit DataflowJob(const ChainedDataflowOptions& options)
+      : options_(options) {}
+
+  /// Runs a round whose map input is external: `map_fn` is called once per
+  /// index in [0, num_inputs). Returns the round's metrics.
+  const DataflowMetrics& RunRound(size_t num_inputs, const MapFn& map_fn,
+                                  const CombinerFactory& combiner_factory,
+                                  const ChainReduceFn& reduce_fn);
+
+  /// Runs a round whose map input is the previous round's output records
+  /// (consumed by this call).
+  const DataflowMetrics& RunChainedRound(const RecordMapFn& map_fn,
+                                         const CombinerFactory& combiner_factory,
+                                         const ChainReduceFn& reduce_fn);
+
+  /// Output records of the last completed round, in reduce-worker order
+  /// (deterministic for a fixed configuration).
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Moves the boundary records out (e.g. to collect a side result and then
+  /// re-seed the chain with RunRound). Leaves records() empty.
+  std::vector<Record> TakeRecords() {
+    std::vector<Record> out = std::move(records_);
+    records_.clear();
+    return out;
+  }
+
+  size_t num_rounds() const { return round_metrics_.size(); }
+  const std::vector<DataflowMetrics>& round_metrics() const {
+    return round_metrics_;
+  }
+
+  /// Field-wise sum of the per-round metrics. aggregate_metrics().shuffle_bytes
+  /// is the chain's cumulative shuffle volume.
+  DataflowMetrics aggregate_metrics() const;
+
+  uint64_t cumulative_shuffle_bytes() const { return cumulative_shuffle_bytes_; }
+
+  const ChainedDataflowOptions& options() const { return options_; }
+
+ private:
+  const DataflowMetrics& Run(size_t num_inputs, const MapFn& map_fn,
+                             const CombinerFactory& combiner_factory,
+                             const ChainReduceFn& reduce_fn);
+
+  ChainedDataflowOptions options_;
+  std::vector<Record> records_;
+  std::vector<DataflowMetrics> round_metrics_;
+  uint64_t cumulative_shuffle_bytes_ = 0;
+};
+
+}  // namespace dseq
+
+#endif  // DSEQ_DATAFLOW_CHAINED_H_

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "src/util/thread_pool.h"
@@ -21,8 +23,17 @@ class SumCombiner : public Combiner {
   void Add(std::string key, std::string value) override {
     size_t pos = 0;
     uint64_t count = 0;
-    if (!GetVarint(value, &pos, &count)) count = 1;
-    counts_[std::move(key)] += count;
+    // A malformed count must fail loudly: silently treating it as 1 (or
+    // skipping it) would miscount supports downstream.
+    if (!GetVarint(value, &pos, &count) || pos != value.size()) {
+      throw std::invalid_argument(
+          "SumCombiner: value is not a single varint count");
+    }
+    uint64_t& sum = counts_[std::move(key)];
+    if (count > std::numeric_limits<uint64_t>::max() - sum) {
+      throw std::overflow_error("SumCombiner: per-key count sum overflows");
+    }
+    sum += count;
   }
 
   void Flush(const EmitFn& emit) override {
@@ -43,8 +54,16 @@ class WeightedValueCombiner : public Combiner {
   void Add(std::string key, std::string value) override {
     size_t pos = 0;
     uint64_t weight = 0;
-    if (!GetVarint(value, &pos, &weight)) weight = 1;
-    weights_[std::move(key)][value.substr(pos)] += weight;
+    if (!GetVarint(value, &pos, &weight)) {
+      throw std::invalid_argument(
+          "WeightedValueCombiner: value lacks a varint weight prefix");
+    }
+    uint64_t& sum = weights_[std::move(key)][value.substr(pos)];
+    if (weight > std::numeric_limits<uint64_t>::max() - sum) {
+      throw std::overflow_error(
+          "WeightedValueCombiner: per-value weight sum overflows");
+    }
+    sum += weight;
   }
 
   void Flush(const EmitFn& emit) override {

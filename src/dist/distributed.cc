@@ -22,33 +22,148 @@ ItemId DecodePivotKey(const std::string& key) {
   return static_cast<ItemId>(value);
 }
 
+ChainedDataflowOptions MakeChainedOptions(
+    const DistributedRunOptions& options) {
+  ChainedDataflowOptions chained;
+  chained.num_map_workers = options.num_map_workers;
+  chained.num_reduce_workers = options.num_reduce_workers;
+  chained.execution = options.execution;
+  chained.shuffle_budget_bytes = options.shuffle_budget_bytes;
+  chained.cumulative_shuffle_budget_bytes =
+      options.cumulative_shuffle_budget_bytes;
+  return chained;
+}
+
+MiningResult RunMiningRound(DataflowJob& job, size_t num_inputs,
+                            const MapFn& map_fn,
+                            const CombinerFactory& combiner_factory,
+                            const PartitionReduceFn& reduce_fn) {
+  std::vector<MiningResult> per_worker(
+      std::max(1, job.options().num_reduce_workers));
+  ChainReduceFn worker_reduce = [&](int worker, const std::string& key,
+                                    std::vector<std::string>& values,
+                                    const EmitFn&) {
+    reduce_fn(key, values, per_worker[worker]);
+  };
+  job.RunRound(num_inputs, map_fn, combiner_factory, worker_reduce);
+
+  MiningResult patterns;
+  for (auto& part : per_worker) {
+    patterns.insert(patterns.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+  }
+  Canonicalize(&patterns);
+  return patterns;
+}
+
+ChainedDistributedResult MakeChainedResult(MiningResult patterns,
+                                           const DataflowJob& job) {
+  ChainedDistributedResult result;
+  result.patterns = std::move(patterns);
+  result.round_metrics = job.round_metrics();
+  result.aggregate = job.aggregate_metrics();
+  return result;
+}
+
+ChainedDistributedResult RunRecountMining(const std::vector<Sequence>& db,
+                                          const Dictionary& dict,
+                                          uint32_t sample_every,
+                                          const DistributedRunOptions& options,
+                                          const MakeMiningRoundFn& make_round) {
+  DataflowJob job(MakeChainedOptions(options));
+  Dictionary recounted = RecountFrequencies(job, db, dict, sample_every);
+  MapFn map_fn;
+  CombinerFactory combiner_factory;
+  PartitionReduceFn reduce_fn;
+  make_round(recounted, &map_fn, &combiner_factory, &reduce_fn);
+  return MakeChainedResult(
+      RunMiningRound(job, db.size(), map_fn, combiner_factory, reduce_fn),
+      job);
+}
+
 DistributedResult RunDistributedMining(size_t num_inputs, const MapFn& map_fn,
                                        const CombinerFactory& combiner_factory,
                                        const PartitionReduceFn& reduce_fn,
                                        const DistributedRunOptions& options) {
-  std::vector<MiningResult> per_worker(
-      std::max(1, options.num_reduce_workers));
-  ReduceFn worker_reduce = [&](int worker, const std::string& key,
-                               std::vector<std::string>& values) {
-    reduce_fn(key, values, per_worker[worker]);
+  DataflowJob job(MakeChainedOptions(options));
+  DistributedResult result;
+  result.patterns =
+      RunMiningRound(job, num_inputs, map_fn, combiner_factory, reduce_fn);
+  result.metrics = job.round_metrics().front();
+  return result;
+}
+
+Dictionary RecountFrequencies(DataflowJob& job,
+                              const std::vector<Sequence>& db,
+                              const Dictionary& dict, uint32_t sample_every) {
+  if (sample_every == 0) sample_every = 1;
+  const size_t n = dict.size();
+
+  // Map: one (ancestor item, 1) record per distinct ancestor per sampled
+  // sequence — the distributed form of ComputeDocFrequencies' stamp loop.
+  // The stamp array (allocated once per worker thread, not per sequence)
+  // avoids clearing a seen-set per sequence, as in ComputeDocFrequencies.
+  MapFn map_fn = [&, sample_every](size_t index, const EmitFn& emit) {
+    if (index % sample_every != 0) return;
+    thread_local std::vector<uint64_t> stamp;
+    thread_local uint64_t cur = 0;
+    if (stamp.size() < n + 1) stamp.assign(n + 1, 0);
+    ++cur;
+    std::string one;
+    PutVarint(&one, 1);
+    for (ItemId t : db[index]) {
+      for (ItemId a : dict.Ancestors(t)) {
+        if (stamp[a] == cur) continue;
+        stamp[a] = cur;
+        emit(EncodePivotKey(a), one);
+      }
+    }
   };
 
-  DataflowOptions dataflow_options;
-  dataflow_options.num_map_workers = options.num_map_workers;
-  dataflow_options.num_reduce_workers = options.num_reduce_workers;
-  dataflow_options.execution = options.execution;
-  dataflow_options.shuffle_budget_bytes = options.shuffle_budget_bytes;
+  // Reduce: sum the per-item counts and emit one (item, count) boundary
+  // record; the driver collects them below (Spark's collect-and-broadcast).
+  ChainReduceFn reduce_fn = [](int, const std::string& key,
+                               std::vector<std::string>& values,
+                               const EmitFn& emit) {
+    uint64_t count = 0;
+    for (const std::string& v : values) {
+      size_t pos = 0;
+      uint64_t c = 0;
+      if (!GetVarint(v, &pos, &c) || pos != v.size()) {
+        throw std::invalid_argument("malformed frequency-recount record");
+      }
+      count += c;
+    }
+    std::string value;
+    PutVarint(&value, count);
+    emit(key, std::move(value));
+  };
 
-  DistributedResult result;
-  result.metrics = RunMapReduce(num_inputs, map_fn, combiner_factory,
-                                worker_reduce, dataflow_options);
-  for (auto& part : per_worker) {
-    result.patterns.insert(result.patterns.end(),
-                           std::make_move_iterator(part.begin()),
-                           std::make_move_iterator(part.end()));
+  job.RunRound(db.size(), map_fn, MakeSumCombiner, reduce_fn);
+
+  // Scale sampled counts by the true sampling ratio db.size()/num_sampled
+  // (not sample_every: the last stride may be short, and count*sample_every
+  // would then systematically overestimate). Exact when sample_every == 1.
+  uint64_t num_sampled = (db.size() + sample_every - 1) / sample_every;
+  std::vector<uint64_t> doc_freq(n, 0);
+  for (const Record& record : job.TakeRecords()) {
+    ItemId item = DecodePivotKey(record.key);
+    size_t pos = 0;
+    uint64_t count = 0;
+    if (item == kNoItem || item > n ||
+        !GetVarint(record.value, &pos, &count) ||
+        pos != record.value.size()) {
+      throw std::invalid_argument("malformed frequency-recount result");
+    }
+    doc_freq[item - 1] =
+        num_sampled == 0
+            ? 0
+            : (count * db.size() + num_sampled / 2) / num_sampled;
   }
-  Canonicalize(&result.patterns);
-  return result;
+
+  Dictionary recounted = dict;
+  recounted.SetDocFrequencies(std::move(doc_freq));
+  return recounted;
 }
 
 size_t DistinctSequences(std::vector<Sequence> sequences) {

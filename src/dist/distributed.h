@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "src/core/mining.h"
+#include "src/dataflow/chained.h"
 #include "src/dataflow/engine.h"
+#include "src/dict/dictionary.h"
 #include "src/util/common.h"
 #include "src/util/varint.h"
 
@@ -27,14 +29,34 @@ struct DistributedResult {
   DataflowMetrics metrics;
 };
 
+/// Result of a chained (multi-round) distributed mining run: the frequent
+/// patterns plus one DataflowMetrics per shuffle round (the paper's
+/// per-stage `shuffleWriteBytes` view) and their field-wise sum.
+struct ChainedDistributedResult {
+  MiningResult patterns;
+  std::vector<DataflowMetrics> round_metrics;
+  DataflowMetrics aggregate;
+
+  size_t num_rounds() const { return round_metrics.size(); }
+};
+
 /// Dataflow knobs every distributed miner shares; the per-algorithm
 /// options structs extend this.
 struct DistributedRunOptions {
   int num_map_workers = 1;
   int num_reduce_workers = 1;
   Execution execution = Execution::kThreads;
+  /// Per-round shuffle budget (0 = unlimited); for chained runs each round
+  /// is bounded independently.
   uint64_t shuffle_budget_bytes = 0;
+  /// Whole-job shuffle budget across all rounds (0 = unlimited). The
+  /// single-round miners are one-round chains, so for them it acts as one
+  /// more per-round cap.
+  uint64_t cumulative_shuffle_budget_bytes = 0;
 };
+
+/// The DataflowJob configuration a chained miner derives from its options.
+ChainedDataflowOptions MakeChainedOptions(const DistributedRunOptions& options);
 
 /// Reduce callback of the shared driver: one call per distinct shuffle key,
 /// appending the partition's frequent patterns to `out` (a per-reduce-worker
@@ -50,6 +72,49 @@ DistributedResult RunDistributedMining(size_t num_inputs, const MapFn& map_fn,
                                        const CombinerFactory& combiner_factory,
                                        const PartitionReduceFn& reduce_fn,
                                        const DistributedRunOptions& options);
+
+/// The chained-job analogue of RunDistributedMining: runs one mining round
+/// on `job` (sharing its budgets and per-round metrics) and returns the
+/// round's merged, canonicalized patterns. The round emits no boundary
+/// records, so it is a terminal round of the chain.
+MiningResult RunMiningRound(DataflowJob& job, size_t num_inputs,
+                            const MapFn& map_fn,
+                            const CombinerFactory& combiner_factory,
+                            const PartitionReduceFn& reduce_fn);
+
+/// Assembles the result every chained driver returns: the patterns plus the
+/// finished job's per-round and aggregate metrics.
+ChainedDistributedResult MakeChainedResult(MiningResult patterns,
+                                           const DataflowJob& job);
+
+/// Builds the mining round of a recount driver against the recounted
+/// dictionary (which outlives the round but not the call).
+using MakeMiningRoundFn =
+    std::function<void(const Dictionary& recounted, MapFn* map_fn,
+                       CombinerFactory* combiner_factory,
+                       PartitionReduceFn* reduce_fn)>;
+
+/// Shared driver of the two-round recount miners: round 1 recounts the
+/// f-list via RecountFrequencies, round 2 runs the mining round
+/// `make_round` builds against the recounted dictionary.
+ChainedDistributedResult RunRecountMining(const std::vector<Sequence>& db,
+                                          const Dictionary& dict,
+                                          uint32_t sample_every,
+                                          const DistributedRunOptions& options,
+                                          const MakeMiningRoundFn& make_round);
+
+/// Distributed frequency recount (round 1 of the iterative recount drivers):
+/// counts, on `job`, the per-item document frequencies of `db` — exactly
+/// Dictionary::ComputeDocFrequencies semantics (an occurrence counts for
+/// every ancestor, once per sequence) — and returns a copy of `dict` with
+/// the recounted frequencies installed. With `sample_every` > 1 only every
+/// sample_every-th sequence is counted and counts are scaled back up (the
+/// paper's sampled f-list); sample_every == 1 reproduces the exact counts,
+/// so downstream mining results are unchanged.
+Dictionary RecountFrequencies(DataflowJob& job,
+                              const std::vector<Sequence>& db,
+                              const Dictionary& dict,
+                              uint32_t sample_every = 1);
 
 /// Encodes an item-partition key (the pivot item) as a shuffle key. Varint
 /// coded so that shuffle-size accounting stays honest for frequent (small

@@ -108,13 +108,18 @@ Sequence RewriteForPivot(const Sequence& T, const StateGrid& grid,
 
 // --- The miner -------------------------------------------------------------
 
-DistributedResult MineDSeq(const std::vector<Sequence>& db, const Fst& fst,
-                           const Dictionary& dict,
-                           const DSeqOptions& options) {
+namespace {
+
+// Map/reduce phases shared by the single-round miner and the chained
+// recount driver. The returned closures capture `db`, `fst`, `dict`, and
+// `options` by reference; callers keep them alive for the round.
+MapFn MakeDSeqMapFn(const std::vector<Sequence>& db, const Fst& fst,
+                    const Dictionary& dict, const DSeqOptions& options) {
   GridOptions grid_options;
   grid_options.prune_sigma = options.sigma;
 
-  MapFn map_fn = [&](size_t index, const EmitFn& emit) {
+  return [&db, &fst, &dict, &options, grid_options](size_t index,
+                                                    const EmitFn& emit) {
     const Sequence& T = db[index];
     StateGrid grid;
     Sequence pivots;
@@ -142,15 +147,16 @@ DistributedResult MineDSeq(const std::vector<Sequence>& db, const Fst& fst,
       emit(EncodePivotKey(k), std::move(value));
     }
   };
+}
 
-  CombinerFactory combiner_factory;
-  if (options.aggregate_sequences) {
-    combiner_factory = MakeWeightedValueCombiner;
-  }
+PartitionReduceFn MakeDSeqReduceFn(const Fst& fst, const Dictionary& dict,
+                                   const DSeqOptions& options) {
+  GridOptions grid_options;
+  grid_options.prune_sigma = options.sigma;
 
-  PartitionReduceFn reduce_fn = [&](const std::string& key,
-                                    std::vector<std::string>& values,
-                                    MiningResult& out) {
+  return [&fst, &dict, &options, grid_options](const std::string& key,
+                                               std::vector<std::string>& values,
+                                               MiningResult& out) {
     ItemId pivot = DecodePivotKey(key);
     std::vector<StateGrid> grids;
     grids.reserve(values.size());
@@ -178,9 +184,36 @@ DistributedResult MineDSeq(const std::vector<Sequence>& db, const Fst& fst,
     out.insert(out.end(), std::make_move_iterator(local_result.begin()),
                std::make_move_iterator(local_result.end()));
   };
+}
 
-  return RunDistributedMining(db.size(), map_fn, combiner_factory, reduce_fn,
-                              options);
+CombinerFactory DSeqCombinerFactory(const DSeqOptions& options) {
+  return options.aggregate_sequences ? CombinerFactory(MakeWeightedValueCombiner)
+                                     : CombinerFactory(nullptr);
+}
+
+}  // namespace
+
+DistributedResult MineDSeq(const std::vector<Sequence>& db, const Fst& fst,
+                           const Dictionary& dict,
+                           const DSeqOptions& options) {
+  return RunDistributedMining(db.size(), MakeDSeqMapFn(db, fst, dict, options),
+                              DSeqCombinerFactory(options),
+                              MakeDSeqReduceFn(fst, dict, options), options);
+}
+
+ChainedDistributedResult MineDSeqRecount(const std::vector<Sequence>& db,
+                                         const Fst& fst,
+                                         const Dictionary& dict,
+                                         const DSeqRecountOptions& options) {
+  // Round 1 recounts the f-list; round 2 builds σ-pruned grids against it.
+  return RunRecountMining(
+      db, dict, options.recount_sample_every, options,
+      [&](const Dictionary& recounted, MapFn* map_fn,
+          CombinerFactory* combiner_factory, PartitionReduceFn* reduce_fn) {
+        *map_fn = MakeDSeqMapFn(db, fst, recounted, options);
+        *combiner_factory = DSeqCombinerFactory(options);
+        *reduce_fn = MakeDSeqReduceFn(fst, recounted, options);
+      });
 }
 
 }  // namespace dseq

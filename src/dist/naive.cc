@@ -8,10 +8,13 @@
 #include "src/core/grid.h"
 
 namespace dseq {
+namespace {
 
-DistributedResult MineNaive(const std::vector<Sequence>& db, const Fst& fst,
-                            const Dictionary& dict,
-                            const NaiveOptions& options) {
+// Map/reduce phases shared by the single-round miner and the chained
+// recount driver. The returned closures capture `db`, `fst`, `dict`, and
+// `options` by reference; callers keep them alive for the round.
+MapFn MakeNaiveMapFn(const std::vector<Sequence>& db, const Fst& fst,
+                     const Dictionary& dict, const NaiveOptions& options) {
   GridOptions grid_options;
   // SEMI-NAIVE communicates only candidates made of frequent items; NAIVE
   // ships the raw candidate space and lets the reducers discard the rest.
@@ -21,7 +24,8 @@ DistributedResult MineNaive(const std::vector<Sequence>& db, const Fst& fst,
           ? std::numeric_limits<size_t>::max()
           : static_cast<size_t>(options.candidates_per_sequence_budget);
 
-  MapFn map_fn = [&](size_t index, const EmitFn& emit) {
+  return [&db, &fst, &dict, grid_options, budget](size_t index,
+                                                  const EmitFn& emit) {
     StateGrid grid = StateGrid::Build(db[index], fst, dict, grid_options);
     if (!grid.HasAcceptingRun()) return;
     std::vector<Sequence> candidates;
@@ -39,10 +43,12 @@ DistributedResult MineNaive(const std::vector<Sequence>& db, const Fst& fst,
       emit(std::move(key), value);
     }
   };
+}
 
-  PartitionReduceFn reduce_fn = [&](const std::string& key,
-                                    std::vector<std::string>& values,
-                                    MiningResult& out) {
+PartitionReduceFn MakeNaiveReduceFn(const NaiveOptions& options) {
+  return [sigma = options.sigma](const std::string& key,
+                                 std::vector<std::string>& values,
+                                 MiningResult& out) {
     uint64_t support = 0;
     for (const std::string& v : values) {
       size_t pos = 0;
@@ -52,7 +58,7 @@ DistributedResult MineNaive(const std::vector<Sequence>& db, const Fst& fst,
       }
       support += count;
     }
-    if (support < options.sigma) return;
+    if (support < sigma) return;
     size_t pos = 0;
     Sequence pattern;
     if (!GetSequence(key, &pos, &pattern) || pos != key.size()) {
@@ -60,9 +66,31 @@ DistributedResult MineNaive(const std::vector<Sequence>& db, const Fst& fst,
     }
     out.push_back(PatternCount{std::move(pattern), support});
   };
+}
 
-  return RunDistributedMining(db.size(), map_fn, MakeSumCombiner, reduce_fn,
+}  // namespace
+
+DistributedResult MineNaive(const std::vector<Sequence>& db, const Fst& fst,
+                            const Dictionary& dict,
+                            const NaiveOptions& options) {
+  return RunDistributedMining(db.size(), MakeNaiveMapFn(db, fst, dict, options),
+                              MakeSumCombiner, MakeNaiveReduceFn(options),
                               options);
+}
+
+ChainedDistributedResult MineNaiveRecount(const std::vector<Sequence>& db,
+                                          const Fst& fst,
+                                          const Dictionary& dict,
+                                          const NaiveRecountOptions& options) {
+  // Round 1 recounts the f-list; round 2 prunes with the recounted counts.
+  return RunRecountMining(
+      db, dict, options.recount_sample_every, options,
+      [&](const Dictionary& recounted, MapFn* map_fn,
+          CombinerFactory* combiner_factory, PartitionReduceFn* reduce_fn) {
+        *map_fn = MakeNaiveMapFn(db, fst, recounted, options);
+        *combiner_factory = MakeSumCombiner;
+        *reduce_fn = MakeNaiveReduceFn(options);
+      });
 }
 
 }  // namespace dseq

@@ -1,0 +1,128 @@
+// Unit tests of the map-side combiners: key collisions, empty payloads,
+// weight-sum overflow near uint64 max, and loud failure on malformed
+// varint-coded values (silent miscounts are the one unforgivable bug in a
+// support-counting system).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/dataflow/engine.h"
+#include "src/util/varint.h"
+
+namespace dseq {
+namespace {
+
+constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+
+std::string Varint(uint64_t v) {
+  std::string s;
+  PutVarint(&s, v);
+  return s;
+}
+
+// Flushes a combiner into a sorted (key, value) list.
+std::vector<std::pair<std::string, std::string>> Flush(Combiner& combiner) {
+  std::vector<std::pair<std::string, std::string>> out;
+  combiner.Flush([&](std::string key, std::string value) {
+    out.emplace_back(std::move(key), std::move(value));
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(SumCombinerTest, SumsCollidingKeys) {
+  auto combiner = MakeSumCombiner();
+  combiner->Add("a", Varint(2));
+  combiner->Add("b", Varint(1));
+  combiner->Add("a", Varint(3));
+  auto records = Flush(*combiner);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], std::make_pair(std::string("a"), Varint(5)));
+  EXPECT_EQ(records[1], std::make_pair(std::string("b"), Varint(1)));
+}
+
+TEST(SumCombinerTest, MalformedVarintFailsLoudly) {
+  // Truncated varint (lone continuation byte).
+  EXPECT_THROW(MakeSumCombiner()->Add("k", std::string(1, '\x80')),
+               std::invalid_argument);
+  // Empty value.
+  EXPECT_THROW(MakeSumCombiner()->Add("k", ""), std::invalid_argument);
+  // Trailing bytes after a valid varint are just as malformed — a count
+  // record is exactly one varint.
+  EXPECT_THROW(MakeSumCombiner()->Add("k", Varint(1) + "junk"),
+               std::invalid_argument);
+}
+
+TEST(SumCombinerTest, CountOverflowNearUint64MaxFailsLoudly) {
+  auto combiner = MakeSumCombiner();
+  combiner->Add("k", Varint(kMax - 1));
+  combiner->Add("k", Varint(1));  // exactly reaches the max: fine
+  EXPECT_THROW(combiner->Add("k", Varint(1)), std::overflow_error);
+
+  auto records = Flush(*MakeSumCombiner());  // unrelated instance is clean
+  EXPECT_TRUE(records.empty());
+}
+
+TEST(WeightedValueCombinerTest, MergesIdenticalPayloadsPerKey) {
+  auto combiner = MakeWeightedValueCombiner();
+  combiner->Add("k", Varint(2) + "nfa1");
+  combiner->Add("k", Varint(3) + "nfa1");
+  combiner->Add("k", Varint(1) + "nfa2");
+  combiner->Add("other", Varint(1) + "nfa1");
+  auto records = Flush(*combiner);
+  ASSERT_EQ(records.size(), 3u);
+  // Sorted by (key, value); the varint weight byte is the value's first.
+  EXPECT_EQ(records[0], std::make_pair(std::string("k"), Varint(1) + "nfa2"));
+  EXPECT_EQ(records[1], std::make_pair(std::string("k"), Varint(5) + "nfa1"));
+  EXPECT_EQ(records[2],
+            std::make_pair(std::string("other"), Varint(1) + "nfa1"));
+}
+
+TEST(WeightedValueCombinerTest, EmptyPayloadAggregates) {
+  auto combiner = MakeWeightedValueCombiner();
+  combiner->Add("k", Varint(2));  // weight only, empty payload
+  combiner->Add("k", Varint(5));
+  auto records = Flush(*combiner);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], std::make_pair(std::string("k"), Varint(7)));
+}
+
+TEST(WeightedValueCombinerTest, MissingWeightPrefixFailsLoudly) {
+  EXPECT_THROW(MakeWeightedValueCombiner()->Add("k", ""),
+               std::invalid_argument);
+  EXPECT_THROW(MakeWeightedValueCombiner()->Add("k", std::string(1, '\x80')),
+               std::invalid_argument);
+}
+
+TEST(WeightedValueCombinerTest, WeightOverflowNearUint64MaxFailsLoudly) {
+  auto combiner = MakeWeightedValueCombiner();
+  combiner->Add("k", Varint(kMax - 2) + "payload");
+  combiner->Add("k", Varint(2) + "payload");  // exactly reaches the max
+  EXPECT_THROW(combiner->Add("k", Varint(1) + "payload"), std::overflow_error);
+  // A different payload under the same key has its own sum and is fine.
+  combiner->Add("k", Varint(kMax) + "other");
+  auto records = Flush(*combiner);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], std::make_pair(std::string("k"), Varint(kMax) + "other"));
+  EXPECT_EQ(records[1],
+            std::make_pair(std::string("k"), Varint(kMax) + "payload"));
+}
+
+TEST(CombinerEngineTest, MalformedValuePropagatesOutOfRunMapReduce) {
+  // A mapper feeding garbage to the combiner must fail the whole round, not
+  // miscount: the engine rethrows the map worker's exception.
+  MapFn map_fn = [](size_t, const EmitFn& emit) { emit("k", "\x80"); };
+  ReduceFn sink = [](int, const std::string&, std::vector<std::string>&) {};
+  DataflowOptions options;
+  options.num_map_workers = 2;
+  EXPECT_THROW(RunMapReduce(4, map_fn, MakeSumCombiner, sink, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dseq

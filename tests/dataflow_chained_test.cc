@@ -1,0 +1,289 @@
+// Unit tests of the chained-round dataflow API (DataflowJob) and regression
+// tests pinning the shuffle-budget semantics: exact thresholds, where in the
+// round the budget trips, and per-round vs cumulative accounting.
+#include "src/dataflow/chained.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/varint.h"
+
+namespace dseq {
+namespace {
+
+std::string Varint(uint64_t v) {
+  std::string s;
+  PutVarint(&s, v);
+  return s;
+}
+
+uint64_t DecodeVarint(const std::string& s) {
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_TRUE(GetVarint(s, &pos, &v));
+  return v;
+}
+
+// Sums varint values per key and re-emits (key, varint(total)).
+ChainReduceFn SumReduce() {
+  return [](int, const std::string& key, std::vector<std::string>& values,
+            const EmitFn& emit) {
+    uint64_t total = 0;
+    for (const std::string& v : values) total += DecodeVarint(v);
+    emit(key, Varint(total));
+  };
+}
+
+TEST(DataflowJobTest, RecordsFlowBetweenRounds) {
+  // Round 1: word count. Round 2: re-key by first letter, sum again.
+  std::vector<std::string> docs = {"apple ant bee", "bee apple", "ant"};
+  ChainedDataflowOptions options;
+  options.num_map_workers = 2;
+  options.num_reduce_workers = 2;
+  DataflowJob job(options);
+
+  MapFn map_fn = [&](size_t i, const EmitFn& emit) {
+    std::string word;
+    for (char c : docs[i] + " ") {
+      if (c == ' ') {
+        if (!word.empty()) emit(word, Varint(1));
+        word.clear();
+      } else {
+        word += c;
+      }
+    }
+  };
+  job.RunRound(docs.size(), map_fn, MakeSumCombiner, SumReduce());
+
+  // Boundary records hold the per-word counts, serialized.
+  std::map<std::string, uint64_t> words;
+  for (const Record& r : job.records()) words[r.key] = DecodeVarint(r.value);
+  EXPECT_EQ(words, (std::map<std::string, uint64_t>{
+                       {"apple", 2}, {"ant", 2}, {"bee", 2}}));
+
+  RecordMapFn rekey = [](size_t, const Record& r, const EmitFn& emit) {
+    emit(r.key.substr(0, 1), r.value);
+  };
+  job.RunChainedRound(rekey, MakeSumCombiner, SumReduce());
+
+  std::map<std::string, uint64_t> letters;
+  for (const Record& r : job.records()) letters[r.key] = DecodeVarint(r.value);
+  EXPECT_EQ(letters, (std::map<std::string, uint64_t>{{"a", 4}, {"b", 2}}));
+
+  ASSERT_EQ(job.num_rounds(), 2u);
+  const auto& rounds = job.round_metrics();
+  EXPECT_GT(rounds[0].shuffle_records, 0u);
+  EXPECT_GT(rounds[1].shuffle_records, 0u);
+  DataflowMetrics aggregate = job.aggregate_metrics();
+  EXPECT_EQ(aggregate.shuffle_bytes,
+            rounds[0].shuffle_bytes + rounds[1].shuffle_bytes);
+  EXPECT_EQ(aggregate.shuffle_records,
+            rounds[0].shuffle_records + rounds[1].shuffle_records);
+  EXPECT_EQ(aggregate.map_output_records,
+            rounds[0].map_output_records + rounds[1].map_output_records);
+  EXPECT_EQ(job.cumulative_shuffle_bytes(), aggregate.shuffle_bytes);
+}
+
+TEST(DataflowJobTest, TakeRecordsConsumes) {
+  DataflowJob job(ChainedDataflowOptions{});
+  MapFn map_fn = [](size_t, const EmitFn& emit) { emit("k", "v"); };
+  ChainReduceFn pass = [](int, const std::string& key,
+                          std::vector<std::string>& values,
+                          const EmitFn& emit) {
+    for (std::string& v : values) emit(key, std::move(v));
+  };
+  job.RunRound(1, map_fn, nullptr, pass);
+  ASSERT_EQ(job.records().size(), 1u);
+  std::vector<Record> taken = job.TakeRecords();
+  EXPECT_EQ(taken.size(), 1u);
+  EXPECT_TRUE(job.records().empty());
+}
+
+TEST(DataflowJobTest, EmptyChainedRoundRunsCleanly) {
+  DataflowJob job(ChainedDataflowOptions{});
+  MapFn map_fn = [](size_t, const EmitFn& emit) { emit("k", Varint(1)); };
+  // Reduce emits nothing: the chain's data ends here.
+  ChainReduceFn sink = [](int, const std::string&, std::vector<std::string>&,
+                          const EmitFn&) {};
+  job.RunRound(1, map_fn, nullptr, sink);
+  EXPECT_TRUE(job.records().empty());
+  RecordMapFn identity = [](size_t, const Record& r, const EmitFn& emit) {
+    emit(r.key, r.value);
+  };
+  job.RunChainedRound(identity, nullptr, sink);
+  EXPECT_EQ(job.num_rounds(), 2u);
+  EXPECT_EQ(job.round_metrics()[1].shuffle_records, 0u);
+}
+
+// --- Shuffle-budget regressions --------------------------------------------
+
+// One round shuffling a fixed set of records, no combiner. Returns its exact
+// shuffle volume when unbudgeted.
+uint64_t MeasureVolume() {
+  DataflowJob job(ChainedDataflowOptions{});
+  MapFn map_fn = [](size_t i, const EmitFn& emit) {
+    emit("key" + std::to_string(i), std::string(10, 'v'));
+  };
+  ChainReduceFn sink = [](int, const std::string&, std::vector<std::string>&,
+                          const EmitFn&) {};
+  job.RunRound(8, map_fn, nullptr, sink);
+  return job.round_metrics()[0].shuffle_bytes;
+}
+
+DataflowMetrics RunBudgeted(uint64_t per_round_budget) {
+  DataflowOptions options;
+  options.shuffle_budget_bytes = per_round_budget;
+  MapFn map_fn = [](size_t i, const EmitFn& emit) {
+    emit("key" + std::to_string(i), std::string(10, 'v'));
+  };
+  ReduceFn sink = [](int, const std::string&, std::vector<std::string>&) {};
+  return RunMapReduce(8, map_fn, nullptr, sink, options);
+}
+
+TEST(ShuffleBudgetTest, BudgetExactlyEqualToVolumeSucceeds) {
+  uint64_t volume = MeasureVolume();
+  ASSERT_GT(volume, 0u);
+  DataflowMetrics metrics = RunBudgeted(volume);
+  EXPECT_EQ(metrics.shuffle_bytes, volume);
+}
+
+TEST(ShuffleBudgetTest, OneByteBelowVolumeThrows) {
+  uint64_t volume = MeasureVolume();
+  EXPECT_THROW(RunBudgeted(volume - 1), ShuffleOverflowError);
+}
+
+TEST(ShuffleBudgetTest, BudgetTripsMidMap) {
+  // A single map worker emits record by record; the overflow must fire on
+  // the offending record, before the map phase finishes.
+  std::atomic<size_t> map_calls{0};
+  DataflowOptions options;
+  options.shuffle_budget_bytes = 40;  // fits ~2 records of 17+4 bytes
+  options.num_map_workers = 1;
+  MapFn map_fn = [&](size_t i, const EmitFn& emit) {
+    ++map_calls;
+    emit("key" + std::to_string(i), std::string(10, 'v'));
+  };
+  ReduceFn sink = [](int, const std::string&, std::vector<std::string>&) {};
+  EXPECT_THROW(RunMapReduce(100, map_fn, nullptr, sink, options),
+               ShuffleOverflowError);
+  EXPECT_LT(map_calls.load(), 100u);
+}
+
+TEST(ShuffleBudgetTest, PreCombineVolumeAboveBudgetDoesNotTrip) {
+  // 500 identical records would blow the budget raw, but the combiner folds
+  // them into one; the budget is charged post-combine only.
+  DataflowOptions options;
+  options.num_map_workers = 1;
+  MapFn map_fn = [](size_t, const EmitFn& emit) {
+    std::string one;
+    PutVarint(&one, 1);
+    for (int i = 0; i < 500; ++i) emit("key", one);
+  };
+  ReduceFn sink = [](int, const std::string&, std::vector<std::string>&) {};
+
+  DataflowMetrics unbudgeted =
+      RunMapReduce(1, map_fn, MakeSumCombiner, sink, options);
+  ASSERT_EQ(unbudgeted.shuffle_records, 1u);
+  ASSERT_GT(unbudgeted.map_output_records, unbudgeted.shuffle_records);
+
+  options.shuffle_budget_bytes = unbudgeted.shuffle_bytes;
+  DataflowMetrics budgeted =
+      RunMapReduce(1, map_fn, MakeSumCombiner, sink, options);
+  EXPECT_EQ(budgeted.shuffle_bytes, unbudgeted.shuffle_bytes);
+
+  options.shuffle_budget_bytes = unbudgeted.shuffle_bytes - 1;
+  EXPECT_THROW(RunMapReduce(1, map_fn, MakeSumCombiner, sink, options),
+               ShuffleOverflowError);
+}
+
+// Chained job where each round shuffles the same fixed volume.
+class BudgetedChain {
+ public:
+  explicit BudgetedChain(ChainedDataflowOptions options) : job_(options) {}
+
+  // Round 1 ships `kRecords` records; every chained round re-ships them.
+  void RunSeedRound() {
+    MapFn map_fn = [](size_t i, const EmitFn& emit) {
+      emit("key" + std::to_string(i), std::string(10, 'v'));
+    };
+    job_.RunRound(kRecords, map_fn, nullptr, PassThrough());
+  }
+  void RunEchoRound() {
+    RecordMapFn map_fn = [](size_t, const Record& r, const EmitFn& emit) {
+      emit(r.key, r.value);
+    };
+    job_.RunChainedRound(map_fn, nullptr, PassThrough());
+  }
+  DataflowJob& job() { return job_; }
+
+  static constexpr size_t kRecords = 8;
+
+ private:
+  static ChainReduceFn PassThrough() {
+    return [](int, const std::string& key, std::vector<std::string>& values,
+              const EmitFn& emit) {
+      for (std::string& v : values) emit(key, std::move(v));
+    };
+  }
+  DataflowJob job_;
+};
+
+TEST(ShuffleBudgetTest, PerRoundBudgetResetsEachRound) {
+  uint64_t volume = MeasureVolume();
+  ChainedDataflowOptions options;
+  options.shuffle_budget_bytes = volume;  // exactly one round's volume
+  BudgetedChain chain(options);
+  chain.RunSeedRound();
+  chain.RunEchoRound();
+  chain.RunEchoRound();
+  EXPECT_EQ(chain.job().cumulative_shuffle_bytes(), 3 * volume);
+}
+
+TEST(ShuffleBudgetTest, CumulativeBudgetSpansRounds) {
+  uint64_t volume = MeasureVolume();
+  {
+    ChainedDataflowOptions options;
+    options.cumulative_shuffle_budget_bytes = 2 * volume;
+    BudgetedChain chain(options);
+    chain.RunSeedRound();
+    chain.RunEchoRound();  // exactly exhausts the budget
+    EXPECT_EQ(chain.job().cumulative_shuffle_bytes(), 2 * volume);
+    // Any further shuffled byte overflows, even though the per-round volume
+    // would be fine on its own.
+    EXPECT_THROW(chain.RunEchoRound(), ShuffleOverflowError);
+  }
+  {
+    ChainedDataflowOptions options;
+    options.cumulative_shuffle_budget_bytes = 2 * volume - 1;
+    BudgetedChain chain(options);
+    chain.RunSeedRound();
+    EXPECT_THROW(chain.RunEchoRound(), ShuffleOverflowError);
+  }
+  {
+    ChainedDataflowOptions options;
+    options.cumulative_shuffle_budget_bytes = volume - 1;
+    BudgetedChain chain(options);
+    EXPECT_THROW(chain.RunSeedRound(), ShuffleOverflowError);
+  }
+}
+
+TEST(ShuffleBudgetTest, PerRoundAndCumulativeCompose) {
+  uint64_t volume = MeasureVolume();
+  // Per-round allows each round; the cumulative budget ends the chain first.
+  ChainedDataflowOptions options;
+  options.shuffle_budget_bytes = volume;
+  options.cumulative_shuffle_budget_bytes = 2 * volume + volume / 2;
+  BudgetedChain chain(options);
+  chain.RunSeedRound();
+  chain.RunEchoRound();
+  EXPECT_THROW(chain.RunEchoRound(), ShuffleOverflowError);
+  EXPECT_EQ(chain.job().num_rounds(), 2u);
+}
+
+}  // namespace
+}  // namespace dseq

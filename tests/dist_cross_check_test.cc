@@ -29,34 +29,33 @@ TEST_P(DistCrossCheckTest, AllMinersMatchBruteForceAcrossWorkerCounts) {
     MiningResult expected =
         testing::BruteForceMine(db.sequences, fst, db.dict, sigma);
 
-    for (int workers : {1, 2, 4}) {
-      NaiveOptions naive;
-      naive.sigma = sigma;
-      naive.num_map_workers = workers;
-      naive.num_reduce_workers = workers;
-      EXPECT_EQ(MineNaive(db.sequences, fst, db.dict, naive).patterns,
-                expected)
-          << "NAIVE, pattern=" << pattern << " sigma=" << sigma
-          << " workers=" << workers;
+    testing::ForEachWorkerCount(
+        [&](int workers) {
+          NaiveOptions naive;
+          naive.sigma = sigma;
+          naive.num_map_workers = workers;
+          naive.num_reduce_workers = workers;
+          EXPECT_EQ(MineNaive(db.sequences, fst, db.dict, naive).patterns,
+                    expected)
+              << "NAIVE, pattern=" << pattern << " sigma=" << sigma;
 
-      DSeqOptions dseq;
-      dseq.sigma = sigma;
-      dseq.num_map_workers = workers;
-      dseq.num_reduce_workers = workers;
-      EXPECT_EQ(MineDSeq(db.sequences, fst, db.dict, dseq).patterns,
-                expected)
-          << "D-SEQ, pattern=" << pattern << " sigma=" << sigma
-          << " workers=" << workers;
+          DSeqOptions dseq;
+          dseq.sigma = sigma;
+          dseq.num_map_workers = workers;
+          dseq.num_reduce_workers = workers;
+          EXPECT_EQ(MineDSeq(db.sequences, fst, db.dict, dseq).patterns,
+                    expected)
+              << "D-SEQ, pattern=" << pattern << " sigma=" << sigma;
 
-      DCandOptions dcand;
-      dcand.sigma = sigma;
-      dcand.num_map_workers = workers;
-      dcand.num_reduce_workers = workers;
-      EXPECT_EQ(MineDCand(db.sequences, fst, db.dict, dcand).patterns,
-                expected)
-          << "D-CAND, pattern=" << pattern << " sigma=" << sigma
-          << " workers=" << workers;
-    }
+          DCandOptions dcand;
+          dcand.sigma = sigma;
+          dcand.num_map_workers = workers;
+          dcand.num_reduce_workers = workers;
+          EXPECT_EQ(MineDCand(db.sequences, fst, db.dict, dcand).patterns,
+                    expected)
+              << "D-CAND, pattern=" << pattern << " sigma=" << sigma;
+        },
+        {1, 2, 4});
   }
 }
 

@@ -29,13 +29,16 @@ TEST(PartitionStatsTest, ParallelMatchesSerial) {
   SequenceDatabase db = testing::RandomDatabase(31, 8, 80, 8);
   Fst fst = CompileFst(".*(.^)[.{0,1}(.^)]{1,2}.*", db.dict);
   auto serial = ComputePartitionStats(db.sequences, fst, db.dict, 2, 1);
-  auto parallel = ComputePartitionStats(db.sequences, fst, db.dict, 2, 4);
-  ASSERT_EQ(serial.size(), parallel.size());
-  for (size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(serial[i].pivot, parallel[i].pivot);
-    EXPECT_EQ(serial[i].num_sequences, parallel[i].num_sequences);
-    EXPECT_EQ(serial[i].total_bytes, parallel[i].total_bytes);
-  }
+  testing::ForEachWorkerCount([&](int workers) {
+    auto parallel =
+        ComputePartitionStats(db.sequences, fst, db.dict, 2, workers);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].pivot, parallel[i].pivot);
+      EXPECT_EQ(serial[i].num_sequences, parallel[i].num_sequences);
+      EXPECT_EQ(serial[i].total_bytes, parallel[i].total_bytes);
+    }
+  });
 }
 
 TEST(PartitionStatsTest, SummaryMeasures) {

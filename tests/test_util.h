@@ -3,6 +3,10 @@
 #ifndef DSEQ_TESTS_TEST_UTIL_H_
 #define DSEQ_TESTS_TEST_UTIL_H_
 
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <initializer_list>
 #include <random>
 #include <string>
 #include <unordered_map>
@@ -16,6 +20,28 @@
 
 namespace dseq {
 namespace testing {
+
+/// Runs `fn(workers)` once per worker count, with a SCOPED_TRACE naming the
+/// count — the shared worker sweep of the cross-check, partition-stats, and
+/// property tests.
+template <typename Fn>
+inline void ForEachWorkerCount(const Fn& fn,
+                               std::initializer_list<int> counts = {1, 2, 4,
+                                                                    8}) {
+  for (int workers : counts) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    fn(workers);
+  }
+}
+
+/// Iteration count of the randomized property tests: `fallback` by default,
+/// overridden by DSEQ_PROPERTY_ITERATIONS (the nightly CI job raises it).
+inline int PropertyIterations(int fallback) {
+  const char* env = std::getenv("DSEQ_PROPERTY_ITERATIONS");
+  if (env == nullptr) return fallback;
+  int value = std::atoi(env);
+  return value > 0 ? value : fallback;
+}
 
 /// Builds a random sequence database over `num_items` items named
 /// "i0".."iN" with a random DAG hierarchy (parents always have smaller

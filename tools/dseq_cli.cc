@@ -5,8 +5,15 @@
 //
 //   dseq_cli --sequences corpus.txt [--hierarchy edges.txt]
 //            --pattern '.*(A)[(.^).*]*(b).*' --sigma 2
-//            [--algorithm dseq|dcand|naive|semi-naive|desq-dfs|desq-count]
+//            [--algorithm dseq|dcand|naive|semi-naive|desq-dfs|desq-count|
+//                         prefix-span|prefix-span-chained]
 //            [--workers N] [--limit N] [--stats]
+//            [--recount] [--recount-sample N] [--lambda N]
+//
+// Iterative (multi-round) jobs: --recount prepends a distributed
+// frequency-recount round to naive/semi-naive/dseq, and
+// `--algorithm prefix-span-chained` grows PrefixSpan prefixes one shuffle
+// round at a time; --stats prints per-round metrics for both.
 //
 // Input format: one sequence per line, whitespace-separated item names; the
 // hierarchy file has one "child parent" pair per line. Output: one frequent
@@ -17,6 +24,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/baselines/prefix_span.h"
 #include "src/core/desq_count.h"
 #include "src/core/desq_dfs.h"
 #include "src/dist/dcand_miner.h"
@@ -37,6 +45,10 @@ struct Args {
   int workers = 0;  // 0 = hardware default
   size_t limit = 0;  // 0 = print all
   bool stats = false;
+  bool recount = false;
+  uint32_t recount_sample = 1;
+  uint32_t lambda = 5;  // prefix-span max pattern length
+  bool lambda_set = false;
 };
 
 [[noreturn]] void Usage(const char* message) {
@@ -49,10 +61,17 @@ struct Args {
       "  --pattern EXPR     pattern expression ('^' is the paper's ^)\n"
       "  --sigma N          minimum support (default 2)\n"
       "  --algorithm A      dseq | dcand | naive | semi-naive |\n"
-      "                     desq-dfs | desq-count (default dseq)\n"
+      "                     desq-dfs | desq-count | prefix-span |\n"
+      "                     prefix-span-chained (default dseq)\n"
       "  --workers N        map/reduce workers (default: hardware)\n"
       "  --limit N          print at most N sequences (default: all)\n"
-      "  --stats            print dataset and run statistics to stderr\n");
+      "  --stats            print dataset and run statistics to stderr\n"
+      "                     (per-round metrics for chained runs)\n"
+      "  --recount          naive/semi-naive/dseq: prepend a distributed\n"
+      "                     frequency-recount round (two-round chained job)\n"
+      "  --recount-sample N recount every N-th sequence only, scaled up\n"
+      "                     (default 1 = exact)\n"
+      "  --lambda N         prefix-span max pattern length (default 5)\n");
   std::exit(2);
 }
 
@@ -82,6 +101,15 @@ Args ParseArgs(int argc, char** argv) {
       args.limit = std::strtoull(need_value("--limit"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       args.stats = true;
+    } else if (std::strcmp(argv[i], "--recount") == 0) {
+      args.recount = true;
+    } else if (std::strcmp(argv[i], "--recount-sample") == 0) {
+      args.recount_sample = static_cast<uint32_t>(
+          std::strtoul(need_value("--recount-sample"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--lambda") == 0) {
+      args.lambda = static_cast<uint32_t>(
+          std::strtoul(need_value("--lambda"), nullptr, 10));
+      args.lambda_set = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage(nullptr);
     } else {
@@ -89,9 +117,46 @@ Args ParseArgs(int argc, char** argv) {
     }
   }
   if (args.sequences.empty()) Usage("--sequences is required");
-  if (args.pattern.empty()) Usage("--pattern is required");
+  // PrefixSpan's constraint is (σ, λ), not a pattern expression.
+  bool is_prefix_span = args.algorithm == "prefix-span" ||
+                        args.algorithm == "prefix-span-chained";
+  if (args.pattern.empty() && !is_prefix_span) {
+    Usage("--pattern is required");
+  }
+  if (!args.pattern.empty() && is_prefix_span) {
+    Usage("--pattern does not apply to the prefix-span algorithms (use "
+          "--sigma/--lambda)");
+  }
   if (args.sigma == 0) Usage("--sigma must be positive");
+  if (args.lambda == 0) Usage("--lambda must be positive");
+  if (args.recount_sample == 0) Usage("--recount-sample must be positive");
+  if (args.recount && args.algorithm != "naive" &&
+      args.algorithm != "semi-naive" && args.algorithm != "dseq") {
+    Usage("--recount requires --algorithm naive, semi-naive, or dseq");
+  }
+  if (args.recount_sample != 1 && !args.recount) {
+    Usage("--recount-sample requires --recount");
+  }
+  if (args.lambda_set && !is_prefix_span) {
+    Usage("--lambda requires --algorithm prefix-span or prefix-span-chained");
+  }
   return args;
+}
+
+void PrintRoundStats(const dseq::ChainedDistributedResult& result) {
+  for (size_t r = 0; r < result.round_metrics.size(); ++r) {
+    const dseq::DataflowMetrics& m = result.round_metrics[r];
+    std::fprintf(stderr,
+                 "round %zu: map %.3fs, reduce %.3fs, shuffle %llu bytes "
+                 "(%llu records)\n",
+                 r + 1, m.map_seconds, m.reduce_seconds,
+                 static_cast<unsigned long long>(m.shuffle_bytes),
+                 static_cast<unsigned long long>(m.shuffle_records));
+  }
+  std::fprintf(stderr,
+               "total: map %.3fs, reduce %.3fs, shuffle %llu bytes\n",
+               result.aggregate.map_seconds, result.aggregate.reduce_seconds,
+               static_cast<unsigned long long>(result.aggregate.shuffle_bytes));
 }
 
 }  // namespace
@@ -109,19 +174,30 @@ int main(int argc, char** argv) {
                    "database: %zu sequences, %zu items, mean length %.1f\n",
                    db.size(), db.dict.size(), db.MeanSequenceLength());
     }
-    Fst fst = CompileFst(args.pattern, db.dict);
-    if (args.stats) {
-      std::fprintf(stderr, "fst: %zu states, %zu transitions\n",
-                   fst.num_states(), fst.num_transitions());
+    Fst fst;
+    if (!args.pattern.empty()) {
+      fst = CompileFst(args.pattern, db.dict);
+      if (args.stats) {
+        std::fprintf(stderr, "fst: %zu states, %zu transitions\n",
+                     fst.num_states(), fst.num_transitions());
+      }
     }
 
     MiningResult patterns;
     if (args.algorithm == "dseq") {
-      DSeqOptions options;
+      DSeqRecountOptions options;
       options.sigma = args.sigma;
       options.num_map_workers = workers;
       options.num_reduce_workers = workers;
-      patterns = MineDSeq(db.sequences, fst, db.dict, options).patterns;
+      if (args.recount) {
+        options.recount_sample_every = args.recount_sample;
+        ChainedDistributedResult result =
+            MineDSeqRecount(db.sequences, fst, db.dict, options);
+        if (args.stats) PrintRoundStats(result);
+        patterns = std::move(result.patterns);
+      } else {
+        patterns = MineDSeq(db.sequences, fst, db.dict, options).patterns;
+      }
     } else if (args.algorithm == "dcand") {
       DCandOptions options;
       options.sigma = args.sigma;
@@ -129,12 +205,35 @@ int main(int argc, char** argv) {
       options.num_reduce_workers = workers;
       patterns = MineDCand(db.sequences, fst, db.dict, options).patterns;
     } else if (args.algorithm == "naive" || args.algorithm == "semi-naive") {
-      NaiveOptions options;
+      NaiveRecountOptions options;
       options.sigma = args.sigma;
       options.semi_naive = args.algorithm == "semi-naive";
       options.num_map_workers = workers;
       options.num_reduce_workers = workers;
-      patterns = MineNaive(db.sequences, fst, db.dict, options).patterns;
+      if (args.recount) {
+        options.recount_sample_every = args.recount_sample;
+        ChainedDistributedResult result =
+            MineNaiveRecount(db.sequences, fst, db.dict, options);
+        if (args.stats) PrintRoundStats(result);
+        patterns = std::move(result.patterns);
+      } else {
+        patterns = MineNaive(db.sequences, fst, db.dict, options).patterns;
+      }
+    } else if (args.algorithm == "prefix-span" ||
+               args.algorithm == "prefix-span-chained") {
+      PrefixSpanOptions options;
+      options.sigma = args.sigma;
+      options.lambda = args.lambda;
+      options.num_map_workers = workers;
+      options.num_reduce_workers = workers;
+      if (args.algorithm == "prefix-span-chained") {
+        ChainedDistributedResult result =
+            MineChainedPrefixSpan(db.sequences, db.dict, options);
+        if (args.stats) PrintRoundStats(result);
+        patterns = std::move(result.patterns);
+      } else {
+        patterns = MinePrefixSpan(db.sequences, db.dict, options).patterns;
+      }
     } else if (args.algorithm == "desq-dfs") {
       DesqDfsOptions options;
       options.sigma = args.sigma;
