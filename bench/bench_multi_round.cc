@@ -26,6 +26,11 @@ using namespace dseq::bench;
 
 std::string Count(uint64_t n) { return std::to_string(n); }
 
+std::string Compressed(const DataflowMetrics& m) {
+  return m.shuffle_compressed_bytes > 0 ? FormatBytes(m.shuffle_compressed_bytes)
+                                        : "-";
+}
+
 // Prints one row per round plus the aggregate, labeled `name`.
 void PrintRounds(const std::string& name,
                  const ChainedDistributedResult& result) {
@@ -33,12 +38,14 @@ void PrintRounds(const std::string& name,
     const DataflowMetrics& m = result.round_metrics[r];
     PrintRow({name + " round " + std::to_string(r + 1),
               FormatSeconds(m.map_seconds), FormatSeconds(m.reduce_seconds),
-              FormatBytes(m.shuffle_bytes), Count(m.shuffle_records)});
+              FormatBytes(m.shuffle_bytes), Compressed(m),
+              Count(m.shuffle_records)});
   }
   const DataflowMetrics& total = result.aggregate;
   PrintRow({name + " total", FormatSeconds(total.map_seconds),
             FormatSeconds(total.reduce_seconds),
-            FormatBytes(total.shuffle_bytes), Count(total.shuffle_records)});
+            FormatBytes(total.shuffle_bytes), Compressed(total),
+            Count(total.shuffle_records)});
 }
 
 RunRow ChainedRow(const std::string& algo,
@@ -66,21 +73,37 @@ void BenchChainedPrefixSpan() {
   PrintHeader("Chained PrefixSpan, AMZN', T1(" +
                   std::to_string(options.sigma) + "," +
                   std::to_string(options.lambda) + ")",
-              {"stage", "map", "reduce", "shuffle", "records"});
+              {"stage", "map", "reduce", "shuffle", "compressed", "records"});
 
   ChainedDistributedResult chained =
       MineChainedPrefixSpan(db.sequences, db.dict, options);
   PrintRounds("k-round", chained);
 
+  // Same chain with the block codec on: identical patterns and raw volume,
+  // plus what would actually cross the wire.
+  PrefixSpanOptions compressed_options = options;
+  compressed_options.compress_shuffle = true;
+  ChainedDistributedResult compressed =
+      MineChainedPrefixSpan(db.sequences, db.dict, compressed_options);
+  PrintRounds("k-round+codec", compressed);
+
   RunRow collapsed = RunPrefixSpan(db, options);
   PrintRow({"collapsed (1 round)", FormatSeconds(collapsed.map_s),
             FormatSeconds(collapsed.mine_s),
-            FormatBytes(collapsed.shuffle_bytes), "-"});
+            FormatBytes(collapsed.shuffle_bytes), "-", "-"});
 
-  CheckAgreement({ChainedRow("k-round-PS", chained), collapsed},
+  CheckAgreement({ChainedRow("k-round-PS", chained),
+                  ChainedRow("k-round-PS+codec", compressed), collapsed},
                  "chained PrefixSpan");
   std::printf("patterns: %zu (%zu rounds)\n", chained.patterns.size(),
               chained.num_rounds());
+  if (compressed.aggregate.shuffle_compressed_bytes > 0) {
+    std::printf("codec: %llu -> %llu shuffle bytes (%.1f%%)\n",
+                (unsigned long long)compressed.aggregate.shuffle_bytes,
+                (unsigned long long)compressed.aggregate.shuffle_compressed_bytes,
+                100.0 * compressed.aggregate.shuffle_compressed_bytes /
+                    compressed.aggregate.shuffle_bytes);
+  }
 }
 
 void BenchRecountMiners() {
@@ -89,7 +112,7 @@ void BenchRecountMiners() {
   Fst fst = CompileFst(c.pattern, db.dict);
 
   PrintHeader("Frequency recount + mine, NYT', " + c.name,
-              {"stage", "map", "reduce", "shuffle", "records"});
+              {"stage", "map", "reduce", "shuffle", "compressed", "records"});
 
   NaiveRecountOptions naive;
   naive.sigma = c.sigma;
@@ -114,7 +137,7 @@ void BenchRecountMiners() {
   RunRow single = RunDSeq(db, fst, dseq);
   PrintRow({"D-SEQ (1 round)", FormatSeconds(single.map_s),
             FormatSeconds(single.mine_s), FormatBytes(single.shuffle_bytes),
-            "-"});
+            "-", "-"});
 
   CheckAgreement({ChainedRow("SemiNaive+recount", semi),
                   ChainedRow("D-SEQ+recount", dseq_result), single},
@@ -122,6 +145,9 @@ void BenchRecountMiners() {
   std::printf(
       "(recount round 1 recomputes the f-list the single-round miners read "
       "from the dictionary)\n");
+  std::printf("D-SEQ+recount input reads: %llu storage, %llu cache\n",
+              (unsigned long long)dseq_result.input_storage_reads,
+              (unsigned long long)dseq_result.input_cache_hits);
 }
 
 }  // namespace

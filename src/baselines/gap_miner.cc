@@ -178,14 +178,14 @@ DistributedResult MineGapConstrained(const std::vector<Sequence>& db,
     }
   };
 
-  PartitionReduceFn reduce_fn = [&](const std::string& key,
-                                    std::vector<std::string>& values,
+  PartitionReduceFn reduce_fn = [&](std::string_view key,
+                                    std::vector<std::string_view>& values,
                                     MiningResult& out) {
     ItemId pivot = DecodePivotKey(key);
     std::vector<Sequence> sequences;
     sequences.reserve(values.size());
     Sequence seq;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       size_t pos = 0;
       GetSequence(v, &pos, &seq);
       sequences.push_back(seq);

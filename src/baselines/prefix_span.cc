@@ -80,8 +80,8 @@ DistributedResult MinePrefixSpan(const std::vector<Sequence>& db,
     }
   };
 
-  PartitionReduceFn reduce_fn = [&](const std::string& key,
-                                    std::vector<std::string>& values,
+  PartitionReduceFn reduce_fn = [&](std::string_view key,
+                                    std::vector<std::string_view>& values,
                                     MiningResult& out) {
     ItemId w = DecodePivotKey(key);
     if (values.size() < options.sigma) return;
@@ -89,7 +89,7 @@ DistributedResult MinePrefixSpan(const std::vector<Sequence>& db,
     std::vector<Sequence> suffixes;
     suffixes.reserve(values.size());
     Sequence seq;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       size_t pos = 0;
       GetSequence(v, &pos, &seq);
       suffixes.push_back(seq);
@@ -116,8 +116,8 @@ ChainedDistributedResult MineChainedPrefixSpan(
   // prefixes are output and, below lambda, extended by one item: the
   // extension records are next round's map input.
   ChainReduceFn reduce_fn = [&per_worker, sigma, lambda](
-                                int worker, const std::string& key,
-                                std::vector<std::string>& values,
+                                int worker, std::string_view key,
+                                std::vector<std::string_view>& values,
                                 const EmitFn& emit) {
     if (values.size() < sigma) return;
     size_t pos = 0;
@@ -131,7 +131,7 @@ ChainedDistributedResult MineChainedPrefixSpan(
     Sequence extended = prefix;
     extended.push_back(kNoItem);
     Sequence suffix;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       size_t vpos = 0;
       if (!GetSequence(v, &vpos, &suffix) || vpos != v.size()) {
         throw std::invalid_argument("malformed chained PrefixSpan suffix");

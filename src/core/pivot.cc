@@ -11,7 +11,9 @@ void PivotSet::UnionWith(const PivotSet& other) {
     items = other.items;
     return;
   }
-  Sequence merged;
+  // Merge into a scratch small-vector: inline (allocation-free) unless the
+  // union spills past the inline capacity.
+  PivotItemVec merged;
   merged.reserve(items.size() + other.items.size());
   std::set_union(items.begin(), items.end(), other.items.begin(),
                  other.items.end(), std::back_inserter(merged));
@@ -25,23 +27,22 @@ PivotSet PivotMerge(const PivotSet& u, const PivotSet& q) {
 
   // min(Q) = ε if Q contains ε, else its smallest item. An element ω of U
   // survives iff ω >= min(Q), i.e. all of U if Q has ε, else ω >= Q.front().
-  auto survivors = [](const PivotSet& from, const PivotSet& other,
-                      Sequence* out) {
-    if (other.has_eps) {
-      out->insert(out->end(), from.items.begin(), from.items.end());
-      return;
-    }
+  // Each survivor set is a sorted tail range of its side, so the union is
+  // written straight into the result — no temporaries.
+  auto survivors = [](const PivotSet& from, const PivotSet& other)
+      -> std::pair<PivotItemVec::const_iterator,
+                   PivotItemVec::const_iterator> {
+    if (other.has_eps) return {from.items.begin(), from.items.end()};
     ItemId min_other = other.items.front();
-    auto it = std::lower_bound(from.items.begin(), from.items.end(), min_other);
-    out->insert(out->end(), it, from.items.end());
+    auto it =
+        std::lower_bound(from.items.begin(), from.items.end(), min_other);
+    return {it, from.items.end()};
   };
 
-  Sequence a;
-  Sequence b;
-  survivors(u, q, &a);
-  survivors(q, u, &b);
-  result.items.reserve(a.size() + b.size());
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+  auto [ubegin, uend] = survivors(u, q);
+  auto [qbegin, qend] = survivors(q, u);
+  result.items.reserve((uend - ubegin) + (qend - qbegin));
+  std::set_union(ubegin, uend, qbegin, qend,
                  std::back_inserter(result.items));
   return result;
 }
@@ -109,7 +110,7 @@ Sequence FindPivotItems(const StateGrid& grid) {
       result.UnionWith(fwd[n * ns + q]);
     }
   }
-  return result.items;  // ε (the empty candidate) is never a pivot
+  return result.items.ToSequence();  // ε (the empty candidate) is never a pivot
 }
 
 namespace {
@@ -163,7 +164,7 @@ bool FindPivotItemsNoGrid(const Sequence& T, const Fst& fst,
                           uint64_t max_steps, Sequence* pivots) {
   NoGridSearch search{T, fst, dict, sigma, max_steps, 0, {}, {}};
   bool complete = search.Dfs(0, fst.initial(), PivotSet::Eps());
-  *pivots = std::move(search.result.items);
+  *pivots = search.result.items.ToSequence();
   return complete;
 }
 

@@ -15,12 +15,13 @@ const DataflowMetrics& DataflowJob::Run(size_t num_inputs, const MapFn& map_fn,
   std::vector<EmitFn> emitters;
   emitters.reserve(reduce_workers);
   for (int w = 0; w < reduce_workers; ++w) {
-    emitters.push_back([&out, w](std::string k, std::string v) {
-      out[w].push_back(Record{std::move(k), std::move(v)});
+    emitters.push_back([&out, w](std::string_view k, std::string_view v) {
+      // Boundary records outlive the round, so the views are copied here.
+      out[w].push_back(Record{std::string(k), std::string(v)});
     });
   }
-  ReduceFn wrapped_reduce = [&](int worker, const std::string& key,
-                                std::vector<std::string>& values) {
+  ReduceFn wrapped_reduce = [&](int worker, std::string_view key,
+                                std::vector<std::string_view>& values) {
     reduce_fn(worker, key, values, emitters[worker]);
   };
 
@@ -81,6 +82,7 @@ DataflowMetrics DataflowJob::aggregate_metrics() const {
     total.map_seconds += m.map_seconds;
     total.reduce_seconds += m.reduce_seconds;
     total.shuffle_bytes += m.shuffle_bytes;
+    total.shuffle_compressed_bytes += m.shuffle_compressed_bytes;
     total.shuffle_records += m.shuffle_records;
     total.map_output_records += m.map_output_records;
   }

@@ -53,10 +53,11 @@ using RecordMapFn = std::function<void(size_t input_index, const Record& input,
 /// Reduce function of a chained round: like ReduceFn, plus an emitter whose
 /// records become the round's output (the next round's map input). Emitting
 /// nothing ends the chain's data; emitted records are buffered per reduce
-/// worker, so no locking is needed.
-using ChainReduceFn = std::function<void(int worker, const std::string& key,
-                                         std::vector<std::string>& values,
-                                         const EmitFn& emit)>;
+/// worker, so no locking is needed. As with ReduceFn, `key` and the value
+/// views are only valid during the call (the boundary emitter copies).
+using ChainReduceFn = std::function<void(
+    int worker, std::string_view key, std::vector<std::string_view>& values,
+    const EmitFn& emit)>;
 
 /// A chain of map-shuffle-reduce rounds with shared budgets and metrics.
 ///

@@ -1,11 +1,13 @@
 #include "src/dataflow/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <limits>
 #include <stdexcept>
-#include <unordered_map>
 
+#include "src/dataflow/shuffle_buffer.h"
+#include "src/util/arena.h"
 #include "src/util/thread_pool.h"
 #include "src/util/varint.h"
 
@@ -18,9 +20,66 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// The combiners aggregate into open-addressing tables (power-of-two
+// capacity, linear probing, growth at 7/8 load) whose string keys are views
+// into a StringArena — one bulk copy per distinct key instead of a heap
+// allocation per record.
+
+inline size_t HashBytes(std::string_view s) {
+  return std::hash<std::string_view>{}(s);
+}
+
+// Shared open-addressing machinery of the combiners. Slot requires `used`
+// (bool) and `hash` (size_t); the hash is cached so probes compare hashes
+// before bytes and growth rehashes without touching the interned views.
+template <typename Slot>
+class CombinerTable {
+ public:
+  /// Returns the slot for `hash`, probing with `equals(slot)` on cached-hash
+  /// matches; on a miss, inserts a slot initialized by `init(slot)`.
+  template <typename Eq, typename Init>
+  Slot& FindOrInsert(size_t hash, const Eq& equals, const Init& init) {
+    if (size_ * 8 >= slots_.size() * 7) Grow();
+    size_t mask = slots_.size() - 1;
+    size_t i = hash & mask;
+    while (slots_[i].used) {
+      if (slots_[i].hash == hash && equals(slots_[i])) return slots_[i];
+      i = (i + 1) & mask;
+    }
+    slots_[i].used = true;
+    slots_[i].hash = hash;
+    init(slots_[i]);
+    ++size_;
+    return slots_[i];
+  }
+
+  const std::vector<Slot>& slots() const { return slots_; }
+
+  void Clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+ private:
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 1024 : old.size() * 2, Slot{});
+    size_t mask = slots_.size() - 1;
+    for (const Slot& slot : old) {
+      if (!slot.used) continue;
+      size_t i = slot.hash & mask;
+      while (slots_[i].used) i = (i + 1) & mask;
+      slots_[i] = slot;  // interned views stay valid across rehash
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
 class SumCombiner : public Combiner {
  public:
-  void Add(std::string key, std::string value) override {
+  void Add(std::string_view key, std::string_view value) override {
     size_t pos = 0;
     uint64_t count = 0;
     // A malformed count must fail loudly: silently treating it as 1 (or
@@ -29,63 +88,93 @@ class SumCombiner : public Combiner {
       throw std::invalid_argument(
           "SumCombiner: value is not a single varint count");
     }
-    uint64_t& sum = counts_[std::move(key)];
-    if (count > std::numeric_limits<uint64_t>::max() - sum) {
+    Slot& slot = table_.FindOrInsert(
+        HashBytes(key), [&](const Slot& s) { return s.key == key; },
+        [&](Slot& s) { s.key = arena_.Intern(key); });
+    if (count > std::numeric_limits<uint64_t>::max() - slot.sum) {
       throw std::overflow_error("SumCombiner: per-key count sum overflows");
     }
-    sum += count;
+    slot.sum += count;
   }
 
   void Flush(const EmitFn& emit) override {
-    for (auto& [key, count] : counts_) {
-      std::string value;
-      PutVarint(&value, count);
-      emit(key, std::move(value));
+    std::string value;
+    for (const Slot& slot : table_.slots()) {
+      if (!slot.used) continue;
+      value.clear();
+      PutVarint(&value, slot.sum);
+      emit(slot.key, value);
     }
-    counts_.clear();
+    table_.Clear();
+    arena_.Clear();
   }
 
  private:
-  std::unordered_map<std::string, uint64_t> counts_;
+  struct Slot {
+    std::string_view key;
+    size_t hash = 0;
+    uint64_t sum = 0;
+    bool used = false;
+  };
+
+  CombinerTable<Slot> table_;
+  StringArena arena_;
 };
 
 class WeightedValueCombiner : public Combiner {
  public:
-  void Add(std::string key, std::string value) override {
+  void Add(std::string_view key, std::string_view value) override {
     size_t pos = 0;
     uint64_t weight = 0;
     if (!GetVarint(value, &pos, &weight)) {
       throw std::invalid_argument(
           "WeightedValueCombiner: value lacks a varint weight prefix");
     }
-    uint64_t& sum = weights_[std::move(key)][value.substr(pos)];
-    if (weight > std::numeric_limits<uint64_t>::max() - sum) {
+    std::string_view payload = value.substr(pos);  // view, not a copy
+    Slot& slot = table_.FindOrInsert(
+        HashPair(key, payload),
+        [&](const Slot& s) { return s.key == key && s.payload == payload; },
+        [&](Slot& s) {
+          s.key = arena_.Intern(key);
+          s.payload = arena_.Intern(payload);
+        });
+    if (weight > std::numeric_limits<uint64_t>::max() - slot.sum) {
       throw std::overflow_error(
           "WeightedValueCombiner: per-value weight sum overflows");
     }
-    sum += weight;
+    slot.sum += weight;
   }
 
   void Flush(const EmitFn& emit) override {
-    for (auto& [key, payloads] : weights_) {
-      for (auto& [payload, weight] : payloads) {
-        std::string value;
-        PutVarint(&value, weight);
-        value += payload;
-        emit(key, std::move(value));
-      }
+    std::string value;
+    for (const Slot& slot : table_.slots()) {
+      if (!slot.used) continue;
+      value.clear();
+      PutVarint(&value, slot.sum);
+      value.append(slot.payload.data(), slot.payload.size());
+      emit(slot.key, value);
     }
-    weights_.clear();
+    table_.Clear();
+    arena_.Clear();
   }
 
  private:
-  std::unordered_map<std::string, std::unordered_map<std::string, uint64_t>>
-      weights_;
-};
+  struct Slot {
+    std::string_view key;
+    std::string_view payload;
+    size_t hash = 0;
+    uint64_t sum = 0;
+    bool used = false;
+  };
 
-struct ShuffleRecord {
-  std::string key;
-  std::string value;
+  static size_t HashPair(std::string_view key, std::string_view payload) {
+    size_t h = HashBytes(key);
+    return h ^ (HashBytes(payload) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+                (h >> 2));
+  }
+
+  CombinerTable<Slot> table_;
+  StringArena arena_;
 };
 
 // Fixed per-record framing overhead charged to the shuffle-size metric
@@ -133,11 +222,12 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
   int map_workers = std::max(1, options.num_map_workers);
   int reduce_workers = std::max(1, options.num_reduce_workers);
 
-  // buckets[map_worker][reduce_worker] -> records destined for that reducer.
-  std::vector<std::vector<std::vector<ShuffleRecord>>> buckets(
-      map_workers,
-      std::vector<std::vector<ShuffleRecord>>(reduce_workers));
+  // buckets[map_worker][reduce_worker] -> one byte arena of varint-framed
+  // records destined for that reducer.
+  std::vector<std::vector<ShuffleBuffer>> buckets(map_workers);
+  for (auto& row : buckets) row.resize(reduce_workers);
   std::atomic<uint64_t> shuffle_bytes{0};
+  std::atomic<uint64_t> shuffle_compressed_bytes{0};
   std::atomic<uint64_t> shuffle_records{0};
   std::atomic<uint64_t> map_output_records{0};
 
@@ -147,11 +237,10 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
   metrics.map_seconds = RunPhase(map_workers, options.execution, [&](int w) {
     size_t begin = std::min(num_inputs, static_cast<size_t>(w) * shard);
     size_t end = std::min(num_inputs, begin + shard);
-    std::hash<std::string> hasher;
     uint64_t local_output_records = 0;
 
     // Emits a post-combine record into this worker's shuffle buckets.
-    EmitFn shuffle_emit = [&](std::string key, std::string value) {
+    EmitFn shuffle_emit = [&](std::string_view key, std::string_view value) {
       uint64_t bytes = key.size() + value.size() + kRecordOverheadBytes;
       uint64_t total = shuffle_bytes.fetch_add(bytes) + bytes;
       shuffle_records.fetch_add(1, std::memory_order_relaxed);
@@ -161,18 +250,18 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
             "shuffle exceeded memory budget (" +
             std::to_string(options.shuffle_budget_bytes) + " bytes)");
       }
-      size_t r = hasher(key) % reduce_workers;
-      buckets[w][r].push_back(ShuffleRecord{std::move(key), std::move(value)});
+      size_t r = HashBytes(key) % reduce_workers;
+      buckets[w][r].Append(key, value);
     };
 
     std::unique_ptr<Combiner> combiner =
         combiner_factory ? combiner_factory() : nullptr;
-    EmitFn map_emit = [&](std::string key, std::string value) {
+    EmitFn map_emit = [&](std::string_view key, std::string_view value) {
       ++local_output_records;
       if (combiner != nullptr) {
-        combiner->Add(std::move(key), std::move(value));
+        combiner->Add(key, value);
       } else {
-        shuffle_emit(std::move(key), std::move(value));
+        shuffle_emit(key, value);
       }
     };
 
@@ -180,30 +269,74 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
       map_fn(i, map_emit);
     }
     if (combiner != nullptr) combiner->Flush(shuffle_emit);
+    if (options.compress_shuffle) {
+      uint64_t compressed = 0;
+      for (int r = 0; r < reduce_workers; ++r) {
+        compressed += buckets[w][r].Compress();
+      }
+      shuffle_compressed_bytes.fetch_add(compressed,
+                                         std::memory_order_relaxed);
+    } else {
+      // Sync the amortized live-bytes gauge now that the buckets are final.
+      for (int r = 0; r < reduce_workers; ++r) buckets[w][r].Seal();
+    }
     map_output_records.fetch_add(local_output_records,
                                  std::memory_order_relaxed);
   });
   metrics.shuffle_bytes = shuffle_bytes.load();
+  metrics.shuffle_compressed_bytes = shuffle_compressed_bytes.load();
   metrics.shuffle_records = shuffle_records.load();
   metrics.map_output_records = map_output_records.load();
 
-  // Reduce: each reduce worker owns the records hashed to it.
-  metrics.reduce_seconds = RunPhase(reduce_workers, options.execution, [&](int r) {
-    std::unordered_map<std::string, std::vector<std::string>> groups;
-    size_t expected = 0;
-    for (int w = 0; w < map_workers; ++w) expected += buckets[w][r].size();
-    groups.reserve(expected);
-    for (int w = 0; w < map_workers; ++w) {
-      for (ShuffleRecord& rec : buckets[w][r]) {
-        groups[std::move(rec.key)].push_back(std::move(rec.value));
-      }
-      buckets[w][r].clear();
-      buckets[w][r].shrink_to_fit();
-    }
-    for (auto& [key, values] : groups) {
-      reduce_fn(r, key, values);
-    }
-  });
+  // Reduce: each reduce worker drains the bucket column hashed to it, then
+  // groups by sorting record views — no per-record rebuild into a hash map.
+  // The drained arenas are owned (and released) by the worker itself, so the
+  // shuffle's memory is freed worker by worker, not at the end of the phase.
+  metrics.reduce_seconds =
+      RunPhase(reduce_workers, options.execution, [&](int r) {
+        size_t total_records = 0;
+        for (int w = 0; w < map_workers; ++w) {
+          total_records += buckets[w][r].num_records();
+        }
+        // Raw frame bytes per map worker. Reserved up front: the string
+        // views below point into these buffers, so the vector must never
+        // reallocate (SSO strings would move).
+        std::vector<std::string> raws;
+        raws.reserve(map_workers);
+        for (int w = 0; w < map_workers; ++w) {
+          raws.push_back(buckets[w][r].ReleaseRaw());
+        }
+
+        struct Entry {
+          std::string_view key;
+          std::string_view value;
+        };
+        std::vector<Entry> entries;
+        entries.reserve(total_records);
+        for (const std::string& raw : raws) {
+          ShuffleBuffer::ForEachRecord(
+              raw, [&](std::string_view key, std::string_view value) {
+                entries.push_back(Entry{key, value});
+              });
+        }
+        // Stable: within a key, values keep map-worker-then-emit order.
+        std::stable_sort(entries.begin(), entries.end(),
+                         [](const Entry& a, const Entry& b) {
+                           return a.key < b.key;
+                         });
+
+        std::vector<std::string_view> values;
+        size_t i = 0;
+        while (i < entries.size()) {
+          size_t j = i + 1;
+          while (j < entries.size() && entries[j].key == entries[i].key) ++j;
+          values.clear();
+          values.reserve(j - i);
+          for (size_t k = i; k < j; ++k) values.push_back(entries[k].value);
+          reduce_fn(r, entries[i].key, values);
+          i = j;
+        }
+      });
   return metrics;
 }
 

@@ -11,8 +11,23 @@
 //             (the paper's `shuffleWriteBytes`)
 //   reduce  : each key's values are processed by exactly one reduce worker
 //
+// Zero-copy hot path: each (map worker, reduce worker) bucket is one
+// contiguous varint-framed byte arena (ShuffleBuffer) — no per-record heap
+// allocations. Combiners aggregate into open-addressing tables whose keys
+// are views into an interning arena. The reduce phase groups by sorting
+// (key view, record offset) pairs over the frozen arenas and sweeping runs
+// of equal keys; keys and values reach the reduce function as views into
+// the shuffle buffers, which are released per reduce worker as soon as that
+// worker finishes (not at the end of the phase).
+//
 // Values cross the phase boundary only in serialized form, so shuffle sizes
-// are honest and algorithms must implement real (de)serialization.
+// are honest and algorithms must implement real (de)serialization. With
+// DataflowOptions::compress_shuffle the buckets are additionally run
+// through the block codec (src/util/block_codec.h) at the end of the map
+// phase, like Spark's shuffle compression; `shuffle_bytes` keeps measuring
+// the raw serialized volume (so budgets and cross-run comparisons are
+// unaffected) and `shuffle_compressed_bytes` reports what actually crossed
+// the simulated network.
 //
 // A configurable shuffle budget emulates the paper's out-of-memory failures
 // (Spark failing to spill shuffle data): exceeding the budget throws
@@ -25,6 +40,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dseq {
@@ -37,9 +53,11 @@ class ShuffleOverflowError : public std::runtime_error {
 
 /// Wall-clock and volume metrics of one map-shuffle-reduce round.
 struct DataflowMetrics {
-  double map_seconds = 0.0;     // map + combine + serialize
-  double reduce_seconds = 0.0;  // deserialize + local mining
-  uint64_t shuffle_bytes = 0;   // post-combine serialized volume
+  double map_seconds = 0.0;     // map + combine + serialize (+ compress)
+  double reduce_seconds = 0.0;  // (decompress +) deserialize + local mining
+  uint64_t shuffle_bytes = 0;   // post-combine raw serialized volume
+  /// Post-codec volume; 0 unless DataflowOptions::compress_shuffle is set.
+  uint64_t shuffle_compressed_bytes = 0;
   uint64_t shuffle_records = 0;
   uint64_t map_output_records = 0;  // pre-combine record count
 
@@ -63,19 +81,27 @@ struct DataflowOptions {
   int num_reduce_workers = 1;
   Execution execution = Execution::kThreads;
   /// 0 = unlimited. Otherwise the run throws ShuffleOverflowError once the
-  /// buffered shuffle exceeds this many bytes.
+  /// buffered shuffle exceeds this many bytes (always charged on the raw
+  /// serialized volume, independent of compress_shuffle).
   uint64_t shuffle_budget_bytes = 0;
+  /// Block-compress each shuffle bucket after the map phase and report the
+  /// compressed volume in DataflowMetrics::shuffle_compressed_bytes.
+  /// Results and `shuffle_bytes` are unaffected.
+  bool compress_shuffle = false;
 };
 
-/// Emits one record from a mapper or a combiner flush.
-using EmitFn = std::function<void(std::string key, std::string value)>;
+/// Emits one record from a mapper or a combiner flush. The engine copies
+/// the bytes into its shuffle arenas during the call; views need not
+/// outlive it.
+using EmitFn = std::function<void(std::string_view key, std::string_view value)>;
 
 /// Per-map-worker combiner. Records are added in arbitrary order; Flush is
-/// called once at the end of the worker's shard.
+/// called once at the end of the worker's shard. Implementations must copy
+/// what they keep — the views do not outlive the Add call.
 class Combiner {
  public:
   virtual ~Combiner() = default;
-  virtual void Add(std::string key, std::string value) = 0;
+  virtual void Add(std::string_view key, std::string_view value) = 0;
   virtual void Flush(const EmitFn& emit) = 0;
 };
 
@@ -96,9 +122,13 @@ using MapFn = std::function<void(size_t input_index, const EmitFn& emit)>;
 
 /// Reduce function: called once per distinct key with all its values.
 /// `worker` identifies the reduce worker (0 .. num_reduce_workers-1) so
-/// callers can keep per-worker output buffers without locking.
-using ReduceFn = std::function<void(int worker, const std::string& key,
-                                    std::vector<std::string>& values)>;
+/// callers can keep per-worker output buffers without locking. Keys arrive
+/// in ascending byte order per worker; `key` and the value views point into
+/// the worker's shuffle buffers and are valid only during the call — copy
+/// what must outlive it. The values vector is the caller's scratch and may
+/// be reordered freely.
+using ReduceFn = std::function<void(int worker, std::string_view key,
+                                    std::vector<std::string_view>& values)>;
 
 /// Runs one BSP round. The map phase is parallelized over input shards, the
 /// reduce phase over key partitions. Throws ShuffleOverflowError if the

@@ -174,6 +174,7 @@ DistributedResult MineDCand(const std::vector<Sequence>& db, const Fst& fst,
           "D-CAND run enumeration exceeded its per-sequence budget");
     }
 
+    std::string value;
     for (size_t i = 0; i < pivots.size(); ++i) {
       OutputNfa& nfa = partition_nfas[i];
       if (nfa.empty()) continue;
@@ -182,10 +183,10 @@ DistributedResult MineDCand(const std::vector<Sequence>& db, const Fst& fst,
       } else {
         nfa.Canonicalize();
       }
-      std::string value;
+      value.clear();
       PutVarint(&value, 1);
       SerializeNfaTo(nfa, &value);
-      emit(EncodePivotKey(pivots[i]), std::move(value));
+      emit(EncodePivotKey(pivots[i]), value);
     }
   };
 
@@ -194,15 +195,15 @@ DistributedResult MineDCand(const std::vector<Sequence>& db, const Fst& fst,
     combiner_factory = MakeWeightedValueCombiner;
   }
 
-  PartitionReduceFn reduce_fn = [&](const std::string& key,
-                                    std::vector<std::string>& values,
+  PartitionReduceFn reduce_fn = [&](std::string_view key,
+                                    std::vector<std::string_view>& values,
                                     MiningResult& out) {
     ItemId pivot = DecodePivotKey(key);
     std::vector<OutputNfa> nfas;
     nfas.reserve(values.size());
     std::vector<uint64_t> weights;
     weights.reserve(values.size());
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       size_t pos = 0;
       uint64_t weight = 0;
       if (!GetVarint(v, &pos, &weight) || weight == 0) {

@@ -12,7 +12,7 @@ std::string EncodePivotKey(ItemId pivot) {
   return key;
 }
 
-ItemId DecodePivotKey(const std::string& key) {
+ItemId DecodePivotKey(std::string_view key) {
   size_t pos = 0;
   uint64_t value = 0;
   if (!GetVarint(key, &pos, &value) || pos != key.size() ||
@@ -31,6 +31,7 @@ ChainedDataflowOptions MakeChainedOptions(
   chained.shuffle_budget_bytes = options.shuffle_budget_bytes;
   chained.cumulative_shuffle_budget_bytes =
       options.cumulative_shuffle_budget_bytes;
+  chained.compress_shuffle = options.compress_shuffle;
   return chained;
 }
 
@@ -40,8 +41,8 @@ MiningResult RunMiningRound(DataflowJob& job, size_t num_inputs,
                             const PartitionReduceFn& reduce_fn) {
   std::vector<MiningResult> per_worker(
       std::max(1, job.options().num_reduce_workers));
-  ChainReduceFn worker_reduce = [&](int worker, const std::string& key,
-                                    std::vector<std::string>& values,
+  ChainReduceFn worker_reduce = [&](int worker, std::string_view key,
+                                    std::vector<std::string_view>& values,
                                     const EmitFn&) {
     reduce_fn(key, values, per_worker[worker]);
   };
@@ -71,14 +72,21 @@ ChainedDistributedResult RunRecountMining(const std::vector<Sequence>& db,
                                           const DistributedRunOptions& options,
                                           const MakeMiningRoundFn& make_round) {
   DataflowJob job(MakeChainedOptions(options));
-  Dictionary recounted = RecountFrequencies(job, db, dict, sample_every);
+  // Round 1 populates the cross-round cache; round 2's map reads through it
+  // instead of re-reading backing storage (Spark's RDD cache).
+  CachedDatabase cached_db(db);
+  Dictionary recounted =
+      RecountFrequencies(job, db, dict, sample_every, &cached_db);
   MapFn map_fn;
   CombinerFactory combiner_factory;
   PartitionReduceFn reduce_fn;
-  make_round(recounted, &map_fn, &combiner_factory, &reduce_fn);
-  return MakeChainedResult(
+  make_round(recounted, cached_db, &map_fn, &combiner_factory, &reduce_fn);
+  ChainedDistributedResult result = MakeChainedResult(
       RunMiningRound(job, db.size(), map_fn, combiner_factory, reduce_fn),
       job);
+  result.input_storage_reads = cached_db.storage_reads();
+  result.input_cache_hits = cached_db.cache_hits();
+  return result;
 }
 
 DistributedResult RunDistributedMining(size_t num_inputs, const MapFn& map_fn,
@@ -95,7 +103,8 @@ DistributedResult RunDistributedMining(size_t num_inputs, const MapFn& map_fn,
 
 Dictionary RecountFrequencies(DataflowJob& job,
                               const std::vector<Sequence>& db,
-                              const Dictionary& dict, uint32_t sample_every) {
+                              const Dictionary& dict, uint32_t sample_every,
+                              CachedDatabase* cached_db) {
   if (sample_every == 0) sample_every = 1;
   const size_t n = dict.size();
 
@@ -103,7 +112,8 @@ Dictionary RecountFrequencies(DataflowJob& job,
   // sequence — the distributed form of ComputeDocFrequencies' stamp loop.
   // The stamp array (allocated once per worker thread, not per sequence)
   // avoids clearing a seen-set per sequence, as in ComputeDocFrequencies.
-  MapFn map_fn = [&, sample_every](size_t index, const EmitFn& emit) {
+  MapFn map_fn = [&, sample_every, cached_db](size_t index,
+                                              const EmitFn& emit) {
     if (index % sample_every != 0) return;
     thread_local std::vector<uint64_t> stamp;
     thread_local uint64_t cur = 0;
@@ -111,7 +121,9 @@ Dictionary RecountFrequencies(DataflowJob& job,
     ++cur;
     std::string one;
     PutVarint(&one, 1);
-    for (ItemId t : db[index]) {
+    const Sequence& T = cached_db != nullptr ? cached_db->Read(index)
+                                             : db[index];
+    for (ItemId t : T) {
       for (ItemId a : dict.Ancestors(t)) {
         if (stamp[a] == cur) continue;
         stamp[a] = cur;
@@ -122,11 +134,11 @@ Dictionary RecountFrequencies(DataflowJob& job,
 
   // Reduce: sum the per-item counts and emit one (item, count) boundary
   // record; the driver collects them below (Spark's collect-and-broadcast).
-  ChainReduceFn reduce_fn = [](int, const std::string& key,
-                               std::vector<std::string>& values,
+  ChainReduceFn reduce_fn = [](int, std::string_view key,
+                               std::vector<std::string_view>& values,
                                const EmitFn& emit) {
     uint64_t count = 0;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       size_t pos = 0;
       uint64_t c = 0;
       if (!GetVarint(v, &pos, &c) || pos != v.size()) {
@@ -136,7 +148,7 @@ Dictionary RecountFrequencies(DataflowJob& job,
     }
     std::string value;
     PutVarint(&value, count);
-    emit(key, std::move(value));
+    emit(key, value);
   };
 
   job.RunRound(db.size(), map_fn, MakeSumCombiner, reduce_fn);

@@ -8,8 +8,11 @@
 #ifndef DSEQ_DIST_DISTRIBUTED_H_
 #define DSEQ_DIST_DISTRIBUTED_H_
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/mining.h"
@@ -37,6 +40,12 @@ struct ChainedDistributedResult {
   std::vector<DataflowMetrics> round_metrics;
   DataflowMetrics aggregate;
 
+  /// Database-read accounting of drivers that route input reads through a
+  /// CachedDatabase (the recount miners): reads served from backing storage
+  /// vs. from the round-1 cache. Both 0 for drivers without a cache.
+  uint64_t input_storage_reads = 0;
+  uint64_t input_cache_hits = 0;
+
   size_t num_rounds() const { return round_metrics.size(); }
 };
 
@@ -53,6 +62,42 @@ struct DistributedRunOptions {
   /// single-round miners are one-round chains, so for them it acts as one
   /// more per-round cap.
   uint64_t cumulative_shuffle_budget_bytes = 0;
+  /// Block-compress the shuffle (DataflowOptions::compress_shuffle): the
+  /// metrics then report shuffle_compressed_bytes next to the raw volume.
+  bool compress_shuffle = false;
+};
+
+/// Cross-round cache of database reads for chained drivers — the in-process
+/// analogue of Spark's RDD cache. The first read of an index goes to
+/// backing storage and marks it cached; later reads (typically by the next
+/// round's map phase) are cache hits. Thread-safe; read counters make the
+/// caching observable to tests and --stats.
+class CachedDatabase {
+ public:
+  explicit CachedDatabase(const std::vector<Sequence>& storage)
+      : storage_(storage),
+        cached_(std::make_unique<std::atomic<uint8_t>[]>(storage.size())) {
+    for (size_t i = 0; i < storage.size(); ++i) cached_[i] = 0;
+  }
+
+  const Sequence& Read(size_t index) {
+    if (cached_[index].exchange(1, std::memory_order_relaxed) != 0) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      storage_reads_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return storage_[index];
+  }
+
+  size_t size() const { return storage_.size(); }
+  uint64_t storage_reads() const { return storage_reads_.load(); }
+  uint64_t cache_hits() const { return cache_hits_.load(); }
+
+ private:
+  const std::vector<Sequence>& storage_;
+  std::unique_ptr<std::atomic<uint8_t>[]> cached_;
+  std::atomic<uint64_t> storage_reads_{0};
+  std::atomic<uint64_t> cache_hits_{0};
 };
 
 /// The DataflowJob configuration a chained miner derives from its options.
@@ -60,9 +105,10 @@ ChainedDataflowOptions MakeChainedOptions(const DistributedRunOptions& options);
 
 /// Reduce callback of the shared driver: one call per distinct shuffle key,
 /// appending the partition's frequent patterns to `out` (a per-reduce-worker
-/// buffer, so no locking is needed).
+/// buffer, so no locking is needed). `key` and the value views point into
+/// the engine's shuffle buffers and are valid only during the call.
 using PartitionReduceFn = std::function<void(
-    const std::string& key, std::vector<std::string>& values,
+    std::string_view key, std::vector<std::string_view>& values,
     MiningResult& out)>;
 
 /// Shared driver of all distributed miners: runs one map-shuffle-reduce
@@ -88,15 +134,19 @@ ChainedDistributedResult MakeChainedResult(MiningResult patterns,
                                            const DataflowJob& job);
 
 /// Builds the mining round of a recount driver against the recounted
-/// dictionary (which outlives the round but not the call).
+/// dictionary and the round-1 input cache (both outlive the round but not
+/// the driver call). Map phases should read sequences via `cached_db`.
 using MakeMiningRoundFn =
-    std::function<void(const Dictionary& recounted, MapFn* map_fn,
-                       CombinerFactory* combiner_factory,
+    std::function<void(const Dictionary& recounted, CachedDatabase& cached_db,
+                       MapFn* map_fn, CombinerFactory* combiner_factory,
                        PartitionReduceFn* reduce_fn)>;
 
 /// Shared driver of the two-round recount miners: round 1 recounts the
-/// f-list via RecountFrequencies, round 2 runs the mining round
-/// `make_round` builds against the recounted dictionary.
+/// f-list via RecountFrequencies (reading the database through a
+/// CachedDatabase), round 2 runs the mining round `make_round` builds
+/// against the recounted dictionary, served from the round-1 cache instead
+/// of re-reading backing storage. The cache counters are reported on the
+/// result.
 ChainedDistributedResult RunRecountMining(const std::vector<Sequence>& db,
                                           const Dictionary& dict,
                                           uint32_t sample_every,
@@ -110,11 +160,13 @@ ChainedDistributedResult RunRecountMining(const std::vector<Sequence>& db,
 /// the recounted frequencies installed. With `sample_every` > 1 only every
 /// sample_every-th sequence is counted and counts are scaled back up (the
 /// paper's sampled f-list); sample_every == 1 reproduces the exact counts,
-/// so downstream mining results are unchanged.
+/// so downstream mining results are unchanged. If `cached_db` is non-null,
+/// sampled sequences are read through it (populating the cross-round cache).
 Dictionary RecountFrequencies(DataflowJob& job,
                               const std::vector<Sequence>& db,
                               const Dictionary& dict,
-                              uint32_t sample_every = 1);
+                              uint32_t sample_every = 1,
+                              CachedDatabase* cached_db = nullptr);
 
 /// Encodes an item-partition key (the pivot item) as a shuffle key. Varint
 /// coded so that shuffle-size accounting stays honest for frequent (small
@@ -124,7 +176,7 @@ std::string EncodePivotKey(ItemId pivot);
 /// Decodes a key written by EncodePivotKey. Throws std::invalid_argument on
 /// malformed keys (they never cross a trust boundary, but the shuffle is
 /// serialized end-to-end and decoding errors should fail loudly).
-ItemId DecodePivotKey(const std::string& key);
+ItemId DecodePivotKey(std::string_view key);
 
 /// Number of distinct sequences in `sequences` (order-insensitive). Used for
 /// distinct-sequence support accounting in tests and diagnostics.

@@ -112,15 +112,19 @@ namespace {
 
 // Map/reduce phases shared by the single-round miner and the chained
 // recount driver. The returned closures capture `db`, `fst`, `dict`, and
-// `options` by reference; callers keep them alive for the round.
+// `options` by reference; callers keep them alive for the round. The
+// recount driver passes its cross-round CachedDatabase so round 2 is served
+// from the round-1 cache.
 MapFn MakeDSeqMapFn(const std::vector<Sequence>& db, const Fst& fst,
-                    const Dictionary& dict, const DSeqOptions& options) {
+                    const Dictionary& dict, const DSeqOptions& options,
+                    CachedDatabase* cached_db = nullptr) {
   GridOptions grid_options;
   grid_options.prune_sigma = options.sigma;
 
-  return [&db, &fst, &dict, &options, grid_options](size_t index,
-                                                    const EmitFn& emit) {
-    const Sequence& T = db[index];
+  return [&db, &fst, &dict, &options, grid_options, cached_db](
+             size_t index, const EmitFn& emit) {
+    const Sequence& T =
+        cached_db != nullptr ? cached_db->Read(index) : db[index];
     StateGrid grid;
     Sequence pivots;
     if (options.use_grid) {
@@ -140,11 +144,12 @@ MapFn MakeDSeqMapFn(const std::vector<Sequence>& db, const Fst& fst,
     // "no rewriting" ablation must not include their cost in map time.
     std::optional<PivotRewriter> rewriter;
     if (options.rewrite && options.use_grid) rewriter.emplace(T, grid);
+    std::string value;
     for (ItemId k : pivots) {
-      std::string value;
+      value.clear();
       if (options.aggregate_sequences) PutVarint(&value, 1);
       PutSequence(&value, rewriter ? rewriter->Rewrite(k) : T);
-      emit(EncodePivotKey(k), std::move(value));
+      emit(EncodePivotKey(k), value);
     }
   };
 }
@@ -154,16 +159,16 @@ PartitionReduceFn MakeDSeqReduceFn(const Fst& fst, const Dictionary& dict,
   GridOptions grid_options;
   grid_options.prune_sigma = options.sigma;
 
-  return [&fst, &dict, &options, grid_options](const std::string& key,
-                                               std::vector<std::string>& values,
-                                               MiningResult& out) {
+  return [&fst, &dict, &options, grid_options](
+             std::string_view key, std::vector<std::string_view>& values,
+             MiningResult& out) {
     ItemId pivot = DecodePivotKey(key);
     std::vector<StateGrid> grids;
     grids.reserve(values.size());
     std::vector<uint64_t> weights;
     weights.reserve(values.size());
     Sequence seq;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       size_t pos = 0;
       uint64_t weight = 1;
       if (options.aggregate_sequences && !GetVarint(v, &pos, &weight)) {
@@ -205,12 +210,14 @@ ChainedDistributedResult MineDSeqRecount(const std::vector<Sequence>& db,
                                          const Fst& fst,
                                          const Dictionary& dict,
                                          const DSeqRecountOptions& options) {
-  // Round 1 recounts the f-list; round 2 builds σ-pruned grids against it.
+  // Round 1 recounts the f-list; round 2 builds σ-pruned grids against it,
+  // reading the database from the round-1 cache.
   return RunRecountMining(
       db, dict, options.recount_sample_every, options,
-      [&](const Dictionary& recounted, MapFn* map_fn,
-          CombinerFactory* combiner_factory, PartitionReduceFn* reduce_fn) {
-        *map_fn = MakeDSeqMapFn(db, fst, recounted, options);
+      [&](const Dictionary& recounted, CachedDatabase& cached_db,
+          MapFn* map_fn, CombinerFactory* combiner_factory,
+          PartitionReduceFn* reduce_fn) {
+        *map_fn = MakeDSeqMapFn(db, fst, recounted, options, &cached_db);
         *combiner_factory = DSeqCombinerFactory(options);
         *reduce_fn = MakeDSeqReduceFn(fst, recounted, options);
       });

@@ -12,9 +12,12 @@ namespace {
 
 // Map/reduce phases shared by the single-round miner and the chained
 // recount driver. The returned closures capture `db`, `fst`, `dict`, and
-// `options` by reference; callers keep them alive for the round.
+// `options` by reference; callers keep them alive for the round. The
+// recount driver passes its cross-round CachedDatabase so round 2 is served
+// from the round-1 cache.
 MapFn MakeNaiveMapFn(const std::vector<Sequence>& db, const Fst& fst,
-                     const Dictionary& dict, const NaiveOptions& options) {
+                     const Dictionary& dict, const NaiveOptions& options,
+                     CachedDatabase* cached_db = nullptr) {
   GridOptions grid_options;
   // SEMI-NAIVE communicates only candidates made of frequent items; NAIVE
   // ships the raw candidate space and lets the reducers discard the rest.
@@ -24,9 +27,11 @@ MapFn MakeNaiveMapFn(const std::vector<Sequence>& db, const Fst& fst,
           ? std::numeric_limits<size_t>::max()
           : static_cast<size_t>(options.candidates_per_sequence_budget);
 
-  return [&db, &fst, &dict, grid_options, budget](size_t index,
-                                                  const EmitFn& emit) {
-    StateGrid grid = StateGrid::Build(db[index], fst, dict, grid_options);
+  return [&db, &fst, &dict, grid_options, budget, cached_db](
+             size_t index, const EmitFn& emit) {
+    const Sequence& T =
+        cached_db != nullptr ? cached_db->Read(index) : db[index];
+    StateGrid grid = StateGrid::Build(T, fst, dict, grid_options);
     if (!grid.HasAcceptingRun()) return;
     std::vector<Sequence> candidates;
     if (!EnumerateCandidates(grid, budget, &candidates)) {
@@ -37,20 +42,21 @@ MapFn MakeNaiveMapFn(const std::vector<Sequence>& db, const Fst& fst,
     PutVarint(&value, 1);
     // EnumerateCandidates deduplicates, so each candidate counts the input
     // sequence once (distinct-sequence support).
+    std::string key;
     for (const Sequence& candidate : candidates) {
-      std::string key;
+      key.clear();
       PutSequence(&key, candidate);
-      emit(std::move(key), value);
+      emit(key, value);
     }
   };
 }
 
 PartitionReduceFn MakeNaiveReduceFn(const NaiveOptions& options) {
-  return [sigma = options.sigma](const std::string& key,
-                                 std::vector<std::string>& values,
+  return [sigma = options.sigma](std::string_view key,
+                                 std::vector<std::string_view>& values,
                                  MiningResult& out) {
     uint64_t support = 0;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       size_t pos = 0;
       uint64_t count = 0;
       if (!GetVarint(v, &pos, &count)) {
@@ -82,12 +88,14 @@ ChainedDistributedResult MineNaiveRecount(const std::vector<Sequence>& db,
                                           const Fst& fst,
                                           const Dictionary& dict,
                                           const NaiveRecountOptions& options) {
-  // Round 1 recounts the f-list; round 2 prunes with the recounted counts.
+  // Round 1 recounts the f-list; round 2 prunes with the recounted counts,
+  // reading the database from the round-1 cache.
   return RunRecountMining(
       db, dict, options.recount_sample_every, options,
-      [&](const Dictionary& recounted, MapFn* map_fn,
-          CombinerFactory* combiner_factory, PartitionReduceFn* reduce_fn) {
-        *map_fn = MakeNaiveMapFn(db, fst, recounted, options);
+      [&](const Dictionary& recounted, CachedDatabase& cached_db,
+          MapFn* map_fn, CombinerFactory* combiner_factory,
+          PartitionReduceFn* reduce_fn) {
+        *map_fn = MakeNaiveMapFn(db, fst, recounted, options, &cached_db);
         *combiner_factory = MakeSumCombiner;
         *reduce_fn = MakeNaiveReduceFn(options);
       });

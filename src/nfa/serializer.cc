@@ -22,7 +22,7 @@ void PutLabel(std::string* out, const Sequence& label) {
   }
 }
 
-bool GetLabel(const std::string& data, size_t* pos, Sequence* label) {
+bool GetLabel(std::string_view data, size_t* pos, Sequence* label) {
   uint64_t n = 0;
   if (!GetVarint(data, pos, &n)) return false;
   label->clear();
@@ -92,7 +92,7 @@ std::string SerializeNfa(const OutputNfa& nfa) {
   return out;
 }
 
-OutputNfa DeserializeNfa(const std::string& bytes, size_t* pos) {
+OutputNfa DeserializeNfa(std::string_view bytes, size_t* pos) {
   uint64_t num_edges = 0;
   if (!GetVarint(bytes, pos, &num_edges)) {
     throw NfaParseError("truncated NFA header");
@@ -135,7 +135,7 @@ OutputNfa DeserializeNfa(const std::string& bytes, size_t* pos) {
   return nfa;
 }
 
-OutputNfa DeserializeNfa(const std::string& bytes) {
+OutputNfa DeserializeNfa(std::string_view bytes) {
   size_t pos = 0;
   OutputNfa nfa = DeserializeNfa(bytes, &pos);
   if (pos != bytes.size()) throw NfaParseError("trailing bytes after NFA");

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "src/nfa/output_nfa.h"
 
@@ -38,11 +39,12 @@ std::string SerializeNfa(const OutputNfa& nfa);
 void SerializeNfaTo(const OutputNfa& nfa, std::string* out);
 
 /// Parses a serialized NFA starting at `*pos`; advances `*pos` to the end of
-/// the consumed bytes. Throws NfaParseError on malformed input.
-OutputNfa DeserializeNfa(const std::string& bytes, size_t* pos);
+/// the consumed bytes. Throws NfaParseError on malformed input. Takes a view
+/// so shuffle records can be decoded in place.
+OutputNfa DeserializeNfa(std::string_view bytes, size_t* pos);
 
 /// Convenience whole-string parse.
-OutputNfa DeserializeNfa(const std::string& bytes);
+OutputNfa DeserializeNfa(std::string_view bytes);
 
 }  // namespace dseq
 

@@ -1,0 +1,69 @@
+// Block-allocating byte arena for interning short strings.
+//
+// The map-side combiners keep one table entry per distinct (key, payload)
+// and must not pay a heap allocation per record: Intern copies the bytes
+// into a chain of fixed-size blocks and returns a stable std::string_view.
+// Views stay valid until Clear() or destruction; blocks are never moved.
+#ifndef DSEQ_UTIL_ARENA_H_
+#define DSEQ_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace dseq {
+
+class StringArena {
+ public:
+  static constexpr size_t kBlockSize = 1 << 16;
+
+  /// Copies `s` into the arena and returns a view of the stable copy.
+  std::string_view Intern(std::string_view s) {
+    // Non-null data even for empty strings, so downstream append/memcpy
+    // calls never see a {nullptr, 0} view (UB per [string.append]).
+    if (s.empty()) return std::string_view("", 0);
+    char* dst;
+    if (s.size() > kBlockSize / 4) {
+      // Oversized strings get a dedicated block so normal blocks stay dense.
+      // The current bump block (tracked by next_/remaining_, not by list
+      // position) is unaffected and keeps filling up.
+      blocks_.push_back(std::make_unique<char[]>(s.size()));
+      dst = blocks_.back().get();
+    } else {
+      if (s.size() > remaining_) {
+        blocks_.push_back(std::make_unique<char[]>(kBlockSize));
+        next_ = blocks_.back().get();
+        remaining_ = kBlockSize;
+      }
+      dst = next_;
+      next_ += s.size();
+      remaining_ -= s.size();
+    }
+    std::memcpy(dst, s.data(), s.size());
+    bytes_ += s.size();
+    return std::string_view(dst, s.size());
+  }
+
+  /// Drops all interned strings (invalidates every view).
+  void Clear() {
+    blocks_.clear();
+    next_ = nullptr;
+    remaining_ = 0;
+    bytes_ = 0;
+  }
+
+  /// Total interned payload bytes (not block capacity).
+  size_t bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* next_ = nullptr;
+  size_t remaining_ = 0;
+  size_t bytes_ = 0;
+};
+
+}  // namespace dseq
+
+#endif  // DSEQ_UTIL_ARENA_H_

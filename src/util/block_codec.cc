@@ -1,0 +1,131 @@
+#include "src/util/block_codec.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/util/varint.h"
+
+namespace dseq {
+namespace {
+
+constexpr size_t kWindow = 1 << 16;       // max match distance
+constexpr size_t kMaxMatch = 1 << 15;     // cap so token varints stay short
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1 << kHashBits;
+
+// Multiplicative hash of the 4 bytes at p.
+inline uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline void PutLiteralRun(std::string* out, const uint8_t* begin, size_t len) {
+  while (len > 0) {
+    // Chunk so the control varint never exceeds 5 bytes (len < 2^31).
+    size_t chunk = len < (1u << 30) ? len : (1u << 30);
+    PutVarint(out, static_cast<uint64_t>(chunk) << 1);
+    out->append(reinterpret_cast<const char*>(begin), chunk);
+    begin += chunk;
+    len -= chunk;
+  }
+}
+
+}  // namespace
+
+std::string CompressBlock(std::string_view raw) {
+  std::string out;
+  PutVarint(&out, raw.size());
+  if (raw.empty()) return out;
+
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(raw.data());
+  const size_t n = raw.size();
+  // head[h] = most recent position whose 4-byte prefix hashed to h.
+  // Positions are stored +1 so 0 means "empty".
+  std::vector<uint32_t> head(kHashSize, 0);
+
+  size_t literal_start = 0;
+  size_t i = 0;
+  while (i + kCodecMinMatch <= n) {
+    uint32_t h = Hash4(base + i);
+    size_t candidate = head[h];
+    head[h] = static_cast<uint32_t>(i + 1);
+    size_t match_len = 0;
+    size_t distance = 0;
+    if (candidate != 0) {
+      size_t c = candidate - 1;
+      size_t d = i - c;
+      if (d <= kWindow) {
+        size_t limit = n - i < kMaxMatch ? n - i : kMaxMatch;
+        size_t len = 0;
+        while (len < limit && base[c + len] == base[i + len]) ++len;
+        if (len >= kCodecMinMatch) {
+          match_len = len;
+          distance = d;
+        }
+      }
+    }
+    if (match_len == 0) {
+      ++i;
+      continue;
+    }
+    PutLiteralRun(&out, base + literal_start, i - literal_start);
+    PutVarint(&out, ((match_len - kCodecMinMatch) << 1) | 1);
+    PutVarint(&out, distance);
+    // Seed the hash table sparsely inside the match (every 4th position) so
+    // long runs stay O(len) without losing much match coverage.
+    size_t end = i + match_len;
+    for (size_t j = i + 4; j + kCodecMinMatch <= n && j < end; j += 4) {
+      head[Hash4(base + j)] = static_cast<uint32_t>(j + 1);
+    }
+    i = end;
+    literal_start = i;
+  }
+  PutLiteralRun(&out, base + literal_start, n - literal_start);
+  return out;
+}
+
+bool DecompressBlock(std::string_view block, std::string* raw_out) {
+  size_t pos = 0;
+  uint64_t raw_size = 0;
+  if (!GetVarint(block, &pos, &raw_size)) return false;
+  // An adversarial length prefix must not drive a huge allocation: every
+  // token produces at least one byte from at least one block byte per
+  // kMaxMatch output bytes, so raw_size is bounded by block size * kMaxMatch.
+  if (raw_size > (block.size() - pos) * kMaxMatch) return false;
+  raw_out->clear();
+  // Reserve conservatively: a hostile prefix passing the bound above could
+  // still claim far more than the tokens deliver, and the promise is to
+  // return false without over-allocating. Growth past the clamp is
+  // amortized by the string itself and tracks bytes actually produced.
+  raw_out->reserve(std::min<uint64_t>(raw_size, uint64_t{1} << 20));
+
+  while (raw_out->size() < raw_size) {
+    uint64_t control = 0;
+    if (!GetVarint(block, &pos, &control)) return false;
+    if ((control & 1) == 0) {
+      uint64_t len = control >> 1;
+      if (len == 0) return false;  // empty literal runs are never written
+      if (len > block.size() - pos) return false;
+      if (len > raw_size - raw_out->size()) return false;
+      raw_out->append(block.data() + pos, len);
+      pos += len;
+    } else {
+      uint64_t len = (control >> 1) + kCodecMinMatch;
+      uint64_t distance = 0;
+      if (!GetVarint(block, &pos, &distance)) return false;
+      if (distance == 0 || distance > raw_out->size()) return false;
+      if (len > raw_size - raw_out->size()) return false;
+      // Byte-wise copy: overlapping matches (distance < len) are runs.
+      size_t from = raw_out->size() - distance;
+      for (uint64_t k = 0; k < len; ++k) {
+        raw_out->push_back((*raw_out)[from + k]);
+      }
+    }
+  }
+  return pos == block.size();
+}
+
+}  // namespace dseq

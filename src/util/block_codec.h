@@ -1,0 +1,41 @@
+// Streaming LZ-style block codec for shuffle buffers.
+//
+// The paper's Spark substrate compresses shuffle files; this is the
+// in-process analogue: a byte-oriented LZ77 coder (greedy matching over a
+// 64 KiB window, varint-coded tokens) tuned for the repetitive varint-framed
+// record streams the dataflow engine shuffles. Matches with distance 1
+// degenerate to byte-run encoding, so long runs code in a few bytes.
+//
+// Block layout: varint(raw_size), then tokens until raw_size bytes decode:
+//   literal run: varint(len << 1),                    followed by len bytes
+//   match:       varint(((len - kMinMatch) << 1) | 1), varint(distance)
+// Distances may be smaller than lengths (overlapping copy = run).
+//
+// DecompressBlock validates everything (length prefix, token bounds,
+// distances, exact raw_size) and returns false on malformed or truncated
+// input instead of crashing or over-allocating — blocks cross the simulated
+// network and decoding errors must fail loudly.
+#ifndef DSEQ_UTIL_BLOCK_CODEC_H_
+#define DSEQ_UTIL_BLOCK_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+namespace dseq {
+
+/// Minimum match length; shorter repeats are emitted as literals.
+inline constexpr size_t kCodecMinMatch = 4;
+
+/// Compresses `raw` into a self-framing block. Deterministic; never fails.
+/// Worst case (incompressible input) adds a few bytes of framing per 2^31
+/// literals, so the result is at most marginally larger than `raw`.
+std::string CompressBlock(std::string_view raw);
+
+/// Decompresses a block written by CompressBlock into `*raw_out`
+/// (overwritten). Returns false on malformed input, leaving `*raw_out` in an
+/// unspecified but valid state.
+bool DecompressBlock(std::string_view block, std::string* raw_out);
+
+}  // namespace dseq
+
+#endif  // DSEQ_UTIL_BLOCK_CODEC_H_

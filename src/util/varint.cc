@@ -12,7 +12,7 @@ void PutVarint(std::string* out, uint64_t value) {
   out->push_back(static_cast<char>(value));
 }
 
-bool GetVarint(const std::string& data, size_t* pos, uint64_t* value) {
+bool GetVarint(std::string_view data, size_t* pos, uint64_t* value) {
   uint64_t result = 0;
   int shift = 0;
   while (*pos < data.size()) {
@@ -41,7 +41,7 @@ void PutSequence(std::string* out, const Sequence& seq) {
   }
 }
 
-bool GetSequence(const std::string& data, size_t* pos, Sequence* seq) {
+bool GetSequence(std::string_view data, size_t* pos, Sequence* seq) {
   uint64_t n = 0;
   if (!GetVarint(data, pos, &n)) return false;
   seq->clear();

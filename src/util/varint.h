@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "src/util/common.h"
 
@@ -18,15 +19,16 @@ namespace dseq {
 void PutVarint(std::string* out, uint64_t value);
 
 /// Reads a varint from `data` starting at `*pos`; advances `*pos`.
-/// Returns false on truncated input.
-bool GetVarint(const std::string& data, size_t* pos, uint64_t* value);
+/// Returns false on truncated input. Takes a view so the zero-copy shuffle
+/// path can decode records in place.
+bool GetVarint(std::string_view data, size_t* pos, uint64_t* value);
 
 /// Appends a sequence: varint length followed by delta-encoded item ids.
 /// Items need not be sorted; deltas are zigzag-encoded.
 void PutSequence(std::string* out, const Sequence& seq);
 
 /// Reads a sequence written by PutSequence.
-bool GetSequence(const std::string& data, size_t* pos, Sequence* seq);
+bool GetSequence(std::string_view data, size_t* pos, Sequence* seq);
 
 /// Zigzag encoding helpers (map signed to unsigned for varint coding).
 inline uint64_t ZigzagEncode(int64_t v) {

@@ -221,6 +221,71 @@ INSTANTIATE_TEST_SUITE_P(
                                          ".*(.)[.*(.)]{0,2}.*",
                                          ".*(i0^=)[.*(i1^=)]{0,2}.*")));
 
+TEST(RecountMinerTest, RoundTwoIsServedFromTheRoundOneCache) {
+  // The recount drivers read the database once from backing storage (round
+  // 1) and serve round 2 entirely from the cross-round cache.
+  SequenceDatabase db = testing::RandomDatabase(4900, 7, 40, 8);
+  Fst fst = CompileFst(".*(.)[.*(.)]{0,2}.*", db.dict);
+  const uint64_t n = db.sequences.size();
+
+  DSeqRecountOptions dseq;
+  dseq.sigma = 2;
+  dseq.num_map_workers = 2;
+  dseq.num_reduce_workers = 2;
+  ChainedDistributedResult exact =
+      MineDSeqRecount(db.sequences, fst, db.dict, dseq);
+  EXPECT_EQ(exact.input_storage_reads, n);
+  EXPECT_EQ(exact.input_cache_hits, n);
+
+  NaiveRecountOptions naive;
+  naive.sigma = 2;
+  ChainedDistributedResult naive_run =
+      MineNaiveRecount(db.sequences, fst, db.dict, naive);
+  EXPECT_EQ(naive_run.input_storage_reads, n);
+  EXPECT_EQ(naive_run.input_cache_hits, n);
+
+  // Sampling: round 1 reads only the sampled sequences; round 2 hits the
+  // cache for those and goes to storage for the rest — every sequence is
+  // read from storage exactly once either way.
+  DSeqRecountOptions sampled = dseq;
+  sampled.recount_sample_every = 3;
+  ChainedDistributedResult sampled_run =
+      MineDSeqRecount(db.sequences, fst, db.dict, sampled);
+  uint64_t num_sampled = (n + 2) / 3;
+  EXPECT_EQ(sampled_run.input_storage_reads, n);
+  EXPECT_EQ(sampled_run.input_cache_hits, num_sampled);
+
+  // Single-round miners have no cache.
+  DistributedResult single = MineDSeq(db.sequences, fst, db.dict, dseq);
+  EXPECT_EQ(MineNaive(db.sequences, fst, db.dict, naive).patterns,
+            naive_run.patterns);
+  EXPECT_EQ(single.patterns, exact.patterns);
+}
+
+TEST(RecountMinerTest, CompressionLeavesRecountResultsUnchanged) {
+  SequenceDatabase db = testing::RandomDatabase(4950, 7, 40, 8);
+  Fst fst = CompileFst(".*(i0)[(.^).*]*(i1).*", db.dict);
+  DSeqRecountOptions options;
+  options.sigma = 2;
+  ChainedDistributedResult plain =
+      MineDSeqRecount(db.sequences, fst, db.dict, options);
+  options.compress_shuffle = true;
+  ChainedDistributedResult compressed =
+      MineDSeqRecount(db.sequences, fst, db.dict, options);
+  EXPECT_EQ(compressed.patterns, plain.patterns);
+  ASSERT_EQ(compressed.num_rounds(), plain.num_rounds());
+  for (size_t r = 0; r < plain.num_rounds(); ++r) {
+    EXPECT_EQ(compressed.round_metrics[r].shuffle_bytes,
+              plain.round_metrics[r].shuffle_bytes)
+        << "round " << r;
+    if (compressed.round_metrics[r].shuffle_records > 0) {
+      EXPECT_GT(compressed.round_metrics[r].shuffle_compressed_bytes, 0u);
+    }
+  }
+  EXPECT_EQ(plain.aggregate.shuffle_compressed_bytes, 0u);
+  EXPECT_GT(compressed.aggregate.shuffle_compressed_bytes, 0u);
+}
+
 TEST(RecountMinerTest, MineNaiveRecountRespectsCumulativeBudget) {
   SequenceDatabase db = testing::RandomDatabase(4800, 6, 40, 8);
   Fst fst = CompileFst(".*(.)[.*(.)]{0,2}.*", db.dict);

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -28,8 +30,8 @@ std::string Varint(uint64_t v) {
 // Flushes a combiner into a sorted (key, value) list.
 std::vector<std::pair<std::string, std::string>> Flush(Combiner& combiner) {
   std::vector<std::pair<std::string, std::string>> out;
-  combiner.Flush([&](std::string key, std::string value) {
-    out.emplace_back(std::move(key), std::move(value));
+  combiner.Flush([&](std::string_view key, std::string_view value) {
+    out.emplace_back(std::string(key), std::string(value));
   });
   std::sort(out.begin(), out.end());
   return out;
@@ -117,11 +119,90 @@ TEST(CombinerEngineTest, MalformedValuePropagatesOutOfRunMapReduce) {
   // A mapper feeding garbage to the combiner must fail the whole round, not
   // miscount: the engine rethrows the map worker's exception.
   MapFn map_fn = [](size_t, const EmitFn& emit) { emit("k", "\x80"); };
-  ReduceFn sink = [](int, const std::string&, std::vector<std::string>&) {};
+  ReduceFn sink = [](int, std::string_view, std::vector<std::string_view>&) {};
   DataflowOptions options;
   options.num_map_workers = 2;
   EXPECT_THROW(RunMapReduce(4, map_fn, MakeSumCombiner, sink, options),
                std::invalid_argument);
+}
+
+// --- Equivalence against a reference model ---------------------------------
+//
+// The arena-backed combiners must produce, as a multiset of records, exactly
+// what the straightforward std::map implementations produce (the PR-2
+// behavior) — byte for byte, for arbitrary binary keys and payloads.
+
+std::string RandomBytes(std::mt19937_64& rng, size_t max_len) {
+  size_t len = rng() % (max_len + 1);
+  std::string s(len, '\0');
+  for (char& c : s) c = static_cast<char>(rng() & 0xff);
+  return s;
+}
+
+TEST(SumCombinerTest, MatchesReferenceModelOnRandomInputs) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    std::mt19937_64 rng(1234 + seed);
+    auto combiner = MakeSumCombiner();
+    std::map<std::string, uint64_t> reference;
+    size_t n = 200 + rng() % 2000;
+    std::vector<std::string> keys;
+    for (int k = 0; k < 20; ++k) keys.push_back(RandomBytes(rng, 12));
+    for (size_t i = 0; i < n; ++i) {
+      const std::string& key = keys[rng() % keys.size()];
+      uint64_t count = rng() % 1000;
+      combiner->Add(key, Varint(count));
+      reference[key] += count;
+    }
+    std::vector<std::pair<std::string, std::string>> expected;
+    for (const auto& [key, count] : reference) {
+      expected.emplace_back(key, Varint(count));
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(Flush(*combiner), expected) << "seed " << seed;
+  }
+}
+
+TEST(WeightedValueCombinerTest, MatchesReferenceModelOnRandomInputs) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    std::mt19937_64 rng(9876 + seed);
+    auto combiner = MakeWeightedValueCombiner();
+    std::map<std::string, std::map<std::string, uint64_t>> reference;
+    size_t n = 200 + rng() % 2000;
+    std::vector<std::string> keys;
+    std::vector<std::string> payloads;
+    for (int k = 0; k < 12; ++k) keys.push_back(RandomBytes(rng, 10));
+    for (int p = 0; p < 25; ++p) payloads.push_back(RandomBytes(rng, 30));
+    for (size_t i = 0; i < n; ++i) {
+      const std::string& key = keys[rng() % keys.size()];
+      const std::string& payload = payloads[rng() % payloads.size()];
+      uint64_t weight = 1 + rng() % 50;
+      combiner->Add(key, Varint(weight) + payload);
+      reference[key][payload] += weight;
+    }
+    std::vector<std::pair<std::string, std::string>> expected;
+    for (const auto& [key, by_payload] : reference) {
+      for (const auto& [payload, weight] : by_payload) {
+        expected.emplace_back(key, Varint(weight) + payload);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(Flush(*combiner), expected) << "seed " << seed;
+  }
+}
+
+TEST(CombinerTest, ReusableAfterFlush) {
+  // The engine flushes once per worker, but a second fill must start clean
+  // (the arena and table are reset).
+  auto combiner = MakeWeightedValueCombiner();
+  combiner->Add("k", Varint(2) + "a");
+  auto first = Flush(*combiner);
+  ASSERT_EQ(first.size(), 1u);
+  combiner->Add("k", Varint(3) + "a");
+  combiner->Add("q", Varint(1) + "b");
+  auto second = Flush(*combiner);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0], std::make_pair(std::string("k"), Varint(3) + "a"));
+  EXPECT_EQ(second[1], std::make_pair(std::string("q"), Varint(1) + "b"));
 }
 
 }  // namespace

@@ -22,7 +22,7 @@ std::string Varint(uint64_t v) {
   return s;
 }
 
-uint64_t DecodeVarint(const std::string& s) {
+uint64_t DecodeVarint(std::string_view s) {
   size_t pos = 0;
   uint64_t v = 0;
   EXPECT_TRUE(GetVarint(s, &pos, &v));
@@ -31,10 +31,10 @@ uint64_t DecodeVarint(const std::string& s) {
 
 // Sums varint values per key and re-emits (key, varint(total)).
 ChainReduceFn SumReduce() {
-  return [](int, const std::string& key, std::vector<std::string>& values,
+  return [](int, std::string_view key, std::vector<std::string_view>& values,
             const EmitFn& emit) {
     uint64_t total = 0;
-    for (const std::string& v : values) total += DecodeVarint(v);
+    for (std::string_view v : values) total += DecodeVarint(v);
     emit(key, Varint(total));
   };
 }
@@ -92,10 +92,10 @@ TEST(DataflowJobTest, RecordsFlowBetweenRounds) {
 TEST(DataflowJobTest, TakeRecordsConsumes) {
   DataflowJob job(ChainedDataflowOptions{});
   MapFn map_fn = [](size_t, const EmitFn& emit) { emit("k", "v"); };
-  ChainReduceFn pass = [](int, const std::string& key,
-                          std::vector<std::string>& values,
+  ChainReduceFn pass = [](int, std::string_view key,
+                          std::vector<std::string_view>& values,
                           const EmitFn& emit) {
-    for (std::string& v : values) emit(key, std::move(v));
+    for (std::string_view v : values) emit(key, v);
   };
   job.RunRound(1, map_fn, nullptr, pass);
   ASSERT_EQ(job.records().size(), 1u);
@@ -108,7 +108,7 @@ TEST(DataflowJobTest, EmptyChainedRoundRunsCleanly) {
   DataflowJob job(ChainedDataflowOptions{});
   MapFn map_fn = [](size_t, const EmitFn& emit) { emit("k", Varint(1)); };
   // Reduce emits nothing: the chain's data ends here.
-  ChainReduceFn sink = [](int, const std::string&, std::vector<std::string>&,
+  ChainReduceFn sink = [](int, std::string_view, std::vector<std::string_view>&,
                           const EmitFn&) {};
   job.RunRound(1, map_fn, nullptr, sink);
   EXPECT_TRUE(job.records().empty());
@@ -129,7 +129,7 @@ uint64_t MeasureVolume() {
   MapFn map_fn = [](size_t i, const EmitFn& emit) {
     emit("key" + std::to_string(i), std::string(10, 'v'));
   };
-  ChainReduceFn sink = [](int, const std::string&, std::vector<std::string>&,
+  ChainReduceFn sink = [](int, std::string_view, std::vector<std::string_view>&,
                           const EmitFn&) {};
   job.RunRound(8, map_fn, nullptr, sink);
   return job.round_metrics()[0].shuffle_bytes;
@@ -141,7 +141,7 @@ DataflowMetrics RunBudgeted(uint64_t per_round_budget) {
   MapFn map_fn = [](size_t i, const EmitFn& emit) {
     emit("key" + std::to_string(i), std::string(10, 'v'));
   };
-  ReduceFn sink = [](int, const std::string&, std::vector<std::string>&) {};
+  ReduceFn sink = [](int, std::string_view, std::vector<std::string_view>&) {};
   return RunMapReduce(8, map_fn, nullptr, sink, options);
 }
 
@@ -168,7 +168,7 @@ TEST(ShuffleBudgetTest, BudgetTripsMidMap) {
     ++map_calls;
     emit("key" + std::to_string(i), std::string(10, 'v'));
   };
-  ReduceFn sink = [](int, const std::string&, std::vector<std::string>&) {};
+  ReduceFn sink = [](int, std::string_view, std::vector<std::string_view>&) {};
   EXPECT_THROW(RunMapReduce(100, map_fn, nullptr, sink, options),
                ShuffleOverflowError);
   EXPECT_LT(map_calls.load(), 100u);
@@ -184,7 +184,7 @@ TEST(ShuffleBudgetTest, PreCombineVolumeAboveBudgetDoesNotTrip) {
     PutVarint(&one, 1);
     for (int i = 0; i < 500; ++i) emit("key", one);
   };
-  ReduceFn sink = [](int, const std::string&, std::vector<std::string>&) {};
+  ReduceFn sink = [](int, std::string_view, std::vector<std::string_view>&) {};
 
   DataflowMetrics unbudgeted =
       RunMapReduce(1, map_fn, MakeSumCombiner, sink, options);
@@ -225,9 +225,9 @@ class BudgetedChain {
 
  private:
   static ChainReduceFn PassThrough() {
-    return [](int, const std::string& key, std::vector<std::string>& values,
+    return [](int, std::string_view key, std::vector<std::string_view>& values,
               const EmitFn& emit) {
-      for (std::string& v : values) emit(key, std::move(v));
+      for (std::string_view v : values) emit(key, v);
     };
   }
   DataflowJob job_;

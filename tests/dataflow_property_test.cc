@@ -86,21 +86,23 @@ struct RunOutcome {
   DataflowMetrics metrics;
 };
 
-RunOutcome RunPipeline(const Pipeline& p, int workers, Execution execution) {
+RunOutcome RunPipeline(const Pipeline& p, int workers, Execution execution,
+                       bool compress = false) {
   MapFn map_fn = [&](size_t i, const EmitFn& emit) {
     for (const auto& [key, value] : p.emissions[i]) emit(key, value);
   };
   std::vector<Groups> per_worker(workers);
-  ReduceFn reduce_fn = [&](int worker, const std::string& key,
-                           std::vector<std::string>& values) {
-    std::vector<std::string> sorted = values;
+  ReduceFn reduce_fn = [&](int worker, std::string_view key,
+                           std::vector<std::string_view>& values) {
+    std::vector<std::string> sorted(values.begin(), values.end());
     std::sort(sorted.begin(), sorted.end());
-    per_worker[worker].emplace_back(key, std::move(sorted));
+    per_worker[worker].emplace_back(std::string(key), std::move(sorted));
   };
   DataflowOptions options;
   options.num_map_workers = workers;
   options.num_reduce_workers = workers;
   options.execution = execution;
+  options.compress_shuffle = compress;
   RunOutcome outcome;
   outcome.metrics = RunMapReduce(p.emissions.size(), map_fn,
                                  FactoryFor(p.combiner), reduce_fn, options);
@@ -182,6 +184,22 @@ TEST_P(DataflowPropertyTest, DeterministicAcrossWorkersAndExecutionModes) {
         EXPECT_LE(threads.metrics.shuffle_records,
                   threads.metrics.map_output_records);
       }
+
+      // Shuffle compression is invisible to results and raw metrics: the
+      // same run with the block codec on reduces to identical groups and
+      // charges identical raw volume, reporting the compressed volume on
+      // the side.
+      RunOutcome compressed = RunPipeline(p, workers, Execution::kThreads,
+                                          /*compress=*/true);
+      EXPECT_EQ(compressed.groups, threads.groups);
+      EXPECT_EQ(compressed.metrics.shuffle_bytes,
+                threads.metrics.shuffle_bytes);
+      EXPECT_EQ(compressed.metrics.shuffle_records,
+                threads.metrics.shuffle_records);
+      EXPECT_EQ(threads.metrics.shuffle_compressed_bytes, 0u);
+      if (compressed.metrics.shuffle_records > 0) {
+        EXPECT_GT(compressed.metrics.shuffle_compressed_bytes, 0u);
+      }
     });
   }
 }
@@ -208,11 +226,11 @@ std::vector<std::pair<std::string, uint64_t>> RunChainedPipeline(
   MapFn map_fn = [&](size_t i, const EmitFn& emit) {
     for (const auto& [key, value] : p.emissions[i]) emit(key, value);
   };
-  ChainReduceFn sum_reduce = [](int, const std::string& key,
-                                std::vector<std::string>& values,
+  ChainReduceFn sum_reduce = [](int, std::string_view key,
+                                std::vector<std::string_view>& values,
                                 const EmitFn& emit) {
     uint64_t total = 0;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       size_t pos = 0;
       uint64_t c = 0;
       ASSERT_TRUE(GetVarint(v, &pos, &c));
@@ -220,7 +238,7 @@ std::vector<std::pair<std::string, uint64_t>> RunChainedPipeline(
     }
     std::string value;
     PutVarint(&value, total);
-    emit(key, std::move(value));
+    emit(key, value);
   };
   job.RunRound(p.emissions.size(), map_fn, MakeSumCombiner, sum_reduce);
 
@@ -229,17 +247,17 @@ std::vector<std::pair<std::string, uint64_t>> RunChainedPipeline(
   };
   std::vector<std::vector<std::pair<std::string, uint64_t>>> per_worker(
       workers);
-  ChainReduceFn collect = [&](int worker, const std::string& key,
-                              std::vector<std::string>& values,
+  ChainReduceFn collect = [&](int worker, std::string_view key,
+                              std::vector<std::string_view>& values,
                               const EmitFn&) {
     uint64_t total = 0;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       size_t pos = 0;
       uint64_t c = 0;
       ASSERT_TRUE(GetVarint(v, &pos, &c));
       total += c;
     }
-    per_worker[worker].emplace_back(key, total);
+    per_worker[worker].emplace_back(std::string(key), total);
   };
   job.RunChainedRound(rekey, MakeSumCombiner, collect);
 

@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 
+#include "src/dataflow/shuffle_buffer.h"
 #include "src/util/varint.h"
 
 namespace dseq {
@@ -15,7 +16,9 @@ namespace {
 std::map<std::string, uint64_t> WordCount(const std::vector<std::string>& docs,
                                           bool use_combiner, int map_workers,
                                           int reduce_workers,
-                                          DataflowMetrics* metrics_out) {
+                                          DataflowMetrics* metrics_out,
+                                          bool compress = false,
+                                          uint64_t budget = 0) {
   std::map<std::string, uint64_t> counts;
   std::mutex mu;
   MapFn map_fn = [&](size_t i, const EmitFn& emit) {
@@ -31,21 +34,23 @@ std::map<std::string, uint64_t> WordCount(const std::vector<std::string>& docs,
       }
     }
   };
-  ReduceFn reduce_fn = [&](int, const std::string& key,
-                           std::vector<std::string>& values) {
+  ReduceFn reduce_fn = [&](int, std::string_view key,
+                           std::vector<std::string_view>& values) {
     uint64_t total = 0;
-    for (const auto& v : values) {
+    for (std::string_view v : values) {
       size_t pos = 0;
       uint64_t c = 0;
       GetVarint(v, &pos, &c);
       total += c;
     }
     std::lock_guard<std::mutex> lock(mu);
-    counts[key] += total;
+    counts[std::string(key)] += total;
   };
   DataflowOptions options;
   options.num_map_workers = map_workers;
   options.num_reduce_workers = reduce_workers;
+  options.compress_shuffle = compress;
+  options.shuffle_budget_bytes = budget;
   DataflowMetrics metrics =
       RunMapReduce(docs.size(), map_fn,
                    use_combiner ? CombinerFactory(MakeSumCombiner)
@@ -98,6 +103,8 @@ TEST(DataflowTest, MetricsCountRecords) {
   EXPECT_EQ(metrics.map_output_records, 3u);
   EXPECT_EQ(metrics.shuffle_records, 3u);
   EXPECT_GT(metrics.shuffle_bytes, 0u);
+  // Compression off: no compressed volume is reported.
+  EXPECT_EQ(metrics.shuffle_compressed_bytes, 0u);
   EXPECT_GE(metrics.map_seconds, 0.0);
   EXPECT_GE(metrics.reduce_seconds, 0.0);
 }
@@ -109,8 +116,8 @@ TEST(DataflowTest, ShuffleBudgetEnforced) {
   MapFn map_fn = [&](size_t i, const EmitFn& emit) {
     emit(docs[i], "1");
   };
-  ReduceFn reduce_fn = [](int, const std::string&,
-                          std::vector<std::string>&) {};
+  ReduceFn reduce_fn = [](int, std::string_view,
+                          std::vector<std::string_view>&) {};
   EXPECT_THROW(RunMapReduce(docs.size(), map_fn, nullptr, reduce_fn, options),
                ShuffleOverflowError);
 }
@@ -125,9 +132,9 @@ TEST(DataflowTest, BudgetAppliesPostCombine) {
     for (int i = 0; i < 1000; ++i) emit("key", one);
   };
   std::atomic<uint64_t> total{0};
-  ReduceFn reduce_fn = [&](int, const std::string&,
-                           std::vector<std::string>& values) {
-    for (const auto& v : values) {
+  ReduceFn reduce_fn = [&](int, std::string_view,
+                           std::vector<std::string_view>& values) {
+    for (std::string_view v : values) {
       size_t pos = 0;
       uint64_t c = 0;
       GetVarint(v, &pos, &c);
@@ -145,8 +152,8 @@ TEST(DataflowTest, EachKeyReducedExactlyOnce) {
   MapFn map_fn = [&](size_t i, const EmitFn& emit) {
     emit("k" + std::to_string(i % 10), "v");
   };
-  ReduceFn reduce_fn = [&](int, const std::string&,
-                           std::vector<std::string>& values) {
+  ReduceFn reduce_fn = [&](int, std::string_view,
+                           std::vector<std::string_view>& values) {
     ++reduce_calls;
     EXPECT_EQ(values.size(), 10u);
   };
@@ -157,10 +164,36 @@ TEST(DataflowTest, EachKeyReducedExactlyOnce) {
   EXPECT_EQ(reduce_calls.load(), 10);
 }
 
+TEST(DataflowTest, KeysArriveSortedAndValuesKeepEmitOrder) {
+  // The sort-based grouper delivers keys in ascending byte order per reduce
+  // worker, and values within a key in map-worker-then-emit order.
+  MapFn map_fn = [&](size_t i, const EmitFn& emit) {
+    emit("dup", "v" + std::to_string(i));
+    emit("k" + std::to_string(9 - i % 10), "x");
+  };
+  std::vector<std::string> keys;
+  std::vector<std::string> dup_values;
+  ReduceFn reduce_fn = [&](int, std::string_view key,
+                           std::vector<std::string_view>& values) {
+    keys.emplace_back(key);
+    if (key == "dup") {
+      for (std::string_view v : values) dup_values.emplace_back(v);
+    }
+  };
+  DataflowOptions options;  // single reduce worker: one global key order
+  RunMapReduce(10, map_fn, nullptr, reduce_fn, options);
+  ASSERT_EQ(keys.size(), 11u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  ASSERT_EQ(dup_values.size(), 10u);
+  for (size_t i = 0; i < dup_values.size(); ++i) {
+    EXPECT_EQ(dup_values[i], "v" + std::to_string(i));
+  }
+}
+
 TEST(DataflowTest, EmptyInput) {
   MapFn map_fn = [](size_t, const EmitFn&) { FAIL(); };
-  ReduceFn reduce_fn = [](int, const std::string&,
-                          std::vector<std::string>&) { FAIL(); };
+  ReduceFn reduce_fn = [](int, std::string_view,
+                          std::vector<std::string_view>&) { FAIL(); };
   DataflowMetrics metrics = RunMapReduce(0, map_fn, nullptr, reduce_fn, {});
   EXPECT_EQ(metrics.shuffle_records, 0u);
 }
@@ -188,17 +221,17 @@ TEST(DataflowTest, SimulatedExecutionProducesSameResults) {
       }
     }
   };
-  ReduceFn reduce_fn = [&](int, const std::string& key,
-                           std::vector<std::string>& values) {
+  ReduceFn reduce_fn = [&](int, std::string_view key,
+                           std::vector<std::string_view>& values) {
     uint64_t total = 0;
-    for (const auto& v : values) {
+    for (std::string_view v : values) {
       size_t pos = 0;
       uint64_t c = 0;
       GetVarint(v, &pos, &c);
       total += c;
     }
     std::lock_guard<std::mutex> lock(mu);
-    counts[key] += total;
+    counts[std::string(key)] += total;
   };
   DataflowOptions options;
   options.num_map_workers = 4;
@@ -215,12 +248,124 @@ TEST(DataflowTest, MapExceptionPropagates) {
   MapFn map_fn = [](size_t i, const EmitFn&) {
     if (i == 5) throw std::runtime_error("boom");
   };
-  ReduceFn reduce_fn = [](int, const std::string&,
-                          std::vector<std::string>&) {};
+  ReduceFn reduce_fn = [](int, std::string_view,
+                          std::vector<std::string_view>&) {};
   DataflowOptions options;
   options.num_map_workers = 3;
   EXPECT_THROW(RunMapReduce(10, map_fn, nullptr, reduce_fn, options),
                std::runtime_error);
+}
+
+// --- Shuffle compression ----------------------------------------------------
+
+TEST(DataflowTest, CompressionPreservesResultsAndRawMetrics) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 120; ++i) {
+    docs.push_back("alpha beta w" + std::to_string(i % 6) + " alpha");
+  }
+  for (int workers : {1, 3}) {
+    DataflowMetrics raw_metrics;
+    DataflowMetrics compressed_metrics;
+    auto raw = WordCount(docs, false, workers, workers, &raw_metrics, false);
+    auto compressed =
+        WordCount(docs, false, workers, workers, &compressed_metrics, true);
+    EXPECT_EQ(raw, compressed) << workers << " workers";
+    // The raw shuffle accounting (budget basis) is unchanged by the codec.
+    EXPECT_EQ(raw_metrics.shuffle_bytes, compressed_metrics.shuffle_bytes);
+    EXPECT_EQ(raw_metrics.shuffle_records, compressed_metrics.shuffle_records);
+    EXPECT_EQ(raw_metrics.shuffle_compressed_bytes, 0u);
+    EXPECT_GT(compressed_metrics.shuffle_compressed_bytes, 0u);
+    // Word-count records are highly repetitive; the codec must win.
+    EXPECT_LT(compressed_metrics.shuffle_compressed_bytes,
+              compressed_metrics.shuffle_bytes);
+  }
+}
+
+TEST(DataflowTest, CompressionComposesWithCombinerAndBudget) {
+  std::vector<std::string> docs(60, "x y x y z z z");
+  DataflowMetrics plain;
+  WordCount(docs, true, 2, 2, &plain, false);
+  DataflowMetrics compressed;
+  auto counts = WordCount(docs, true, 2, 2, &compressed, true);
+  EXPECT_EQ(counts["z"], 180u);
+  EXPECT_EQ(plain.shuffle_bytes, compressed.shuffle_bytes);
+  EXPECT_GT(compressed.shuffle_compressed_bytes, 0u);
+
+  // The budget stays charged on the raw serialized volume with the codec
+  // on: a budget exactly at the raw volume passes, one byte below throws —
+  // even though the compressed volume is far smaller than either.
+  ASSERT_LT(compressed.shuffle_compressed_bytes, compressed.shuffle_bytes);
+  DataflowMetrics budgeted;
+  WordCount(docs, true, 2, 2, &budgeted, true, compressed.shuffle_bytes);
+  EXPECT_EQ(budgeted.shuffle_bytes, compressed.shuffle_bytes);
+  EXPECT_THROW(WordCount(docs, true, 2, 2, nullptr, true,
+                         compressed.shuffle_bytes - 1),
+               ShuffleOverflowError);
+}
+
+// --- Reduce-phase memory ----------------------------------------------------
+
+TEST(DataflowTest, ReduceWorkersDrainBucketsAsTheyFinish) {
+  // Under cluster simulation the reduce workers run sequentially; each must
+  // release its bucket column before the next starts, so the live shuffle
+  // gauge strictly decreases across workers instead of staying at the full
+  // volume until the end of the phase.
+  ASSERT_EQ(ShuffleBufferLiveBytes(), 0u);
+  constexpr int kReduceWorkers = 4;
+  // One key per reduce bucket (the engine partitions by
+  // std::hash<std::string_view> % reduce workers), so every worker is
+  // guaranteed a reduce call.
+  std::vector<std::string> bucket_key(kReduceWorkers);
+  int found = 0;
+  for (int i = 0; found < kReduceWorkers; ++i) {
+    std::string key = "key" + std::to_string(i);
+    size_t b = std::hash<std::string_view>{}(key) % kReduceWorkers;
+    if (bucket_key[b].empty()) {
+      bucket_key[b] = key;
+      ++found;
+    }
+  }
+  MapFn map_fn = [&](size_t i, const EmitFn& emit) {
+    // ~64 bytes per record, every bucket hit by every input.
+    for (const std::string& key : bucket_key) {
+      emit(key, std::string(60, 'v') + std::to_string(i));
+    }
+  };
+  std::vector<uint64_t> live_at_worker;
+  ReduceFn reduce_fn = [&](int r, std::string_view,
+                           std::vector<std::string_view>&) {
+    if (live_at_worker.size() <= static_cast<size_t>(r)) {
+      live_at_worker.push_back(ShuffleBufferLiveBytes());
+    }
+  };
+  DataflowOptions options;
+  options.num_map_workers = 2;
+  options.num_reduce_workers = kReduceWorkers;
+  options.execution = Execution::kSimulated;
+  RunMapReduce(512, map_fn, nullptr, reduce_fn, options);
+
+  ASSERT_EQ(live_at_worker.size(), static_cast<size_t>(kReduceWorkers));
+  for (size_t r = 1; r < live_at_worker.size(); ++r) {
+    EXPECT_LT(live_at_worker[r], live_at_worker[r - 1]) << "worker " << r;
+  }
+  // The last worker's own column is already drained when it runs.
+  EXPECT_EQ(live_at_worker.back(), 0u);
+  // Nothing survives the round.
+  EXPECT_EQ(ShuffleBufferLiveBytes(), 0u);
+}
+
+TEST(DataflowTest, BucketsFreedAfterOverflow) {
+  // A budget trip mid-map must not leak tracked shuffle bytes.
+  ASSERT_EQ(ShuffleBufferLiveBytes(), 0u);
+  DataflowOptions options;
+  options.shuffle_budget_bytes = 64;
+  MapFn map_fn = [](size_t i, const EmitFn& emit) {
+    emit("key" + std::to_string(i), std::string(10, 'v'));
+  };
+  ReduceFn sink = [](int, std::string_view, std::vector<std::string_view>&) {};
+  EXPECT_THROW(RunMapReduce(100, map_fn, nullptr, sink, options),
+               ShuffleOverflowError);
+  EXPECT_EQ(ShuffleBufferLiveBytes(), 0u);
 }
 
 }  // namespace

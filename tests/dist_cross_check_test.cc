@@ -64,6 +64,56 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3),
                        ::testing::ValuesIn(testing::PropertyPatterns())));
 
+TEST(DistCrossCheckTest, CompressionChangesNoMinerResult) {
+  // Shuffle compression is a transport concern: every miner must produce
+  // byte-identical patterns with the codec on, with identical raw shuffle
+  // volume and a non-zero compressed volume reported on the side.
+  SequenceDatabase db = testing::RandomDatabase(2600, 7, 50, 8);
+  Fst fst = CompileFst(".*(.)[.*(.)]{0,2}.*", db.dict);
+  const uint64_t sigma = 2;
+  MiningResult expected =
+      testing::BruteForceMine(db.sequences, fst, db.dict, sigma);
+
+  auto check = [&](const DistributedResult& plain,
+                   const DistributedResult& compressed, const char* name) {
+    EXPECT_EQ(plain.patterns, expected) << name;
+    EXPECT_EQ(compressed.patterns, expected) << name << " (compressed)";
+    EXPECT_EQ(compressed.metrics.shuffle_bytes, plain.metrics.shuffle_bytes)
+        << name;
+    EXPECT_EQ(plain.metrics.shuffle_compressed_bytes, 0u) << name;
+    if (compressed.metrics.shuffle_records > 0) {
+      EXPECT_GT(compressed.metrics.shuffle_compressed_bytes, 0u) << name;
+    }
+  };
+
+  NaiveOptions naive;
+  naive.sigma = sigma;
+  naive.num_map_workers = 2;
+  naive.num_reduce_workers = 2;
+  NaiveOptions naive_c = naive;
+  naive_c.compress_shuffle = true;
+  check(MineNaive(db.sequences, fst, db.dict, naive),
+        MineNaive(db.sequences, fst, db.dict, naive_c), "NAIVE");
+
+  DSeqOptions dseq;
+  dseq.sigma = sigma;
+  dseq.num_map_workers = 2;
+  dseq.num_reduce_workers = 2;
+  DSeqOptions dseq_c = dseq;
+  dseq_c.compress_shuffle = true;
+  check(MineDSeq(db.sequences, fst, db.dict, dseq),
+        MineDSeq(db.sequences, fst, db.dict, dseq_c), "D-SEQ");
+
+  DCandOptions dcand;
+  dcand.sigma = sigma;
+  dcand.num_map_workers = 2;
+  dcand.num_reduce_workers = 2;
+  DCandOptions dcand_c = dcand;
+  dcand_c.compress_shuffle = true;
+  check(MineDCand(db.sequences, fst, db.dict, dcand),
+        MineDCand(db.sequences, fst, db.dict, dcand_c), "D-CAND");
+}
+
 TEST(DistShuffleTest, PivotPartitioningShufflesLessThanNaive) {
   // Paper Tab. IV direction on the running example: both item-based
   // representations (sequences and NFAs) shuffle strictly fewer bytes than

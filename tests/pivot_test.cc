@@ -223,5 +223,99 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3),
                        ::testing::ValuesIn(testing::PropertyPatterns())));
 
+// --- PivotItemVec small-vector semantics ------------------------------------
+
+TEST(PivotItemVecTest, StaysInlineUpToEightItems) {
+  PivotItemVec v;
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_TRUE(v.empty());
+  for (ItemId w = 1; w <= PivotItemVec::kInlineCapacity; ++w) v.push_back(w);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), PivotItemVec::kInlineCapacity);
+  v.push_back(99);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), PivotItemVec::kInlineCapacity + 1);
+  EXPECT_EQ(v.back(), 99u);
+  EXPECT_EQ(v.front(), 1u);
+}
+
+TEST(PivotItemVecTest, CopyAndMoveAcrossTheInlineBoundary) {
+  for (size_t n : {0u, 3u, 8u, 9u, 40u}) {
+    PivotItemVec v;
+    Sequence expected;
+    for (ItemId w = 1; w <= n; ++w) {
+      v.push_back(w * 7);
+      expected.push_back(w * 7);
+    }
+    PivotItemVec copy = v;
+    EXPECT_EQ(copy, expected) << n;
+    EXPECT_EQ(v, expected) << n;
+    PivotItemVec moved = std::move(v);
+    EXPECT_EQ(moved, expected) << n;
+    EXPECT_TRUE(v.empty()) << n;  // NOLINT: deliberate use-after-move
+    v = std::move(moved);
+    EXPECT_EQ(v, expected) << n;
+    PivotItemVec assigned;
+    assigned.push_back(12345);
+    assigned = copy;
+    EXPECT_EQ(assigned, expected) << n;
+  }
+}
+
+TEST(PivotItemVecTest, EraseAndSequenceConversion) {
+  PivotItemVec v{5, 1, 3, 3, 1};
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  EXPECT_EQ(v, (Sequence{1, 3, 5}));
+  EXPECT_EQ(v.ToSequence(), (Sequence{1, 3, 5}));
+  PivotItemVec from_seq(Sequence{2, 4});
+  EXPECT_EQ(from_seq, (Sequence{2, 4}));
+}
+
+TEST(PivotItemVecTest, MergeResultsAgreeAcrossTheSpillBoundary) {
+  // PivotMerge / UnionWith on sets larger than the inline capacity must
+  // agree with a plain-vector reference union/merge.
+  std::mt19937_64 rng(31);
+  for (int iter = 0; iter < 200; ++iter) {
+    auto random_set = [&](size_t max_size) {
+      Sequence s;
+      size_t n = rng() % (max_size + 1);
+      for (size_t i = 0; i < n; ++i) {
+        s.push_back(static_cast<ItemId>(rng() % 40 + 1));
+      }
+      std::sort(s.begin(), s.end());
+      s.erase(std::unique(s.begin(), s.end()), s.end());
+      return s;
+    };
+    Sequence a = random_set(20);
+    Sequence b = random_set(20);
+
+    PivotSet u = PivotSet::Items(a);
+    u.UnionWith(PivotSet::Items(b));
+    Sequence expected_union;
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(expected_union));
+    EXPECT_EQ(u.items, expected_union) << "iter " << iter;
+
+    if (!a.empty() && !b.empty()) {
+      PivotSet merged = PivotMerge(PivotSet::Items(a), PivotSet::Items(b));
+      Sequence expected_merge;
+      ItemId min_a = a.front();
+      ItemId min_b = b.front();
+      for (ItemId w : a) {
+        if (w >= min_b) expected_merge.push_back(w);
+      }
+      for (ItemId w : b) {
+        if (w >= min_a) expected_merge.push_back(w);
+      }
+      std::sort(expected_merge.begin(), expected_merge.end());
+      expected_merge.erase(
+          std::unique(expected_merge.begin(), expected_merge.end()),
+          expected_merge.end());
+      EXPECT_EQ(merged.items, expected_merge) << "iter " << iter;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dseq

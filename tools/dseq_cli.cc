@@ -7,13 +7,16 @@
 //            --pattern '.*(A)[(.^).*]*(b).*' --sigma 2
 //            [--algorithm dseq|dcand|naive|semi-naive|desq-dfs|desq-count|
 //                         prefix-span|prefix-span-chained]
-//            [--workers N] [--limit N] [--stats]
+//            [--workers N] [--limit N] [--stats] [--compress]
 //            [--recount] [--recount-sample N] [--lambda N]
 //
 // Iterative (multi-round) jobs: --recount prepends a distributed
 // frequency-recount round to naive/semi-naive/dseq, and
 // `--algorithm prefix-span-chained` grows PrefixSpan prefixes one shuffle
-// round at a time; --stats prints per-round metrics for both.
+// round at a time; --stats prints per-round metrics for both (including
+// database-read cache counters of the recount drivers). --compress runs
+// the shuffle through the block codec; --stats then reports the compressed
+// volume next to the raw one.
 //
 // Input format: one sequence per line, whitespace-separated item names; the
 // hierarchy file has one "child parent" pair per line. Output: one frequent
@@ -45,6 +48,7 @@ struct Args {
   int workers = 0;  // 0 = hardware default
   size_t limit = 0;  // 0 = print all
   bool stats = false;
+  bool compress = false;
   bool recount = false;
   uint32_t recount_sample = 1;
   uint32_t lambda = 5;  // prefix-span max pattern length
@@ -67,6 +71,8 @@ struct Args {
       "  --limit N          print at most N sequences (default: all)\n"
       "  --stats            print dataset and run statistics to stderr\n"
       "                     (per-round metrics for chained runs)\n"
+      "  --compress         block-compress the shuffle (distributed\n"
+      "                     algorithms); --stats reports both volumes\n"
       "  --recount          naive/semi-naive/dseq: prepend a distributed\n"
       "                     frequency-recount round (two-round chained job)\n"
       "  --recount-sample N recount every N-th sequence only, scaled up\n"
@@ -101,6 +107,8 @@ Args ParseArgs(int argc, char** argv) {
       args.limit = std::strtoull(need_value("--limit"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       args.stats = true;
+    } else if (std::strcmp(argv[i], "--compress") == 0) {
+      args.compress = true;
     } else if (std::strcmp(argv[i], "--recount") == 0) {
       args.recount = true;
     } else if (std::strcmp(argv[i], "--recount-sample") == 0) {
@@ -140,6 +148,10 @@ Args ParseArgs(int argc, char** argv) {
   if (args.lambda_set && !is_prefix_span) {
     Usage("--lambda requires --algorithm prefix-span or prefix-span-chained");
   }
+  if (args.compress &&
+      (args.algorithm == "desq-dfs" || args.algorithm == "desq-count")) {
+    Usage("--compress requires a distributed (shuffling) algorithm");
+  }
   return args;
 }
 
@@ -148,15 +160,47 @@ void PrintRoundStats(const dseq::ChainedDistributedResult& result) {
     const dseq::DataflowMetrics& m = result.round_metrics[r];
     std::fprintf(stderr,
                  "round %zu: map %.3fs, reduce %.3fs, shuffle %llu bytes "
-                 "(%llu records)\n",
+                 "(%llu records)",
                  r + 1, m.map_seconds, m.reduce_seconds,
                  static_cast<unsigned long long>(m.shuffle_bytes),
                  static_cast<unsigned long long>(m.shuffle_records));
+    if (m.shuffle_compressed_bytes > 0) {
+      std::fprintf(stderr, ", compressed %llu bytes",
+                   static_cast<unsigned long long>(m.shuffle_compressed_bytes));
+    }
+    std::fprintf(stderr, "\n");
   }
   std::fprintf(stderr,
-               "total: map %.3fs, reduce %.3fs, shuffle %llu bytes\n",
+               "total: map %.3fs, reduce %.3fs, shuffle %llu bytes",
                result.aggregate.map_seconds, result.aggregate.reduce_seconds,
                static_cast<unsigned long long>(result.aggregate.shuffle_bytes));
+  if (result.aggregate.shuffle_compressed_bytes > 0) {
+    std::fprintf(stderr, ", compressed %llu bytes",
+                 static_cast<unsigned long long>(
+                     result.aggregate.shuffle_compressed_bytes));
+  }
+  std::fprintf(stderr, "\n");
+  if (result.input_storage_reads > 0 || result.input_cache_hits > 0) {
+    std::fprintf(stderr,
+                 "input reads: %llu from storage, %llu from the round-1 "
+                 "cache\n",
+                 static_cast<unsigned long long>(result.input_storage_reads),
+                 static_cast<unsigned long long>(result.input_cache_hits));
+  }
+}
+
+void PrintRunStats(const dseq::DataflowMetrics& m) {
+  std::fprintf(stderr,
+               "run: map %.3fs, reduce %.3fs, shuffle %llu bytes "
+               "(%llu records)",
+               m.map_seconds, m.reduce_seconds,
+               static_cast<unsigned long long>(m.shuffle_bytes),
+               static_cast<unsigned long long>(m.shuffle_records));
+  if (m.shuffle_compressed_bytes > 0) {
+    std::fprintf(stderr, ", compressed %llu bytes",
+                 static_cast<unsigned long long>(m.shuffle_compressed_bytes));
+  }
+  std::fprintf(stderr, "\n");
 }
 
 }  // namespace
@@ -189,6 +233,7 @@ int main(int argc, char** argv) {
       options.sigma = args.sigma;
       options.num_map_workers = workers;
       options.num_reduce_workers = workers;
+      options.compress_shuffle = args.compress;
       if (args.recount) {
         options.recount_sample_every = args.recount_sample;
         ChainedDistributedResult result =
@@ -196,20 +241,26 @@ int main(int argc, char** argv) {
         if (args.stats) PrintRoundStats(result);
         patterns = std::move(result.patterns);
       } else {
-        patterns = MineDSeq(db.sequences, fst, db.dict, options).patterns;
+        DistributedResult result = MineDSeq(db.sequences, fst, db.dict, options);
+        if (args.stats) PrintRunStats(result.metrics);
+        patterns = std::move(result.patterns);
       }
     } else if (args.algorithm == "dcand") {
       DCandOptions options;
       options.sigma = args.sigma;
       options.num_map_workers = workers;
       options.num_reduce_workers = workers;
-      patterns = MineDCand(db.sequences, fst, db.dict, options).patterns;
+      options.compress_shuffle = args.compress;
+      DistributedResult result = MineDCand(db.sequences, fst, db.dict, options);
+      if (args.stats) PrintRunStats(result.metrics);
+      patterns = std::move(result.patterns);
     } else if (args.algorithm == "naive" || args.algorithm == "semi-naive") {
       NaiveRecountOptions options;
       options.sigma = args.sigma;
       options.semi_naive = args.algorithm == "semi-naive";
       options.num_map_workers = workers;
       options.num_reduce_workers = workers;
+      options.compress_shuffle = args.compress;
       if (args.recount) {
         options.recount_sample_every = args.recount_sample;
         ChainedDistributedResult result =
@@ -217,7 +268,10 @@ int main(int argc, char** argv) {
         if (args.stats) PrintRoundStats(result);
         patterns = std::move(result.patterns);
       } else {
-        patterns = MineNaive(db.sequences, fst, db.dict, options).patterns;
+        DistributedResult result =
+            MineNaive(db.sequences, fst, db.dict, options);
+        if (args.stats) PrintRunStats(result.metrics);
+        patterns = std::move(result.patterns);
       }
     } else if (args.algorithm == "prefix-span" ||
                args.algorithm == "prefix-span-chained") {
@@ -226,13 +280,17 @@ int main(int argc, char** argv) {
       options.lambda = args.lambda;
       options.num_map_workers = workers;
       options.num_reduce_workers = workers;
+      options.compress_shuffle = args.compress;
       if (args.algorithm == "prefix-span-chained") {
         ChainedDistributedResult result =
             MineChainedPrefixSpan(db.sequences, db.dict, options);
         if (args.stats) PrintRoundStats(result);
         patterns = std::move(result.patterns);
       } else {
-        patterns = MinePrefixSpan(db.sequences, db.dict, options).patterns;
+        DistributedResult result =
+            MinePrefixSpan(db.sequences, db.dict, options);
+        if (args.stats) PrintRunStats(result.metrics);
+        patterns = std::move(result.patterns);
       }
     } else if (args.algorithm == "desq-dfs") {
       DesqDfsOptions options;
