@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <iterator>
 
+#include "src/util/thread_pool.h"
+
 namespace dseq {
 
 const DataflowMetrics& DataflowJob::Run(size_t num_inputs, const MapFn& map_fn,
                                         const CombinerFactory& combiner_factory,
                                         const ChainReduceFn& reduce_fn) {
-  int reduce_workers = std::max(1, options_.num_reduce_workers);
+  int reduce_workers = ClampWorkers(options_.num_reduce_workers);
   std::vector<std::vector<Record>> out(reduce_workers);
   // One emitter per reduce worker, built up front: the reduce loop runs once
   // per distinct key and must not pay a std::function allocation each time.
@@ -85,6 +87,12 @@ DataflowMetrics DataflowJob::aggregate_metrics() const {
     total.shuffle_compressed_bytes += m.shuffle_compressed_bytes;
     total.shuffle_records += m.shuffle_records;
     total.map_output_records += m.map_output_records;
+    if (m.reducer_bytes.size() > total.reducer_bytes.size()) {
+      total.reducer_bytes.resize(m.reducer_bytes.size(), 0);
+    }
+    for (size_t r = 0; r < m.reducer_bytes.size(); ++r) {
+      total.reducer_bytes[r] += m.reducer_bytes[r];
+    }
   }
   return total;
 }

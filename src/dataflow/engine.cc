@@ -177,11 +177,12 @@ class WeightedValueCombiner : public Combiner {
   StringArena arena_;
 };
 
-// Fixed per-record framing overhead charged to the shuffle-size metric
-// (length prefixes, roughly what a real shuffle file format pays).
-constexpr uint64_t kRecordOverheadBytes = 4;
-
 }  // namespace
+
+int ShuffleReducerForKey(std::string_view key, int num_reduce_workers) {
+  return static_cast<int>(HashBytes(key) %
+                          static_cast<size_t>(ClampWorkers(num_reduce_workers)));
+}
 
 std::unique_ptr<Combiner> MakeSumCombiner() {
   return std::make_unique<SumCombiner>();
@@ -219,8 +220,8 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
                              const ReduceFn& reduce_fn,
                              const DataflowOptions& options) {
   DataflowMetrics metrics;
-  int map_workers = std::max(1, options.num_map_workers);
-  int reduce_workers = std::max(1, options.num_reduce_workers);
+  int map_workers = ClampWorkers(options.num_map_workers);
+  int reduce_workers = ClampWorkers(options.num_reduce_workers);
 
   // buckets[map_worker][reduce_worker] -> one byte arena of varint-framed
   // records destined for that reducer.
@@ -230,10 +231,13 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
   std::atomic<uint64_t> shuffle_compressed_bytes{0};
   std::atomic<uint64_t> shuffle_records{0};
   std::atomic<uint64_t> map_output_records{0};
+  // Per-(map worker, reducer) byte counters, summed into
+  // metrics.reducer_bytes after the map phase — each worker writes its own
+  // row, so the hot emit path pays no shared atomics for them.
+  std::vector<std::vector<uint64_t>> worker_reducer_bytes(
+      map_workers, std::vector<uint64_t>(reduce_workers, 0));
 
-  size_t shard = map_workers > 0
-                     ? (num_inputs + map_workers - 1) / map_workers
-                     : num_inputs;
+  size_t shard = (num_inputs + map_workers - 1) / map_workers;
   metrics.map_seconds = RunPhase(map_workers, options.execution, [&](int w) {
     size_t begin = std::min(num_inputs, static_cast<size_t>(w) * shard);
     size_t end = std::min(num_inputs, begin + shard);
@@ -241,7 +245,7 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
 
     // Emits a post-combine record into this worker's shuffle buckets.
     EmitFn shuffle_emit = [&](std::string_view key, std::string_view value) {
-      uint64_t bytes = key.size() + value.size() + kRecordOverheadBytes;
+      uint64_t bytes = key.size() + value.size() + kShuffleRecordOverheadBytes;
       uint64_t total = shuffle_bytes.fetch_add(bytes) + bytes;
       shuffle_records.fetch_add(1, std::memory_order_relaxed);
       if (options.shuffle_budget_bytes > 0 &&
@@ -250,7 +254,15 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
             "shuffle exceeded memory budget (" +
             std::to_string(options.shuffle_budget_bytes) + " bytes)");
       }
-      size_t r = HashBytes(key) % reduce_workers;
+      int r = options.partitioner
+                  ? options.partitioner(key, reduce_workers)
+                  : ShuffleReducerForKey(key, reduce_workers);
+      if (r < 0 || r >= reduce_workers) {
+        throw std::out_of_range("partitioner returned reducer " +
+                                std::to_string(r) + " for " +
+                                std::to_string(reduce_workers) + " workers");
+      }
+      worker_reducer_bytes[w][r] += bytes;
       buckets[w][r].Append(key, value);
     };
 
@@ -287,6 +299,12 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
   metrics.shuffle_compressed_bytes = shuffle_compressed_bytes.load();
   metrics.shuffle_records = shuffle_records.load();
   metrics.map_output_records = map_output_records.load();
+  metrics.reducer_bytes.assign(reduce_workers, 0);
+  for (const std::vector<uint64_t>& row : worker_reducer_bytes) {
+    for (int r = 0; r < reduce_workers; ++r) {
+      metrics.reducer_bytes[r] += row[r];
+    }
+  }
 
   // Reduce: each reduce worker drains the bucket column hashed to it, then
   // groups by sorting record views — no per-record rebuild into a hash map.

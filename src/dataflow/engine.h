@@ -60,6 +60,11 @@ struct DataflowMetrics {
   uint64_t shuffle_compressed_bytes = 0;
   uint64_t shuffle_records = 0;
   uint64_t map_output_records = 0;  // pre-combine record count
+  /// Raw serialized bytes each reduce worker received (one entry per reduce
+  /// worker, including workers that received nothing) — the measured side of
+  /// the partition-balance work: max/mean over this vector is the skew the
+  /// partition planner acts on.
+  std::vector<uint64_t> reducer_bytes;
 
   double total_seconds() const { return map_seconds + reduce_seconds; }
 };
@@ -76,6 +81,25 @@ enum class Execution {
   kSimulated,
 };
 
+/// Key→reducer assignment hook. Must be a pure function of the key (every
+/// record of a key has to reach the same reducer) and return a value in
+/// [0, num_reduce_workers); out-of-range results throw. Which reducer a key
+/// lands on never affects results — only balance — so custom partitioners
+/// (e.g. a PartitionPlan's) are correctness-neutral by construction.
+using PartitionerFn =
+    std::function<int(std::string_view key, int num_reduce_workers)>;
+
+/// The engine's default assignment: hash partitioning. Exposed so planners
+/// and balance summaries can reproduce exactly where a key would land.
+int ShuffleReducerForKey(std::string_view key, int num_reduce_workers);
+
+/// Fixed per-record framing overhead charged to the shuffle-size metric
+/// (length prefixes, roughly what a real shuffle file format pays). Exposed
+/// so ComputePartitionStats can mirror the engine's byte accounting exactly
+/// — a partition plan packed from stats then projects the same loads the
+/// run will measure.
+inline constexpr uint64_t kShuffleRecordOverheadBytes = 4;
+
 struct DataflowOptions {
   int num_map_workers = 1;
   int num_reduce_workers = 1;
@@ -88,6 +112,8 @@ struct DataflowOptions {
   /// compressed volume in DataflowMetrics::shuffle_compressed_bytes.
   /// Results and `shuffle_bytes` are unaffected.
   bool compress_shuffle = false;
+  /// Key→reducer override; null = ShuffleReducerForKey (hash partitioning).
+  PartitionerFn partitioner;
 };
 
 /// Emits one record from a mapper or a combiner flush. The engine copies

@@ -1,0 +1,52 @@
+#include "src/datagen/skewed_zipf.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/datagen/zipf.h"
+#include "src/dict/dictionary.h"
+
+namespace dseq {
+
+SequenceDatabase GenerateSkewedZipf(const SkewedZipfOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  DictionaryBuilder builder;
+
+  std::vector<ItemId> groups;
+  for (size_t g = 0; g < options.num_groups; ++g) {
+    groups.push_back(builder.AddItem("G" + std::to_string(g)));
+  }
+  std::vector<ItemId> leaves;
+  for (size_t i = 0; i < options.num_items; ++i) {
+    ItemId leaf = builder.AddItem("w" + std::to_string(i));
+    leaves.push_back(leaf);
+    if (!groups.empty()) {
+      // Popularity rank i and category i % G are independent, so every
+      // category mixes head and tail leaves (categories stay mid-frequency
+      // while the head leaf dominates on its own).
+      builder.AddParent(leaf, groups[i % groups.size()]);
+    }
+  }
+
+  SequenceDatabase db;
+  db.dict = builder.Build();
+  ZipfSampler zipf(options.num_items, options.zipf_exponent);
+  size_t min_length = options.min_length > 0 ? options.min_length : 1;
+  size_t max_length =
+      options.max_length >= min_length ? options.max_length : min_length;
+  for (size_t s = 0; s < options.num_sequences; ++s) {
+    size_t length =
+        min_length + rng() % (max_length - min_length + 1);
+    Sequence seq;
+    seq.reserve(length);
+    for (size_t j = 0; j < length; ++j) {
+      seq.push_back(leaves[zipf.Sample(rng)]);
+    }
+    db.sequences.push_back(std::move(seq));
+  }
+  db.Recode();
+  return db;
+}
+
+}  // namespace dseq

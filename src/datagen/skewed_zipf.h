@@ -1,0 +1,37 @@
+// Skewed Zipf hierarchies: the adversarial input of the partition-balance
+// work (paper Sec. III-B discussion).
+//
+// The paper argues item-based partitioning stays balanced because the
+// frequency-based item order sends the least data to the most frequent
+// items. That argument fails for constraints whose candidates are single
+// (generalized) items: under ".*(.^).*" every occurrence of an item lands in
+// the partition of that item itself, so a Zipf head item receives a rewritten
+// copy of nearly every sequence — a single heavy pivot that dominates one
+// hash-chosen reducer. This generator produces exactly that shape: leaf
+// items with Zipf-distributed popularity grouped under category parents.
+#ifndef DSEQ_DATAGEN_SKEWED_ZIPF_H_
+#define DSEQ_DATAGEN_SKEWED_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/dict/sequence.h"
+
+namespace dseq {
+
+struct SkewedZipfOptions {
+  uint64_t seed = 11;
+  size_t num_items = 100;      // leaf vocabulary
+  size_t num_groups = 8;       // category parents (0 = flat vocabulary)
+  size_t num_sequences = 400;
+  size_t min_length = 4;
+  size_t max_length = 12;
+  double zipf_exponent = 1.2;  // popularity skew; the knob that makes the
+                               // head item's partition heavy
+};
+
+/// Generates and recodes the database. Deterministic for a seed.
+SequenceDatabase GenerateSkewedZipf(const SkewedZipfOptions& options);
+
+}  // namespace dseq
+
+#endif  // DSEQ_DATAGEN_SKEWED_ZIPF_H_

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/util/thread_pool.h"
+
 namespace dseq {
 
 std::string EncodePivotKey(ItemId pivot) {
@@ -32,6 +34,7 @@ ChainedDataflowOptions MakeChainedOptions(
   chained.cumulative_shuffle_budget_bytes =
       options.cumulative_shuffle_budget_bytes;
   chained.compress_shuffle = options.compress_shuffle;
+  chained.partitioner = options.partitioner;
   return chained;
 }
 
@@ -40,7 +43,7 @@ MiningResult RunMiningRound(DataflowJob& job, size_t num_inputs,
                             const CombinerFactory& combiner_factory,
                             const PartitionReduceFn& reduce_fn) {
   std::vector<MiningResult> per_worker(
-      std::max(1, job.options().num_reduce_workers));
+      ClampWorkers(job.options().num_reduce_workers));
   ChainReduceFn worker_reduce = [&](int worker, std::string_view key,
                                     std::vector<std::string_view>& values,
                                     const EmitFn&) {

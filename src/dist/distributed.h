@@ -65,6 +65,11 @@ struct DistributedRunOptions {
   /// Block-compress the shuffle (DataflowOptions::compress_shuffle): the
   /// metrics then report shuffle_compressed_bytes next to the raw volume.
   bool compress_shuffle = false;
+  /// Key→reducer override (DataflowOptions::partitioner); null = hash.
+  /// Flows through every round of a chained run (the recount drivers
+  /// included). Assignment never affects the mined patterns, only where a
+  /// partition's data lands — see PartitionPlan for the plan-driven hook.
+  PartitionerFn partitioner;
 };
 
 /// Cross-round cache of database reads for chained drivers — the in-process

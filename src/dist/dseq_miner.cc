@@ -1,8 +1,11 @@
 #include "src/dist/dseq_miner.h"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <stdexcept>
+
+#include "src/util/thread_pool.h"
 
 namespace dseq {
 
@@ -110,18 +113,21 @@ Sequence RewriteForPivot(const Sequence& T, const StateGrid& grid,
 
 namespace {
 
-// Map/reduce phases shared by the single-round miner and the chained
-// recount driver. The returned closures capture `db`, `fst`, `dict`, and
-// `options` by reference; callers keep them alive for the round. The
-// recount driver passes its cross-round CachedDatabase so round 2 is served
-// from the round-1 cache.
+// Map/reduce phases shared by the single-round miner, the chained recount
+// driver, and the plan-driven balanced miner. The returned closures capture
+// `db`, `fst`, `dict`, `options` (and `plan`, when given) by reference;
+// callers keep them alive for the round. The recount driver passes its
+// cross-round CachedDatabase so round 2 is served from the round-1 cache;
+// the balanced miner passes its PartitionPlan so pivots the plan split ship
+// under range-split sub-partition keys.
 MapFn MakeDSeqMapFn(const std::vector<Sequence>& db, const Fst& fst,
                     const Dictionary& dict, const DSeqOptions& options,
-                    CachedDatabase* cached_db = nullptr) {
+                    CachedDatabase* cached_db = nullptr,
+                    const PartitionPlan* plan = nullptr) {
   GridOptions grid_options;
   grid_options.prune_sigma = options.sigma;
 
-  return [&db, &fst, &dict, &options, grid_options, cached_db](
+  return [&db, &fst, &dict, &options, grid_options, cached_db, plan](
              size_t index, const EmitFn& emit) {
     const Sequence& T =
         cached_db != nullptr ? cached_db->Read(index) : db[index];
@@ -149,9 +155,42 @@ MapFn MakeDSeqMapFn(const std::vector<Sequence>& db, const Fst& fst,
       value.clear();
       if (options.aggregate_sequences) PutVarint(&value, 1);
       PutSequence(&value, rewriter ? rewriter->Rewrite(k) : T);
-      emit(EncodePivotKey(k), value);
+      const PivotSplit* split =
+          plan != nullptr ? plan->FindSplit(k) : nullptr;
+      if (split != nullptr) {
+        emit(EncodeSubpartitionKey(k, plan->SubpartitionForIndex(*split,
+                                                                 index)),
+             value);
+      } else {
+        emit(EncodePivotKey(k), value);
+      }
     }
   };
+}
+
+// Deserializes one partition's shuffled (possibly weighted) sequences into
+// σ-pruned grids — the shared front half of every D-SEQ reduce.
+void BuildPartitionGrids(const std::vector<std::string_view>& values,
+                         const Fst& fst, const Dictionary& dict,
+                         const GridOptions& grid_options,
+                         bool aggregate_sequences,
+                         std::vector<StateGrid>* grids,
+                         std::vector<uint64_t>* weights) {
+  grids->reserve(values.size());
+  weights->reserve(values.size());
+  Sequence seq;
+  for (std::string_view v : values) {
+    size_t pos = 0;
+    uint64_t weight = 1;
+    if (aggregate_sequences && !GetVarint(v, &pos, &weight)) {
+      throw std::invalid_argument("malformed weighted shuffle record");
+    }
+    if (!GetSequence(v, &pos, &seq) || pos != v.size()) {
+      throw std::invalid_argument("malformed D-SEQ shuffle record");
+    }
+    grids->push_back(StateGrid::Build(seq, fst, dict, grid_options));
+    weights->push_back(weight);
+  }
 }
 
 PartitionReduceFn MakeDSeqReduceFn(const Fst& fst, const Dictionary& dict,
@@ -164,22 +203,9 @@ PartitionReduceFn MakeDSeqReduceFn(const Fst& fst, const Dictionary& dict,
              MiningResult& out) {
     ItemId pivot = DecodePivotKey(key);
     std::vector<StateGrid> grids;
-    grids.reserve(values.size());
     std::vector<uint64_t> weights;
-    weights.reserve(values.size());
-    Sequence seq;
-    for (std::string_view v : values) {
-      size_t pos = 0;
-      uint64_t weight = 1;
-      if (options.aggregate_sequences && !GetVarint(v, &pos, &weight)) {
-        throw std::invalid_argument("malformed weighted shuffle record");
-      }
-      if (!GetSequence(v, &pos, &seq) || pos != v.size()) {
-        throw std::invalid_argument("malformed D-SEQ shuffle record");
-      }
-      grids.push_back(StateGrid::Build(seq, fst, dict, grid_options));
-      weights.push_back(weight);
-    }
+    BuildPartitionGrids(values, fst, dict, grid_options,
+                        options.aggregate_sequences, &grids, &weights);
 
     DesqDfsOptions local;
     local.sigma = options.sigma;
@@ -221,6 +247,125 @@ ChainedDistributedResult MineDSeqRecount(const std::vector<Sequence>& db,
         *combiner_factory = DSeqCombinerFactory(options);
         *reduce_fn = MakeDSeqReduceFn(fst, recounted, options);
       });
+}
+
+ChainedDistributedResult MineDSeqBalanced(const std::vector<Sequence>& db,
+                                          const Fst& fst,
+                                          const Dictionary& dict,
+                                          const DSeqBalanceOptions& options,
+                                          PartitionPlan* plan_out) {
+  // The balanced run owns the key→reducer hook (the whole point is to
+  // install the plan's); silently discarding a caller-supplied partitioner
+  // would contradict DistributedRunOptions' pass-through contract.
+  if (options.partitioner) {
+    throw std::invalid_argument(
+        "MineDSeqBalanced installs the plan's partitioner; "
+        "options.partitioner must be unset");
+  }
+  // Planning pass (driver-local, no shuffle): measure what the map phase
+  // would ship per pivot and pack it onto the configured reducers.
+  std::vector<PartitionStats> stats = ComputePartitionStats(
+      db, fst, dict, options.sigma, options.num_map_workers);
+  PartitionPlanOptions plan_options = options.plan;
+  plan_options.num_reducers = ClampWorkers(options.num_reduce_workers);
+  PartitionPlan plan = BuildPartitionPlan(stats, db.size(), plan_options);
+  if (plan_out != nullptr) *plan_out = plan;
+
+  ChainedDataflowOptions chained = MakeChainedOptions(options);
+  chained.partitioner = plan.MakePartitioner();
+  DataflowJob job(chained);
+
+  GridOptions grid_options;
+  grid_options.prune_sigma = options.sigma;
+  int reduce_workers = ClampWorkers(options.num_reduce_workers);
+  std::vector<MiningResult> per_worker(reduce_workers);
+
+  // Mining round. Unsplit partitions finish here exactly as in MineDSeq.
+  // Sub-partitions of a split pivot see only a slice of the pivot's
+  // sequences, so their local support proves nothing about σ — they mine at
+  // σ=1 and ship (pattern, local support) boundary records instead.
+  ChainReduceFn reduce = [&](int worker, std::string_view key,
+                             std::vector<std::string_view>& values,
+                             const EmitFn& emit) {
+    PivotKeyParts parts = DecodePivotKeyParts(key);
+    std::vector<StateGrid> grids;
+    std::vector<uint64_t> weights;
+    BuildPartitionGrids(values, fst, dict, grid_options,
+                        options.aggregate_sequences, &grids, &weights);
+
+    DesqDfsOptions local;
+    local.pivot = parts.pivot;
+    local.early_stop = options.early_stop;
+    local.sigma = parts.subpartition < 0 ? options.sigma : 1;
+    MiningResult local_result = MineDesqDfsGrids(grids, weights, local);
+    if (parts.subpartition < 0) {
+      MiningResult& out = per_worker[worker];
+      out.insert(out.end(), std::make_move_iterator(local_result.begin()),
+                 std::make_move_iterator(local_result.end()));
+      return;
+    }
+    std::string k;
+    std::string v;
+    for (const PatternCount& pc : local_result) {
+      k.clear();
+      v.clear();
+      PutSequence(&k, pc.pattern);
+      PutVarint(&v, pc.frequency);
+      emit(k, v);
+    }
+  };
+  job.RunRound(db.size(),
+               MakeDSeqMapFn(db, fst, dict, options, nullptr, &plan),
+               DSeqCombinerFactory(options), reduce);
+
+  MiningResult patterns;
+  for (MiningResult& part : per_worker) {
+    patterns.insert(patterns.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+  }
+
+  // Reconcile round: sum each split pattern's per-sub-partition supports
+  // and apply σ once, globally. Every input sequence reached exactly one
+  // sub-partition of its pivot, so the sums equal the unsplit supports and
+  // the merged output is byte-identical to MineDSeq's.
+  if (!job.records().empty()) {
+    std::vector<MiningResult> reconciled(reduce_workers);
+    RecordMapFn pass_through = [](size_t, const Record& record,
+                                  const EmitFn& emit) {
+      emit(record.key, record.value);
+    };
+    ChainReduceFn sum = [&](int worker, std::string_view key,
+                            std::vector<std::string_view>& values,
+                            const EmitFn&) {
+      uint64_t total = 0;
+      for (std::string_view v : values) {
+        size_t pos = 0;
+        uint64_t count = 0;
+        if (!GetVarint(v, &pos, &count) || pos != v.size()) {
+          throw std::invalid_argument("malformed split-support record");
+        }
+        if (count > std::numeric_limits<uint64_t>::max() - total) {
+          throw std::overflow_error("split-support sum overflows");
+        }
+        total += count;
+      }
+      if (total < options.sigma) return;
+      Sequence pattern;
+      size_t pos = 0;
+      if (!GetSequence(key, &pos, &pattern) || pos != key.size()) {
+        throw std::invalid_argument("malformed split-pattern key");
+      }
+      reconciled[worker].push_back(PatternCount{std::move(pattern), total});
+    };
+    job.RunChainedRound(pass_through, MakeSumCombiner, sum);
+    for (MiningResult& part : reconciled) {
+      patterns.insert(patterns.end(), std::make_move_iterator(part.begin()),
+                      std::make_move_iterator(part.end()));
+    }
+  }
+
+  Canonicalize(&patterns);
+  return MakeChainedResult(std::move(patterns), job);
 }
 
 }  // namespace dseq

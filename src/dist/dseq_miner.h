@@ -24,6 +24,7 @@
 #include "src/core/pivot.h"
 #include "src/dict/dictionary.h"
 #include "src/dist/distributed.h"
+#include "src/dist/partition_plan.h"
 #include "src/fst/fst.h"
 
 namespace dseq {
@@ -100,6 +101,40 @@ ChainedDistributedResult MineDSeqRecount(const std::vector<Sequence>& db,
                                          const Fst& fst,
                                          const Dictionary& dict,
                                          const DSeqRecountOptions& options);
+
+struct DSeqBalanceOptions : DSeqOptions {
+  /// Planning knobs (plan.num_reducers is overridden by
+  /// num_reduce_workers — the plan always packs for the actual run).
+  PartitionPlanOptions plan;
+};
+
+/// Plan-driven D-SEQ (ROADMAP "partition balance actions"): measures the
+/// per-pivot shuffle volume with ComputePartitionStats, builds a
+/// PartitionPlan (LPT packing, light-pivot bundling, heavy-pivot range
+/// splits), and runs the D-SEQ round under the plan's key→reducer hook.
+/// Split pivots defer the support threshold: their sub-partitions mine with
+/// σ=1 and emit (pattern, local support) boundary records that one extra
+/// chained round sums and filters with the real σ — so the returned
+/// patterns are byte-identical to MineDSeq's, whatever the plan did.
+///
+/// round_metrics has one entry for the mining round, plus a second entry
+/// for the reconcile round when at least one split sub-partition produced
+/// candidates. The planning pass itself is driver-local (the in-process
+/// analogue of collecting stats at the master) and shuffles nothing.
+///
+/// If `plan_out` is non-null it receives the plan that was used (for
+/// --stats and the balance bench).
+///
+/// The plan owns the run's key→reducer hook; a caller-supplied
+/// options.partitioner throws std::invalid_argument (use MineDSeq for a
+/// custom hook). With aggregate_sequences the plan packs from pre-combine
+/// volumes (see ComputePartitionStats); results are unaffected, projected
+/// loads become an upper bound.
+ChainedDistributedResult MineDSeqBalanced(const std::vector<Sequence>& db,
+                                          const Fst& fst,
+                                          const Dictionary& dict,
+                                          const DSeqBalanceOptions& options,
+                                          PartitionPlan* plan_out = nullptr);
 
 }  // namespace dseq
 

@@ -38,13 +38,18 @@ void ParallelWorkers(int num_workers, const std::function<void(int)>& fn) {
 
 void ParallelShards(size_t num_items, int num_workers,
                     const std::function<void(int, size_t, size_t)>& fn) {
-  num_workers = std::max(1, num_workers);
+  num_workers = ClampWorkers(num_workers);
   if (num_workers == 1 || num_items <= 1) {
     fn(0, 0, num_items);
     return;
   }
   size_t shard = (num_items + num_workers - 1) / num_workers;
-  ParallelWorkers(num_workers, [&](int w) {
+  // With fewer items than workers the trailing shards are empty; spawn only
+  // the threads that have work. Shard boundaries (and with them every
+  // worker's begin/end) are unchanged, so results stay deterministic.
+  int spawned = static_cast<int>(
+      std::min<size_t>(num_workers, (num_items + shard - 1) / shard));
+  ParallelWorkers(spawned, [&](int w) {
     size_t begin = std::min(num_items, static_cast<size_t>(w) * shard);
     size_t end = std::min(num_items, begin + shard);
     if (begin < end) fn(w, begin, end);

@@ -7,10 +7,20 @@
 
 namespace dseq {
 
+/// Clamps a configured worker count to at least one worker — the shared
+/// interpretation of "0 or negative means run serially" used by the dataflow
+/// engine, the parallel-for helpers, and the partition statistics.
+inline int ClampWorkers(int num_workers) {
+  return num_workers < 1 ? 1 : num_workers;
+}
+
 /// Runs `fn(worker_id, begin, end)` over `num_items` items split into
 /// `num_workers` contiguous shards, one std::thread per shard. Blocks until
 /// all shards complete. If `num_workers <= 1` or `num_items` is small, runs
-/// inline on the calling thread (worker_id 0).
+/// inline on the calling thread (worker_id 0). When `num_items` is smaller
+/// than `num_workers`, only as many threads as there are non-empty shards
+/// are spawned; worker ids still index shards (callers may size per-worker
+/// state by `num_workers` — trailing workers simply never run).
 ///
 /// Exceptions thrown by `fn` are rethrown on the calling thread (first one
 /// wins); remaining shards still run to completion.

@@ -109,6 +109,98 @@ TEST(DataflowTest, MetricsCountRecords) {
   EXPECT_GE(metrics.reduce_seconds, 0.0);
 }
 
+TEST(DataflowTest, ReducerBytesSumToShuffleBytes) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 100; ++i) docs.push_back("k" + std::to_string(i % 13));
+  DataflowMetrics metrics;
+  WordCount(docs, false, 3, 4, &metrics);
+  ASSERT_EQ(metrics.reducer_bytes.size(), 4u);
+  uint64_t sum = 0;
+  for (uint64_t b : metrics.reducer_bytes) sum += b;
+  EXPECT_EQ(sum, metrics.shuffle_bytes);
+}
+
+TEST(DataflowTest, CustomPartitionerRoutesKeysAndMatchesMetrics) {
+  std::vector<std::string> docs = {"a b c", "d e", "f"};
+  std::map<std::string, uint64_t> counts;
+  std::mutex mu;
+  std::atomic<int> nonzero_worker_calls{0};
+  MapFn map_fn = [&](size_t i, const EmitFn& emit) {
+    std::string one;
+    PutVarint(&one, 1);
+    for (char c : docs[i]) {
+      if (c != ' ') emit(std::string(1, c), one);
+    }
+  };
+  ReduceFn reduce_fn = [&](int worker, std::string_view key,
+                           std::vector<std::string_view>& values) {
+    if (worker != 0) nonzero_worker_calls.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu);
+    counts[std::string(key)] += values.size();
+  };
+  DataflowOptions options;
+  options.num_map_workers = 2;
+  options.num_reduce_workers = 4;
+  options.partitioner = [](std::string_view, int) { return 0; };
+  DataflowMetrics metrics =
+      RunMapReduce(docs.size(), map_fn, nullptr, reduce_fn, options);
+  // Everything was routed to reducer 0: all bytes on reducer 0, every key
+  // reduced by worker 0.
+  EXPECT_EQ(nonzero_worker_calls.load(), 0);
+  ASSERT_EQ(metrics.reducer_bytes.size(), 4u);
+  EXPECT_EQ(metrics.reducer_bytes[0], metrics.shuffle_bytes);
+  EXPECT_EQ(metrics.reducer_bytes[1], 0u);
+  EXPECT_EQ(counts.size(), 6u);
+}
+
+TEST(DataflowTest, OutOfRangePartitionerThrows) {
+  MapFn map_fn = [](size_t, const EmitFn& emit) { emit("k", "v"); };
+  ReduceFn reduce_fn = [](int, std::string_view,
+                          std::vector<std::string_view>&) {};
+  DataflowOptions options;
+  options.num_reduce_workers = 2;
+  options.partitioner = [](std::string_view, int workers) { return workers; };
+  EXPECT_THROW(RunMapReduce(1, map_fn, nullptr, reduce_fn, options),
+               std::out_of_range);
+  options.partitioner = [](std::string_view, int) { return -1; };
+  EXPECT_THROW(RunMapReduce(1, map_fn, nullptr, reduce_fn, options),
+               std::out_of_range);
+  // The failed runs released their buffers.
+  EXPECT_EQ(ShuffleBufferLiveBytes(), 0u);
+}
+
+TEST(DataflowTest, DefaultPartitionerMatchesShuffleReducerForKey) {
+  // The exposed helper must reproduce the engine's routing, or planners
+  // and balance summaries would project a different layout than runs use.
+  std::vector<std::string> docs = {"alpha beta gamma delta epsilon"};
+  std::map<std::string, uint64_t> seen_worker;
+  std::mutex mu;
+  MapFn map_fn = [&](size_t i, const EmitFn& emit) {
+    std::string word;
+    for (char c : docs[i] + " ") {
+      if (c == ' ') {
+        if (!word.empty()) emit(word, "x");
+        word.clear();
+      } else {
+        word += c;
+      }
+    }
+  };
+  ReduceFn reduce_fn = [&](int worker, std::string_view key,
+                           std::vector<std::string_view>&) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen_worker[std::string(key)] = worker;
+  };
+  DataflowOptions options;
+  options.num_reduce_workers = 5;
+  RunMapReduce(docs.size(), map_fn, nullptr, reduce_fn, options);
+  ASSERT_EQ(seen_worker.size(), 5u);
+  for (const auto& [key, worker] : seen_worker) {
+    EXPECT_EQ(worker, static_cast<uint64_t>(ShuffleReducerForKey(key, 5)))
+        << key;
+  }
+}
+
 TEST(DataflowTest, ShuffleBudgetEnforced) {
   std::vector<std::string> docs(100, "aaaaaaaaaa bbbbbbbbbb cccccccccc");
   DataflowOptions options;

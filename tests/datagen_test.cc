@@ -1,12 +1,58 @@
 #include <gtest/gtest.h>
 
 #include "src/datagen/market_baskets.h"
+#include "src/datagen/skewed_zipf.h"
 #include "src/datagen/text_corpus.h"
 #include "src/datagen/web_text.h"
 #include "src/datagen/zipf.h"
 
 namespace dseq {
 namespace {
+
+TEST(SkewedZipfTest, DeterministicAndShaped) {
+  SkewedZipfOptions options;
+  options.seed = 5;
+  options.num_items = 40;
+  options.num_groups = 4;
+  options.num_sequences = 50;
+  SequenceDatabase a = GenerateSkewedZipf(options);
+  SequenceDatabase b = GenerateSkewedZipf(options);
+  EXPECT_EQ(a.sequences, b.sequences);
+  EXPECT_EQ(a.size(), 50u);
+  EXPECT_EQ(a.dict.size(), 44u);  // leaves + group parents
+  for (const Sequence& seq : a.sequences) {
+    EXPECT_GE(seq.size(), options.min_length);
+    EXPECT_LE(seq.size(), options.max_length);
+  }
+}
+
+TEST(SkewedZipfTest, EveryLeafGeneralizesToAGroup) {
+  SkewedZipfOptions options;
+  options.num_items = 30;
+  options.num_groups = 3;
+  options.num_sequences = 20;
+  SequenceDatabase db = GenerateSkewedZipf(options);
+  for (const Sequence& seq : db.sequences) {
+    for (ItemId item : seq) {
+      // Sequences contain leaves only; each has exactly one parent.
+      EXPECT_EQ(db.dict.Parents(item).size(), 1u);
+    }
+  }
+}
+
+TEST(SkewedZipfTest, FlatVocabularyWithoutGroups) {
+  SkewedZipfOptions options;
+  options.num_groups = 0;
+  options.num_items = 20;
+  options.num_sequences = 10;
+  SequenceDatabase db = GenerateSkewedZipf(options);
+  EXPECT_EQ(db.dict.size(), 20u);
+  for (const Sequence& seq : db.sequences) {
+    for (ItemId item : seq) {
+      EXPECT_TRUE(db.dict.Parents(item).empty());
+    }
+  }
+}
 
 TEST(ZipfTest, RanksSkewTowardsZero) {
   ZipfSampler zipf(1000, 1.1);

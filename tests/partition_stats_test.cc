@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/dict/sequence.h"
+#include "src/dist/dseq_miner.h"
 #include "src/fst/compiler.h"
 #include "tests/test_util.h"
 
@@ -58,6 +59,80 @@ TEST(PartitionStatsTest, EmptySummary) {
   BalanceSummary summary = SummarizeBalance({});
   EXPECT_EQ(summary.num_partitions, 0u);
   EXPECT_EQ(summary.total_bytes, 0u);
+  EXPECT_EQ(summary.num_reducers, 0);
+}
+
+TEST(PartitionStatsTest, ReducerViewCountsEmptyReducers) {
+  // Three equal pivots on eight reducers: the per-pivot view says perfectly
+  // balanced (max/mean 1.0), but at least five reducers are idle — the
+  // per-reducer view must say so instead of understating the imbalance.
+  std::vector<PartitionStats> stats = {
+      {1, 10, 100},
+      {2, 10, 100},
+      {3, 10, 100},
+  };
+  BalanceSummary summary = SummarizeBalance(stats, 8);
+  EXPECT_NEAR(summary.max_to_mean_bytes, 1.0, 1e-9);
+  EXPECT_EQ(summary.num_reducers, 8);
+  // Even with zero hash collisions the largest reducer holds 100 of 300
+  // bytes against a mean of 300/8.
+  EXPECT_GE(summary.max_to_mean_reducer_bytes, 8.0 / 3 - 1e-9);
+  EXPECT_GE(summary.largest_reducer_share, 1.0 / 3 - 1e-9);
+  EXPECT_GE(summary.max_reducer_bytes, 100u);
+}
+
+TEST(PartitionStatsTest, SummarizeReducerBytesMeasures) {
+  BalanceSummary summary = SummarizeReducerBytes({0, 0, 300, 100});
+  EXPECT_EQ(summary.num_reducers, 4);
+  EXPECT_EQ(summary.total_bytes, 400u);
+  EXPECT_EQ(summary.max_reducer_bytes, 300u);
+  EXPECT_NEAR(summary.max_to_mean_reducer_bytes, 3.0, 1e-9);
+  EXPECT_NEAR(summary.largest_reducer_share, 0.75, 1e-9);
+
+  BalanceSummary empty = SummarizeReducerBytes({});
+  EXPECT_EQ(empty.num_reducers, 0);
+  EXPECT_EQ(empty.total_bytes, 0u);
+
+  BalanceSummary idle = SummarizeReducerBytes({0, 0});
+  EXPECT_EQ(idle.num_reducers, 2);
+  EXPECT_EQ(idle.max_to_mean_reducer_bytes, 0.0);
+}
+
+TEST(PartitionStatsTest, MoreWorkersThanSequencesRegression) {
+  // |db| = 3 with 8 workers: five shards are empty; stats must match the
+  // serial run exactly (and not crash or drop sequences).
+  SequenceDatabase db = MakeRunningExample();
+  db.sequences.resize(3);
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  auto serial = ComputePartitionStats(db.sequences, fst, db.dict, 1, 1);
+  auto wide = ComputePartitionStats(db.sequences, fst, db.dict, 1, 8);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].pivot, wide[i].pivot);
+    EXPECT_EQ(serial[i].num_sequences, wide[i].num_sequences);
+    EXPECT_EQ(serial[i].total_bytes, wide[i].total_bytes);
+  }
+  // Degenerate sizes stay well-defined.
+  EXPECT_TRUE(
+      ComputePartitionStats({}, fst, db.dict, 1, 8).empty());
+}
+
+TEST(PartitionStatsTest, StatsMatchEngineShuffleAccounting) {
+  // PartitionStats::total_bytes uses the engine's byte accounting, so the
+  // measured stats must sum to exactly what an (uncombined) D-SEQ run
+  // reports as shuffle_bytes — the invariant that makes plans projected
+  // from stats match the loads the run then measures.
+  SequenceDatabase db = MakeRunningExample();
+  Fst fst = CompileFst(kPatternEx, db.dict);
+  std::vector<PartitionStats> stats =
+      ComputePartitionStats(db.sequences, fst, db.dict, 2);
+  uint64_t stats_bytes = 0;
+  for (const PartitionStats& p : stats) stats_bytes += p.total_bytes;
+
+  DSeqOptions options;
+  options.sigma = 2;
+  DistributedResult run = MineDSeq(db.sequences, fst, db.dict, options);
+  EXPECT_EQ(stats_bytes, run.metrics.shuffle_bytes);
 }
 
 TEST(PartitionStatsTest, FrequentItemsReceiveLittleData) {

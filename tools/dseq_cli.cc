@@ -9,6 +9,7 @@
 //                         prefix-span|prefix-span-chained]
 //            [--workers N] [--limit N] [--stats] [--compress]
 //            [--recount] [--recount-sample N] [--lambda N]
+//            [--balance [--split-factor F]]
 //
 // Iterative (multi-round) jobs: --recount prepends a distributed
 // frequency-recount round to naive/semi-naive/dseq, and
@@ -16,12 +17,17 @@
 // round at a time; --stats prints per-round metrics for both (including
 // database-read cache counters of the recount drivers). --compress runs
 // the shuffle through the block codec; --stats then reports the compressed
-// volume next to the raw one.
+// volume next to the raw one. --balance (dseq only) measures the per-pivot
+// shuffle volume first and mines under a PartitionPlan — light pivots
+// bundled, heavy pivots range-split and reconciled in one extra round —
+// instead of hash partitioning; --stats then also prints the plan and the
+// measured per-reducer balance.
 //
 // Input format: one sequence per line, whitespace-separated item names; the
 // hierarchy file has one "child parent" pair per line. Output: one frequent
 // sequence per line with its frequency, ordered by decreasing frequency.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,7 +51,7 @@ struct Args {
   std::string pattern;
   std::string algorithm = "dseq";
   uint64_t sigma = 2;
-  int workers = 0;  // 0 = hardware default
+  int workers = 0;  // 0 = hardware default (an explicit --workers must be > 0)
   size_t limit = 0;  // 0 = print all
   bool stats = false;
   bool compress = false;
@@ -53,6 +59,9 @@ struct Args {
   uint32_t recount_sample = 1;
   uint32_t lambda = 5;  // prefix-span max pattern length
   bool lambda_set = false;
+  bool balance = false;
+  double split_factor = 1.0;
+  bool split_factor_set = false;
 };
 
 [[noreturn]] void Usage(const char* message) {
@@ -77,8 +86,44 @@ struct Args {
       "                     frequency-recount round (two-round chained job)\n"
       "  --recount-sample N recount every N-th sequence only, scaled up\n"
       "                     (default 1 = exact)\n"
-      "  --lambda N         prefix-span max pattern length (default 5)\n");
+      "  --lambda N         prefix-span max pattern length (default 5)\n"
+      "  --balance          dseq: measure per-pivot shuffle volume and mine\n"
+      "                     under a partition plan (bundle light pivots,\n"
+      "                     range-split heavy ones) instead of hashing\n"
+      "  --split-factor F   split pivots heavier than F x the mean reducer\n"
+      "                     load (default 1.0; requires --balance)\n");
   std::exit(2);
+}
+
+// Strict numeric flag parsing: the whole value must be digits (so "abc",
+// "-3", "4x", and "" all fail loudly instead of silently becoming 0).
+uint64_t ParseUnsigned(const char* flag, const char* text, uint64_t max_value) {
+  if (*text == '\0') Usage((std::string(flag) + " requires a number").c_str());
+  uint64_t value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      Usage((std::string(flag) + ": '" + text +
+             "' is not a valid number")
+                .c_str());
+    }
+    uint64_t digit = static_cast<uint64_t>(*p - '0');
+    if (value > (max_value - digit) / 10) {
+      Usage((std::string(flag) + ": '" + text + "' is out of range").c_str());
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+double ParsePositiveDouble(const char* flag, const char* text) {
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(value > 0.0)) {
+    Usage((std::string(flag) + ": '" + text +
+           "' is not a positive number")
+              .c_str());
+  }
+  return value;
 }
 
 Args ParseArgs(int argc, char** argv) {
@@ -97,14 +142,15 @@ Args ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--pattern") == 0) {
       args.pattern = need_value("--pattern");
     } else if (std::strcmp(argv[i], "--sigma") == 0) {
-      args.sigma = std::strtoull(need_value("--sigma"), nullptr, 10);
+      args.sigma = ParseUnsigned("--sigma", need_value("--sigma"), UINT64_MAX);
     } else if (std::strcmp(argv[i], "--algorithm") == 0) {
       args.algorithm = need_value("--algorithm");
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       args.workers = static_cast<int>(
-          std::strtol(need_value("--workers"), nullptr, 10));
+          ParseUnsigned("--workers", need_value("--workers"), INT32_MAX));
+      if (args.workers <= 0) Usage("--workers must be positive");
     } else if (std::strcmp(argv[i], "--limit") == 0) {
-      args.limit = std::strtoull(need_value("--limit"), nullptr, 10);
+      args.limit = ParseUnsigned("--limit", need_value("--limit"), UINT64_MAX);
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       args.stats = true;
     } else if (std::strcmp(argv[i], "--compress") == 0) {
@@ -112,12 +158,18 @@ Args ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--recount") == 0) {
       args.recount = true;
     } else if (std::strcmp(argv[i], "--recount-sample") == 0) {
-      args.recount_sample = static_cast<uint32_t>(
-          std::strtoul(need_value("--recount-sample"), nullptr, 10));
+      args.recount_sample = static_cast<uint32_t>(ParseUnsigned(
+          "--recount-sample", need_value("--recount-sample"), UINT32_MAX));
     } else if (std::strcmp(argv[i], "--lambda") == 0) {
       args.lambda = static_cast<uint32_t>(
-          std::strtoul(need_value("--lambda"), nullptr, 10));
+          ParseUnsigned("--lambda", need_value("--lambda"), UINT32_MAX));
       args.lambda_set = true;
+    } else if (std::strcmp(argv[i], "--balance") == 0) {
+      args.balance = true;
+    } else if (std::strcmp(argv[i], "--split-factor") == 0) {
+      args.split_factor =
+          ParsePositiveDouble("--split-factor", need_value("--split-factor"));
+      args.split_factor_set = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage(nullptr);
     } else {
@@ -152,7 +204,45 @@ Args ParseArgs(int argc, char** argv) {
       (args.algorithm == "desq-dfs" || args.algorithm == "desq-count")) {
     Usage("--compress requires a distributed (shuffling) algorithm");
   }
+  if (args.balance && args.algorithm != "dseq") {
+    Usage("--balance requires --algorithm dseq");
+  }
+  if (args.balance && args.recount) {
+    Usage("--balance and --recount cannot be combined (the plan is measured "
+          "against the input f-list)");
+  }
+  if (args.split_factor_set && !args.balance) {
+    Usage("--split-factor requires --balance");
+  }
   return args;
+}
+
+// ", reducer max/mean X.XX" — the measured balance of one round's shuffle
+// across its reduce workers (empty reducers included).
+void PrintReducerBalance(const dseq::DataflowMetrics& m) {
+  if (m.reducer_bytes.empty()) return;
+  dseq::BalanceSummary balance = dseq::SummarizeReducerBytes(m.reducer_bytes);
+  if (balance.total_bytes == 0) return;
+  std::fprintf(stderr, ", reducer max/mean %.2f",
+               balance.max_to_mean_reducer_bytes);
+}
+
+void PrintPlan(const dseq::PartitionPlan& plan) {
+  std::fprintf(stderr,
+               "plan: %zu pivots packed onto %d reducers, %zu split",
+               plan.assignments.size() + plan.splits.size(),
+               plan.num_reducers, plan.splits.size());
+  for (const dseq::PivotSplit& split : plan.splits) {
+    std::fprintf(stderr, " [pivot %llu -> %d sub-partitions]",
+                 static_cast<unsigned long long>(split.pivot),
+                 split.num_subpartitions());
+  }
+  dseq::BalanceSummary planned = dseq::SummarizePlannedBalance(plan);
+  if (planned.total_bytes > 0) {
+    std::fprintf(stderr, ", planned reducer max/mean %.2f",
+                 planned.max_to_mean_reducer_bytes);
+  }
+  std::fprintf(stderr, "\n");
 }
 
 void PrintRoundStats(const dseq::ChainedDistributedResult& result) {
@@ -168,6 +258,7 @@ void PrintRoundStats(const dseq::ChainedDistributedResult& result) {
       std::fprintf(stderr, ", compressed %llu bytes",
                    static_cast<unsigned long long>(m.shuffle_compressed_bytes));
     }
+    PrintReducerBalance(m);
     std::fprintf(stderr, "\n");
   }
   std::fprintf(stderr,
@@ -200,6 +291,7 @@ void PrintRunStats(const dseq::DataflowMetrics& m) {
     std::fprintf(stderr, ", compressed %llu bytes",
                  static_cast<unsigned long long>(m.shuffle_compressed_bytes));
   }
+  PrintReducerBalance(m);
   std::fprintf(stderr, "\n");
 }
 
@@ -228,7 +320,22 @@ int main(int argc, char** argv) {
     }
 
     MiningResult patterns;
-    if (args.algorithm == "dseq") {
+    if (args.algorithm == "dseq" && args.balance) {
+      DSeqBalanceOptions options;
+      options.sigma = args.sigma;
+      options.num_map_workers = workers;
+      options.num_reduce_workers = workers;
+      options.compress_shuffle = args.compress;
+      options.plan.split_factor = args.split_factor;
+      PartitionPlan plan;
+      ChainedDistributedResult result =
+          MineDSeqBalanced(db.sequences, fst, db.dict, options, &plan);
+      if (args.stats) {
+        PrintPlan(plan);
+        PrintRoundStats(result);
+      }
+      patterns = std::move(result.patterns);
+    } else if (args.algorithm == "dseq") {
       DSeqRecountOptions options;
       options.sigma = args.sigma;
       options.num_map_workers = workers;
