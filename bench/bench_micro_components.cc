@@ -1,7 +1,8 @@
 // Micro-benchmarks for the core components: grid construction, pivot
 // search, the forward/backward pivot DPs, rewriting, NFA
 // minimization/serialization, varint coding, the map-side combiners (the
-// zero-copy shuffle hot path), and the shuffle block codec.
+// zero-copy shuffle hot path), the shuffle block codec, and the external
+// spill-run merger (the out-of-core reduce path).
 //
 // Self-contained harness — no google-benchmark dependency — so the binary
 // always builds and CI can track regressions. Each benchmark runs until a
@@ -13,10 +14,14 @@
 //                  BENCH_micro.json, the perf trajectory of the repo)
 //   --tiny         CI-sized corpus and batches (fast smoke run)
 //   --min-time-ms  per-benchmark measuring time (default 200)
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <random>
 #include <string>
 #include <utility>
@@ -33,6 +38,8 @@
 #include "src/fst/compiler.h"
 #include "src/nfa/output_nfa.h"
 #include "src/nfa/serializer.h"
+#include "src/spill/external_merger.h"
+#include "src/spill/spill_file.h"
 #include "src/util/block_codec.h"
 #include "src/util/varint.h"
 
@@ -351,6 +358,45 @@ void BenchBlockCodec() {
   }
 }
 
+void BenchExternalMerge() {
+  // The out-of-core reduce path: k-way merge of 8 sorted spill runs back
+  // into key groups (src/spill/external_merger.h), reported as records/s.
+  // Runs are written once (the merge, not the spill, is the hot loop);
+  // sources are recreated per op, so each op pays the real open/read cost.
+  char templ[] = "/tmp/dseq_micro_spill_XXXXXX";
+  char* dir = mkdtemp(templ);
+  if (dir == nullptr) return;
+  const size_t count = g_config.tiny ? 8'000 : 40'000;
+  auto records = MakeWeightedRecords(count);
+  std::sort(records.begin(), records.end());
+  constexpr size_t kRuns = 8;
+  std::vector<SpillFile> runs;
+  for (size_t r = 0; r < kRuns; ++r) {
+    SpillFile file = SpillFile::Create(dir);
+    SpillWriter writer(&file, /*compress=*/false, nullptr);
+    // Every 8th record into each run: all runs stay sorted and overlap.
+    for (size_t i = r; i < records.size(); i += kRuns) {
+      writer.Append(records[i].first, records[i].second);
+    }
+    writer.Finish();
+    runs.push_back(std::move(file));
+  }
+  RunBench("external_merge_8runs", count, [&] {
+    ExternalMergePlan plan("", /*compress=*/false, /*max_fan_in=*/16, nullptr);
+    for (const SpillFile& run : runs) {
+      plan.AddSource(
+          std::make_unique<SpillRunSource>(run, /*compressed=*/false));
+    }
+    uint64_t groups = 0;
+    plan.MergeGroups(
+        [&](std::string_view, std::vector<std::string_view>&) { ++groups; });
+    volatile uint64_t sink = groups;
+    (void)sink;
+  });
+  runs.clear();  // unlink before removing the directory
+  rmdir(dir);
+}
+
 void BenchDesqDfsSmall() {
   const SequenceDatabase& db = Corpus();
   RunBench("desq_dfs_small", 0, [&] {
@@ -402,6 +448,7 @@ int main(int argc, char** argv) {
   BenchVarintSequenceRoundTrip();
   BenchCombiners();
   BenchBlockCodec();
+  BenchExternalMerge();
   BenchDesqDfsSmall();
   if (g_config.json) PrintJson();
   return 0;

@@ -28,6 +28,9 @@ const DataflowMetrics& DataflowJob::Run(size_t num_inputs, const MapFn& map_fn,
   };
 
   DataflowOptions round_options = options_;
+  // Stamp the 0-based round index so budget-overflow errors (and spill
+  // diagnostics) can name the round that tripped.
+  round_options.round_index = static_cast<int>(round_metrics_.size());
   if (options_.cumulative_shuffle_budget_bytes > 0) {
     // The engine throws once a round shuffles more than its per-round budget,
     // so the cumulative budget becomes a per-round budget of whatever is left
@@ -87,6 +90,9 @@ DataflowMetrics DataflowJob::aggregate_metrics() const {
     total.shuffle_compressed_bytes += m.shuffle_compressed_bytes;
     total.shuffle_records += m.shuffle_records;
     total.map_output_records += m.map_output_records;
+    total.spill_files += m.spill_files;
+    total.spill_bytes_written += m.spill_bytes_written;
+    total.spill_merge_passes += m.spill_merge_passes;
     if (m.reducer_bytes.size() > total.reducer_bytes.size()) {
       total.reducer_bytes.resize(m.reducer_bytes.size(), 0);
     }

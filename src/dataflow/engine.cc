@@ -5,8 +5,13 @@
 #include <chrono>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "src/dataflow/shuffle_buffer.h"
+#include "src/spill/external_merger.h"
+#include "src/spill/memory_budget.h"
+#include "src/spill/spill_context.h"
+#include "src/spill/spill_file.h"
 #include "src/util/arena.h"
 #include "src/util/thread_pool.h"
 #include "src/util/varint.h"
@@ -55,15 +60,24 @@ class CombinerTable {
 
   const std::vector<Slot>& slots() const { return slots_; }
 
+  /// First allocation size (default 1024 slots, sized for the unbudgeted
+  /// hot path). Budget-constrained combiners start small so a tiny memory
+  /// budget can hold a real batch of records instead of thrashing on a
+  /// table allocation it could never fit.
+  void set_initial_capacity(size_t slots) { initial_capacity_ = slots; }
+
+  /// Actually frees the slot storage (not just clear()): Clear is called
+  /// when a table is spilled, and a spilled table's memory must really
+  /// return to the budget.
   void Clear() {
-    slots_.clear();
+    std::vector<Slot>().swap(slots_);
     size_ = 0;
   }
 
  private:
   void Grow() {
     std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.empty() ? 1024 : old.size() * 2, Slot{});
+    slots_.assign(old.empty() ? initial_capacity_ : old.size() * 2, Slot{});
     size_t mask = slots_.size() - 1;
     for (const Slot& slot : old) {
       if (!slot.used) continue;
@@ -75,10 +89,135 @@ class CombinerTable {
 
   std::vector<Slot> slots_;
   size_t size_ = 0;
+  size_t initial_capacity_ = 1024;
 };
 
-class SumCombiner : public Combiner {
+/// Initial table capacity of budget-constrained combiners (see
+/// CombinerTable::set_initial_capacity).
+constexpr size_t kSpillInitialSlots = 16;
+
+// Budget charging + spill-run bookkeeping shared by the spill-aware
+// combiners. Subclasses report their resident bytes after every Add; when
+// the shared budget cannot absorb the growth they spill their table as a
+// sorted partial run (SpillPartial) and Flush external-merges the runs so
+// the emitted records equal the in-memory path's fully-combined output.
+class SpillableCombiner : public Combiner {
  public:
+  void EnableSpill(CombinerSpillContext* ctx) override { ctx_ = ctx; }
+
+ protected:
+  ~SpillableCombiner() override { ReleaseCharge(); }
+
+  /// Writes the current table as a sorted run into runs_ and clears it.
+  virtual void SpillPartial() = 0;
+
+  bool has_runs() const { return !runs_.empty(); }
+  bool spilling() const { return ctx_ != nullptr; }
+
+  /// Records added between spills while the table is in overdraft (its
+  /// baseline alone exceeds the budget share): one disk run amortizes at
+  /// least this many records, so an adversarially tiny budget degrades
+  /// into batched runs instead of one file per record.
+  static constexpr uint64_t kSpillBatchRecords = 64;
+
+  /// Charges the growth of the resident state after an Add, spilling when
+  /// the budget is exhausted (or throwing when spilling is disabled).
+  /// `payload_bytes` is the interned record payload (the part of the
+  /// resident state a spill actually turns into run bytes, as opposed to
+  /// the slot-array baseline).
+  void ChargeResident(size_t resident_bytes, size_t payload_bytes) {
+    if (ctx_ == nullptr) return;
+    ++records_since_spill_;
+    if (resident_bytes > charged_) {
+      uint64_t delta = resident_bytes - charged_;
+      if (ctx_->budget->TryCharge(delta)) {
+        charged_ = resident_bytes;
+      } else {
+        if (!ctx_->can_spill()) {
+          throw ShuffleOverflowError(
+              "round " + std::to_string(ctx_->round_index) + ", map worker " +
+              std::to_string(ctx_->map_worker) +
+              ": combiner state exceeded the memory budget (budget " +
+              std::to_string(ctx_->budget->budget_bytes()) +
+              " bytes, resident " +
+              std::to_string(ctx_->budget->used_bytes()) + " bytes, attempted +" +
+              std::to_string(delta) +
+              " bytes); set spill_dir to spill to disk or raise "
+              "memory_budget_bytes");
+        }
+        // Spill if the run would carry a worthwhile payload; otherwise take
+        // the overdraft (bounded by the batch rule below plus the payload
+        // cap here) so a budget smaller than the minimum table does not
+        // degrade into one-record runs.
+        if (records_since_spill_ >= kSpillBatchRecords ||
+            payload_bytes >= std::min<uint64_t>(
+                                 ctx_->budget->budget_bytes() / 2, 65536)) {
+          Spill();
+          return;
+        }
+        ctx_->budget->ForceCharge(delta);
+        charged_ = resident_bytes;
+        overdraft_ = true;
+      }
+    }
+    // Periodic drain while over budget: even a table whose resident size
+    // has stopped growing (e.g. one hot key absorbing every record) sheds
+    // its state every batch, keeping the overdraft honest and bounded.
+    if (overdraft_ && records_since_spill_ >= kSpillBatchRecords) Spill();
+  }
+
+  void ReleaseCharge() {
+    if (ctx_ != nullptr && charged_ > 0) {
+      ctx_->budget->Release(charged_);
+      charged_ = 0;
+    }
+    overdraft_ = false;
+    records_since_spill_ = 0;
+  }
+
+  void Spill() {
+    SpillPartial();  // clears the table and calls ReleaseCharge
+    overdraft_ = false;
+    records_since_spill_ = 0;
+  }
+
+  /// Writes `entries` (already in run order; views must stay valid for the
+  /// call) as one sorted run and registers it.
+  void WriteRun(
+      const std::vector<std::pair<std::string_view, std::string_view>>&
+          entries) {
+    SpillFile run = SpillFile::Create(ctx_->spill_dir);
+    SpillWriter writer(&run, ctx_->compress_spill, ctx_->stats);
+    for (const auto& [key, value] : entries) writer.Append(key, value);
+    writer.Finish();
+    runs_.push_back(std::move(run));
+  }
+
+  /// Merge plan over all spilled runs (consumed) — the caller adds its
+  /// in-memory tail and streams the groups.
+  ExternalMergePlan MakeMergePlan() {
+    ExternalMergePlan plan(ctx_->spill_dir, ctx_->compress_spill,
+                           ctx_->merge_fan_in, ctx_->stats);
+    for (SpillFile& run : runs_) plan.AddRun(std::move(run));
+    runs_.clear();
+    return plan;
+  }
+
+ private:
+  CombinerSpillContext* ctx_ = nullptr;
+  uint64_t charged_ = 0;
+  uint64_t records_since_spill_ = 0;
+  bool overdraft_ = false;
+  std::vector<SpillFile> runs_;
+};
+
+class SumCombiner : public SpillableCombiner {
+ public:
+  void EnableSpill(CombinerSpillContext* ctx) override {
+    SpillableCombiner::EnableSpill(ctx);
+    table_.set_initial_capacity(kSpillInitialSlots);
+  }
+
   void Add(std::string_view key, std::string_view value) override {
     size_t pos = 0;
     uint64_t count = 0;
@@ -95,18 +234,37 @@ class SumCombiner : public Combiner {
       throw std::overflow_error("SumCombiner: per-key count sum overflows");
     }
     slot.sum += count;
+    ChargeResident(arena_.bytes() + table_.slots().size() * sizeof(Slot),
+                   arena_.bytes());
   }
 
   void Flush(const EmitFn& emit) override {
-    std::string value;
-    for (const Slot& slot : table_.slots()) {
-      if (!slot.used) continue;
-      value.clear();
-      PutVarint(&value, slot.sum);
-      emit(slot.key, value);
+    if (has_runs()) {
+      FlushExternal(emit);
+    } else if (spilling()) {
+      // Key-sorted, exactly like the external path: every budgeted run
+      // (spilled or not, whatever the table capacity) emits one
+      // deterministic stream.
+      std::string values;
+      for (const auto& [key, value] : SortedEntries(&values)) {
+        emit(key, value);
+      }
+    } else {
+      // Unbudgeted hot path: table order, no sort, no extra pass. Flush
+      // order is per-run deterministic but unspecified across
+      // configurations (it already varies with sharding), and the reduce
+      // phase re-sorts by key anyway.
+      std::string value;
+      for (const Slot& slot : table_.slots()) {
+        if (!slot.used) continue;
+        value.clear();
+        PutVarint(&value, slot.sum);
+        emit(slot.key, value);
+      }
     }
     table_.Clear();
     arena_.Clear();
+    ReleaseCharge();
   }
 
  private:
@@ -117,12 +275,84 @@ class SumCombiner : public Combiner {
     bool used = false;
   };
 
+  // Current table as (key, varint(sum)) entries sorted by key; `values`
+  // backs the value views.
+  std::vector<std::pair<std::string_view, std::string_view>> SortedEntries(
+      std::string* values) const {
+    std::vector<const Slot*> live;
+    for (const Slot& slot : table_.slots()) {
+      if (slot.used) live.push_back(&slot);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Slot* a, const Slot* b) { return a->key < b->key; });
+    std::vector<std::pair<size_t, size_t>> spans;
+    spans.reserve(live.size());
+    for (const Slot* slot : live) {
+      size_t offset = values->size();
+      PutVarint(values, slot->sum);
+      spans.emplace_back(offset, values->size() - offset);
+    }
+    std::vector<std::pair<std::string_view, std::string_view>> entries;
+    entries.reserve(live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      entries.emplace_back(
+          live[i]->key,
+          std::string_view(values->data() + spans[i].first, spans[i].second));
+    }
+    return entries;
+  }
+
+  void SpillPartial() override {
+    std::string values;
+    WriteRun(SortedEntries(&values));
+    table_.Clear();
+    arena_.Clear();
+    ReleaseCharge();
+  }
+
+  // External aggregation: merge the spilled partial runs with the current
+  // table, summing equal keys — the emitted stream is exactly the one-flush
+  // in-memory output (same records, key-sorted order).
+  void FlushExternal(const EmitFn& emit) {
+    std::string values;
+    auto entries = SortedEntries(&values);
+    ExternalMergePlan plan = MakeMergePlan();
+    if (!entries.empty()) {
+      plan.AddSource(std::make_unique<InMemorySource>(std::move(entries)));
+    }
+    std::string value;
+    plan.MergeGroups([&](std::string_view key,
+                         std::vector<std::string_view>& partials) {
+      uint64_t total = 0;
+      for (std::string_view partial : partials) {
+        size_t pos = 0;
+        uint64_t sum = 0;
+        if (!GetVarint(partial, &pos, &sum) || pos != partial.size()) {
+          throw std::runtime_error("SumCombiner: corrupt spilled partial sum");
+        }
+        if (sum > std::numeric_limits<uint64_t>::max() - total) {
+          throw std::overflow_error(
+              "SumCombiner: per-key count sum overflows");
+        }
+        total += sum;
+      }
+      value.clear();
+      PutVarint(&value, total);
+      emit(key, value);
+    });
+  }
+
   CombinerTable<Slot> table_;
   StringArena arena_;
 };
 
-class WeightedValueCombiner : public Combiner {
+class WeightedValueCombiner : public SpillableCombiner {
  public:
+  void EnableSpill(CombinerSpillContext* ctx) override {
+    SpillableCombiner::EnableSpill(ctx);
+    table_.set_initial_capacity(kSpillInitialSlots);
+  }
+
   void Add(std::string_view key, std::string_view value) override {
     size_t pos = 0;
     uint64_t weight = 0;
@@ -143,19 +373,40 @@ class WeightedValueCombiner : public Combiner {
           "WeightedValueCombiner: per-value weight sum overflows");
     }
     slot.sum += weight;
+    ChargeResident(arena_.bytes() + table_.slots().size() * sizeof(Slot),
+                   arena_.bytes());
   }
 
   void Flush(const EmitFn& emit) override {
-    std::string value;
-    for (const Slot& slot : table_.slots()) {
-      if (!slot.used) continue;
-      value.clear();
-      PutVarint(&value, slot.sum);
-      value.append(slot.payload.data(), slot.payload.size());
-      emit(slot.key, value);
+    if (has_runs()) {
+      FlushExternal(emit);
+    } else if (spilling()) {
+      // Composite-sorted, exactly like the external path (and independent
+      // of the table capacity): every budgeted run emits one deterministic
+      // stream.
+      std::string bytes;
+      std::string value;
+      for (const auto& [composite, sum] : SortedEntries(&bytes)) {
+        auto [key, payload] = CompositeParts(composite);
+        value.assign(sum.data(), sum.size());
+        value.append(payload.data(), payload.size());
+        emit(key, value);
+      }
+    } else {
+      // Unbudgeted hot path: table order, no encode, no sort (see
+      // SumCombiner::Flush).
+      std::string value;
+      for (const Slot& slot : table_.slots()) {
+        if (!slot.used) continue;
+        value.clear();
+        PutVarint(&value, slot.sum);
+        value.append(slot.payload.data(), slot.payload.size());
+        emit(slot.key, value);
+      }
     }
     table_.Clear();
     arena_.Clear();
+    ReleaseCharge();
   }
 
  private:
@@ -171,6 +422,103 @@ class WeightedValueCombiner : public Combiner {
     size_t h = HashBytes(key);
     return h ^ (HashBytes(payload) + 0x9e3779b97f4a7c15ULL + (h << 6) +
                 (h >> 2));
+  }
+
+  // The merge identity is (key, payload), so spill records carry a
+  // self-framing composite sort key: varint(key size) + key + payload. Any
+  // consistent total order that makes equal identities adjacent works; the
+  // original record is recovered by CompositeParts.
+  static void AppendComposite(std::string* out, std::string_view key,
+                              std::string_view payload) {
+    PutVarint(out, key.size());
+    out->append(key.data(), key.size());
+    if (!payload.empty()) out->append(payload.data(), payload.size());
+  }
+
+  static std::pair<std::string_view, std::string_view> CompositeParts(
+      std::string_view composite) {
+    size_t pos = 0;
+    uint64_t key_size = 0;
+    if (!GetVarint(composite, &pos, &key_size) ||
+        key_size > composite.size() - pos) {
+      throw std::runtime_error(
+          "WeightedValueCombiner: corrupt spilled composite key");
+    }
+    return {composite.substr(pos, key_size), composite.substr(pos + key_size)};
+  }
+
+  // Current table as (composite key, varint(sum)) entries in composite
+  // order; `bytes` backs both views.
+  std::vector<std::pair<std::string_view, std::string_view>> SortedEntries(
+      std::string* bytes) const {
+    std::vector<const Slot*> live;
+    for (const Slot& slot : table_.slots()) {
+      if (slot.used) live.push_back(&slot);
+    }
+    std::vector<std::pair<size_t, size_t>> key_spans;  // offset, size
+    std::vector<std::pair<size_t, size_t>> value_spans;
+    key_spans.reserve(live.size());
+    value_spans.reserve(live.size());
+    for (const Slot* slot : live) {
+      size_t offset = bytes->size();
+      AppendComposite(bytes, slot->key, slot->payload);
+      key_spans.emplace_back(offset, bytes->size() - offset);
+      offset = bytes->size();
+      PutVarint(bytes, slot->sum);
+      value_spans.emplace_back(offset, bytes->size() - offset);
+    }
+    std::vector<std::pair<std::string_view, std::string_view>> entries;
+    entries.reserve(live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      entries.emplace_back(
+          std::string_view(bytes->data() + key_spans[i].first,
+                           key_spans[i].second),
+          std::string_view(bytes->data() + value_spans[i].first,
+                           value_spans[i].second));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return entries;
+  }
+
+  void SpillPartial() override {
+    std::string bytes;
+    WriteRun(SortedEntries(&bytes));
+    table_.Clear();
+    arena_.Clear();
+    ReleaseCharge();
+  }
+
+  void FlushExternal(const EmitFn& emit) {
+    std::string bytes;
+    auto entries = SortedEntries(&bytes);
+    ExternalMergePlan plan = MakeMergePlan();
+    if (!entries.empty()) {
+      plan.AddSource(std::make_unique<InMemorySource>(std::move(entries)));
+    }
+    std::string value;
+    plan.MergeGroups([&](std::string_view composite,
+                         std::vector<std::string_view>& partials) {
+      uint64_t total = 0;
+      for (std::string_view partial : partials) {
+        size_t pos = 0;
+        uint64_t sum = 0;
+        if (!GetVarint(partial, &pos, &sum) || pos != partial.size()) {
+          throw std::runtime_error(
+              "WeightedValueCombiner: corrupt spilled partial weight");
+        }
+        if (sum > std::numeric_limits<uint64_t>::max() - total) {
+          throw std::overflow_error(
+              "WeightedValueCombiner: per-value weight sum overflows");
+        }
+        total += sum;
+      }
+      auto [key, payload] = CompositeParts(composite);
+      value.clear();
+      PutVarint(&value, total);
+      value.append(payload.data(), payload.size());
+      emit(key, value);
+    });
   }
 
   CombinerTable<Slot> table_;
@@ -213,6 +561,27 @@ double RunPhase(int num_workers, Execution execution,
   return SecondsSince(start);
 }
 
+// One shuffle record view during bucket sorting / merging.
+struct BucketEntry {
+  std::string_view key;
+  std::string_view value;
+};
+
+// Parses `raw` (ReleaseRaw frames) into entries stable-sorted by key —
+// emit order within equal keys is preserved, which both the in-memory
+// grouping and the spilled sorted runs rely on.
+std::vector<BucketEntry> SortedBucketEntries(std::string_view raw) {
+  std::vector<BucketEntry> entries;
+  ShuffleBuffer::ForEachRecord(
+      raw, [&](std::string_view key, std::string_view value) {
+        entries.push_back(BucketEntry{key, value});
+      });
+  std::stable_sort(
+      entries.begin(), entries.end(),
+      [](const BucketEntry& a, const BucketEntry& b) { return a.key < b.key; });
+  return entries;
+}
+
 }  // namespace
 
 DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
@@ -237,23 +606,61 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
   std::vector<std::vector<uint64_t>> worker_reducer_bytes(
       map_workers, std::vector<uint64_t>(reduce_workers, 0));
 
+  // Out-of-core state: the shared budget, the spill counters, the sorted
+  // runs spilled per bucket (chronological), and the bytes each resident
+  // bucket has charged. All locals, so a failed round unwinds through the
+  // SpillFile destructors and leaves the spill directory empty.
+  MemoryBudget budget(options.memory_budget_bytes);
+  const bool spill_enabled = budget.enabled() && !options.spill_dir.empty();
+  SpillStats spill_stats;
+  std::vector<std::vector<std::vector<SpillFile>>> spill_runs(map_workers);
+  std::vector<std::vector<uint64_t>> bucket_charged(
+      map_workers, std::vector<uint64_t>(reduce_workers, 0));
+  std::vector<CombinerSpillContext> combiner_contexts(map_workers);
+  if (budget.enabled()) {
+    for (auto& runs : spill_runs) runs.resize(reduce_workers);
+    for (int w = 0; w < map_workers; ++w) {
+      CombinerSpillContext& ctx = combiner_contexts[w];
+      ctx.spill_dir = options.spill_dir;
+      ctx.compress_spill = options.compress_spill;
+      ctx.merge_fan_in = options.spill_merge_fan_in;
+      ctx.budget = &budget;
+      ctx.stats = &spill_stats;
+      ctx.round_index = options.round_index;
+      ctx.map_worker = w;
+    }
+  }
+
   size_t shard = (num_inputs + map_workers - 1) / map_workers;
   metrics.map_seconds = RunPhase(map_workers, options.execution, [&](int w) {
     size_t begin = std::min(num_inputs, static_cast<size_t>(w) * shard);
     size_t end = std::min(num_inputs, begin + shard);
     uint64_t local_output_records = 0;
 
+    // Drains every resident bucket of this worker to a sorted run on disk,
+    // returning the freed bytes to the budget. A worker can only ever free
+    // its own state, so this is the whole spill action of the emit path.
+    auto spill_worker_buckets = [&]() {
+      for (int r = 0; r < reduce_workers; ++r) {
+        if (buckets[w][r].num_records() == 0) continue;
+        std::string raw = buckets[w][r].ReleaseRaw();
+        SpillFile run = SpillFile::Create(options.spill_dir);
+        SpillWriter writer(&run, options.compress_spill, &spill_stats);
+        for (const BucketEntry& entry : SortedBucketEntries(raw)) {
+          writer.Append(entry.key, entry.value);
+        }
+        writer.Finish();
+        spill_runs[w][r].push_back(std::move(run));
+        budget.Release(bucket_charged[w][r]);
+        bucket_charged[w][r] = 0;
+      }
+    };
+
     // Emits a post-combine record into this worker's shuffle buckets.
     EmitFn shuffle_emit = [&](std::string_view key, std::string_view value) {
       uint64_t bytes = key.size() + value.size() + kShuffleRecordOverheadBytes;
-      uint64_t total = shuffle_bytes.fetch_add(bytes) + bytes;
-      shuffle_records.fetch_add(1, std::memory_order_relaxed);
-      if (options.shuffle_budget_bytes > 0 &&
-          total > options.shuffle_budget_bytes) {
-        throw ShuffleOverflowError(
-            "shuffle exceeded memory budget (" +
-            std::to_string(options.shuffle_budget_bytes) + " bytes)");
-      }
+      // The reducer is resolved before the budget checks so overflow errors
+      // can name the offending bucket.
       int r = options.partitioner
                   ? options.partitioner(key, reduce_workers)
                   : ShuffleReducerForKey(key, reduce_workers);
@@ -262,12 +669,61 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
                                 std::to_string(r) + " for " +
                                 std::to_string(reduce_workers) + " workers");
       }
+      uint64_t total = shuffle_bytes.fetch_add(bytes) + bytes;
+      shuffle_records.fetch_add(1, std::memory_order_relaxed);
+      if (options.shuffle_budget_bytes > 0 &&
+          total > options.shuffle_budget_bytes) {
+        throw ShuffleOverflowError(
+            "round " + std::to_string(options.round_index) +
+            ": shuffle volume exceeded the budget buffering a record for "
+            "reducer " +
+            std::to_string(r) + " (budget " +
+            std::to_string(options.shuffle_budget_bytes) +
+            " bytes, attempted " + std::to_string(total) + " bytes)");
+      }
+      if (budget.enabled() && !budget.TryCharge(bytes)) {
+        if (!spill_enabled) {
+          throw ShuffleOverflowError(
+              "round " + std::to_string(options.round_index) +
+              ", map worker " + std::to_string(w) +
+              ": shuffle memory exceeded the budget buffering a record for "
+              "reducer " +
+              std::to_string(r) + " (budget " +
+              std::to_string(budget.budget_bytes()) + " bytes, resident " +
+              std::to_string(budget.used_bytes()) + " bytes, attempted +" +
+              std::to_string(bytes) +
+              " bytes); set spill_dir to spill to disk or raise "
+              "memory_budget_bytes");
+        }
+        // Spill only when this worker holds enough resident bytes to make
+        // the disk run worthwhile; otherwise take the bounded overdraft
+        // (ForceCharge) — spilling near-empty buckets would degrade into
+        // one-record runs when other workers hold the whole budget.
+        uint64_t resident = 0;
+        for (int rr = 0; rr < reduce_workers; ++rr) {
+          resident += bucket_charged[w][rr];
+        }
+        uint64_t min_worth_spilling = std::max<uint64_t>(
+            bytes, std::min<uint64_t>(budget.budget_bytes() / 2, 4096));
+        if (resident >= min_worth_spilling) {
+          spill_worker_buckets();
+          // Everything this worker can free is on disk; the record itself
+          // must still be buffered (bounded overshoot, see MemoryBudget).
+          if (!budget.TryCharge(bytes)) budget.ForceCharge(bytes);
+        } else {
+          budget.ForceCharge(bytes);
+        }
+      }
+      if (budget.enabled()) bucket_charged[w][r] += bytes;
       worker_reducer_bytes[w][r] += bytes;
       buckets[w][r].Append(key, value);
     };
 
     std::unique_ptr<Combiner> combiner =
         combiner_factory ? combiner_factory() : nullptr;
+    if (combiner != nullptr && budget.enabled()) {
+      combiner->EnableSpill(&combiner_contexts[w]);
+    }
     EmitFn map_emit = [&](std::string_view key, std::string_view value) {
       ++local_output_records;
       if (combiner != nullptr) {
@@ -310,8 +766,52 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
   // groups by sorting record views — no per-record rebuild into a hash map.
   // The drained arenas are owned (and released) by the worker itself, so the
   // shuffle's memory is freed worker by worker, not at the end of the phase.
+  // Columns with spilled runs go through the external merger instead: the
+  // runs and the resident tails stream through a stable k-way merge that
+  // reproduces the exact key order and within-key value order of the
+  // in-memory path.
   metrics.reduce_seconds =
       RunPhase(reduce_workers, options.execution, [&](int r) {
+        // The column's residency now belongs to this worker and dies with
+        // it; hand the charges back to the budget up front.
+        if (budget.enabled()) {
+          for (int w = 0; w < map_workers; ++w) {
+            budget.Release(bucket_charged[w][r]);
+            bucket_charged[w][r] = 0;
+          }
+        }
+        bool column_spilled = false;
+        if (spill_enabled) {
+          for (int w = 0; w < map_workers && !column_spilled; ++w) {
+            column_spilled = !spill_runs[w][r].empty();
+          }
+        }
+        if (column_spilled) {
+          // Source order is the stability contract: per map worker, the
+          // spilled runs (chronological) and then the resident tail.
+          ExternalMergePlan plan(options.spill_dir, options.compress_spill,
+                                 options.spill_merge_fan_in, &spill_stats);
+          std::vector<std::string> raws(map_workers);
+          for (int w = 0; w < map_workers; ++w) {
+            for (SpillFile& run : spill_runs[w][r]) {
+              plan.AddRun(std::move(run));
+            }
+            spill_runs[w][r].clear();
+            raws[w] = buckets[w][r].ReleaseRaw();
+            if (raws[w].empty()) continue;
+            std::vector<std::pair<std::string_view, std::string_view>> tail;
+            for (const BucketEntry& entry : SortedBucketEntries(raws[w])) {
+              tail.emplace_back(entry.key, entry.value);
+            }
+            plan.AddSource(std::make_unique<InMemorySource>(std::move(tail)));
+          }
+          plan.MergeGroups(
+              [&](std::string_view key, std::vector<std::string_view>& values) {
+                reduce_fn(r, key, values);
+              });
+          return;
+        }
+
         size_t total_records = 0;
         for (int w = 0; w < map_workers; ++w) {
           total_records += buckets[w][r].num_records();
@@ -325,21 +825,17 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
           raws.push_back(buckets[w][r].ReleaseRaw());
         }
 
-        struct Entry {
-          std::string_view key;
-          std::string_view value;
-        };
-        std::vector<Entry> entries;
+        std::vector<BucketEntry> entries;
         entries.reserve(total_records);
         for (const std::string& raw : raws) {
           ShuffleBuffer::ForEachRecord(
               raw, [&](std::string_view key, std::string_view value) {
-                entries.push_back(Entry{key, value});
+                entries.push_back(BucketEntry{key, value});
               });
         }
         // Stable: within a key, values keep map-worker-then-emit order.
         std::stable_sort(entries.begin(), entries.end(),
-                         [](const Entry& a, const Entry& b) {
+                         [](const BucketEntry& a, const BucketEntry& b) {
                            return a.key < b.key;
                          });
 
@@ -355,6 +851,9 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
           i = j;
         }
       });
+  metrics.spill_files = spill_stats.files.load();
+  metrics.spill_bytes_written = spill_stats.bytes_written.load();
+  metrics.spill_merge_passes = spill_stats.merge_passes.load();
   return metrics;
 }
 

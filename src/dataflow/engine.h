@@ -32,6 +32,17 @@
 // A configurable shuffle budget emulates the paper's out-of-memory failures
 // (Spark failing to spill shuffle data): exceeding the budget throws
 // ShuffleOverflowError, which benches report as "n/a (OOM)".
+//
+// Out-of-core execution (src/spill/): with memory_budget_bytes set, the
+// resident shuffle arenas and the combiner tables are charged against a
+// shared MemoryBudget. When the budget runs out and spill_dir is set, the
+// overflowing worker drains its buckets (and the combiners their tables) to
+// sorted runs on disk; the reduce phase k-way-merges the runs back into the
+// sort-based grouping, so reducers stream key groups without ever
+// rebuilding the column in memory. Results and the raw shuffle metrics are
+// identical to the in-memory run; DataflowMetrics::spill_* report the
+// out-of-core volume. Without spill_dir the budget is a hard ceiling that
+// throws an actionable ShuffleOverflowError.
 #ifndef DSEQ_DATAFLOW_ENGINE_H_
 #define DSEQ_DATAFLOW_ENGINE_H_
 
@@ -45,7 +56,13 @@
 
 namespace dseq {
 
-/// Thrown when the shuffle exceeds its configured memory budget.
+struct CombinerSpillContext;  // src/spill/spill_context.h
+
+/// Thrown when buffered shuffle state exceeds a configured budget — the raw
+/// shuffle-volume budget (shuffle_budget_bytes) or the resident memory
+/// budget (memory_budget_bytes) when spilling is disabled. The message
+/// names the round, the offending reducer bucket or combiner, and the
+/// configured vs. attempted bytes.
 class ShuffleOverflowError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
@@ -65,6 +82,14 @@ struct DataflowMetrics {
   /// the partition-balance work: max/mean over this vector is the skew the
   /// partition planner acts on.
   std::vector<uint64_t> reducer_bytes;
+  /// Out-of-core counters (all 0 unless the round spilled): sorted runs
+  /// written to spill_dir, stored bytes written to them (post-codec when
+  /// compress_spill is set, block framing included), and k-way merge passes
+  /// over spilled runs (intermediate fan-in collapses plus the final
+  /// streaming merges — at least one whenever spill_files > 0).
+  uint64_t spill_files = 0;
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_merge_passes = 0;
 
   double total_seconds() const { return map_seconds + reduce_seconds; }
 };
@@ -114,6 +139,27 @@ struct DataflowOptions {
   bool compress_shuffle = false;
   /// Key→reducer override; null = ShuffleReducerForKey (hash partitioning).
   PartitionerFn partitioner;
+
+  // --- out-of-core execution (src/spill/) ---------------------------------
+  /// 0 = unlimited. Otherwise the resident shuffle arenas and the
+  /// spill-aware combiner tables share this many bytes; exceeding it spills
+  /// to spill_dir, or throws ShuffleOverflowError when spill_dir is empty.
+  /// Charged with the engine's record byte accounting (key + value +
+  /// kShuffleRecordOverheadBytes), so results and raw shuffle metrics are
+  /// identical with and without a budget.
+  uint64_t memory_budget_bytes = 0;
+  /// Directory for spill files (must exist and be writable). Empty =
+  /// spilling disabled; memory_budget_bytes then acts as a hard ceiling.
+  std::string spill_dir;
+  /// Run spill files through the block codec (independent of
+  /// compress_shuffle; spill_bytes_written then reports stored volume).
+  bool compress_spill = false;
+  /// Maximum runs merged per k-way pass; more runs collapse in extra passes
+  /// (DataflowMetrics::spill_merge_passes). Clamped to >= 2.
+  int spill_merge_fan_in = 16;
+  /// 0-based index of this round within a chained job. Purely diagnostic:
+  /// it contextualizes ShuffleOverflowError messages (DataflowJob sets it).
+  int round_index = 0;
 };
 
 /// Emits one record from a mapper or a combiner flush. The engine copies
@@ -129,6 +175,18 @@ class Combiner {
   virtual ~Combiner() = default;
   virtual void Add(std::string_view key, std::string_view value) = 0;
   virtual void Flush(const EmitFn& emit) = 0;
+
+  /// Out-of-core hook: the engine calls this once, before the worker's
+  /// shard, when a memory budget is configured (`ctx` outlives the
+  /// combiner). Spill-aware combiners charge their resident state against
+  /// ctx->budget and spill sorted partial runs when it is exhausted,
+  /// external-merging them at Flush so the emitted records are exactly the
+  /// fully-combined output of the in-memory path (same records, identical
+  /// shuffle metrics; budgeted flushes emit in sorted order — flush
+  /// *order* was never part of the contract and already varies with
+  /// sharding). The default ignores the context: such combiners stay
+  /// unbudgeted and never spill.
+  virtual void EnableSpill(CombinerSpillContext* /*ctx*/) {}
 };
 
 using CombinerFactory = std::function<std::unique_ptr<Combiner>()>;

@@ -35,6 +35,10 @@ ChainedDataflowOptions MakeChainedOptions(
       options.cumulative_shuffle_budget_bytes;
   chained.compress_shuffle = options.compress_shuffle;
   chained.partitioner = options.partitioner;
+  chained.memory_budget_bytes = options.memory_budget_bytes;
+  chained.spill_dir = options.spill_dir;
+  chained.compress_spill = options.compress_spill;
+  chained.spill_merge_fan_in = options.spill_merge_fan_in;
   return chained;
 }
 

@@ -70,6 +70,16 @@ struct DistributedRunOptions {
   /// included). Assignment never affects the mined patterns, only where a
   /// partition's data lands — see PartitionPlan for the plan-driven hook.
   PartitionerFn partitioner;
+  /// Out-of-core execution (DataflowOptions::memory_budget_bytes /
+  /// spill_dir / compress_spill / spill_merge_fan_in, which see): bound the
+  /// resident shuffle + combiner state of every round, spilling sorted runs
+  /// to spill_dir when set — the mined patterns are identical to the
+  /// unbudgeted run; DataflowMetrics::spill_* report the out-of-core
+  /// volume per round.
+  uint64_t memory_budget_bytes = 0;
+  std::string spill_dir;
+  bool compress_spill = false;
+  int spill_merge_fan_in = 16;
 };
 
 /// Cross-round cache of database reads for chained drivers — the in-process

@@ -1,0 +1,37 @@
+// Shared out-of-core context the engine hands to spill-aware combiners.
+//
+// One CombinerSpillContext per (round, map worker): it points at the
+// round's shared MemoryBudget and SpillStats and carries the spill
+// configuration plus the error context (round index, worker) that makes
+// ShuffleOverflowError messages actionable. Combiners that support external
+// aggregation (MakeSumCombiner, MakeWeightedValueCombiner) charge their
+// table + arena residency against the budget and spill sorted partial runs
+// when it runs out; combiners that ignore the context simply stay
+// unbudgeted, as before.
+#ifndef DSEQ_SPILL_SPILL_CONTEXT_H_
+#define DSEQ_SPILL_SPILL_CONTEXT_H_
+
+#include <string>
+
+#include "src/spill/memory_budget.h"
+#include "src/spill/spill_file.h"
+
+namespace dseq {
+
+struct CombinerSpillContext {
+  /// Empty = spilling disabled; the budget then hard-fails on exceed.
+  std::string spill_dir;
+  bool compress_spill = false;
+  int merge_fan_in = 16;
+  MemoryBudget* budget = nullptr;  // shared across the round, never null
+  SpillStats* stats = nullptr;     // shared across the round, never null
+  /// Error context only (see DataflowOptions::round_index).
+  int round_index = 0;
+  int map_worker = 0;
+
+  bool can_spill() const { return !spill_dir.empty(); }
+};
+
+}  // namespace dseq
+
+#endif  // DSEQ_SPILL_SPILL_CONTEXT_H_

@@ -1,0 +1,199 @@
+#include "src/spill/spill_file.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/util/block_codec.h"
+#include "src/util/varint.h"
+
+namespace dseq {
+namespace {
+
+// Target frame bytes per block. A record larger than this still goes into a
+// single (oversized) block — records never straddle blocks.
+constexpr size_t kSpillBlockBytes = 64 * 1024;
+
+std::atomic<uint64_t> g_spill_file_seq{0};
+
+}  // namespace
+
+SpillFile SpillFile::Create(const std::string& dir) {
+  std::string path = dir + "/spill-" + std::to_string(::getpid()) + "-" +
+                     std::to_string(g_spill_file_seq.fetch_add(1)) + ".run";
+  // "wx": exclusive creation, so a stale file from another job is an error
+  // instead of silently shared.
+  std::FILE* handle = std::fopen(path.c_str(), "wbx");
+  if (handle == nullptr) {
+    throw std::runtime_error("cannot create spill file " + path + ": " +
+                             std::strerror(errno));
+  }
+  return SpillFile(std::move(path), handle);
+}
+
+SpillFile::SpillFile(SpillFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      write_handle_(other.write_handle_),
+      stored_bytes_(other.stored_bytes_) {
+  other.path_.clear();
+  other.write_handle_ = nullptr;
+  other.stored_bytes_ = 0;
+}
+
+SpillFile& SpillFile::operator=(SpillFile&& other) noexcept {
+  if (this == &other) return *this;
+  if (write_handle_ != nullptr) std::fclose(write_handle_);
+  if (!path_.empty()) std::remove(path_.c_str());
+  path_ = std::move(other.path_);
+  write_handle_ = other.write_handle_;
+  stored_bytes_ = other.stored_bytes_;
+  other.path_.clear();
+  other.write_handle_ = nullptr;
+  other.stored_bytes_ = 0;
+  return *this;
+}
+
+SpillFile::~SpillFile() {
+  if (write_handle_ != nullptr) std::fclose(write_handle_);
+  if (!path_.empty()) std::remove(path_.c_str());
+}
+
+void SpillFile::Append(const void* data, size_t size) {
+  if (size == 0) return;
+  if (write_handle_ == nullptr) {
+    throw std::runtime_error("spill file " + path_ + " is closed for writing");
+  }
+  if (std::fwrite(data, 1, size, write_handle_) != size) {
+    throw std::runtime_error("short write to spill file " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  stored_bytes_ += size;
+}
+
+void SpillFile::FinishWrite() {
+  if (write_handle_ == nullptr) return;
+  if (std::fclose(write_handle_) != 0) {
+    write_handle_ = nullptr;
+    throw std::runtime_error("cannot flush spill file " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  write_handle_ = nullptr;
+}
+
+SpillWriter::SpillWriter(SpillFile* file, bool compress, SpillStats* stats)
+    : file_(file), compress_(compress), stats_(stats) {}
+
+void SpillWriter::Append(std::string_view key, std::string_view value) {
+  PutVarint(&block_, key.size());
+  PutVarint(&block_, value.size());
+  if (!key.empty()) block_.append(key.data(), key.size());
+  if (!value.empty()) block_.append(value.data(), value.size());
+  ++num_records_;
+  if (block_.size() >= kSpillBlockBytes) FlushBlock();
+}
+
+void SpillWriter::FlushBlock() {
+  if (block_.empty()) return;
+  std::string frame;
+  if (compress_) {
+    std::string stored = CompressBlock(block_);
+    PutVarint(&frame, stored.size());
+    file_->Append(frame.data(), frame.size());
+    file_->Append(stored.data(), stored.size());
+  } else {
+    PutVarint(&frame, block_.size());
+    file_->Append(frame.data(), frame.size());
+    file_->Append(block_.data(), block_.size());
+  }
+  block_.clear();
+}
+
+uint64_t SpillWriter::Finish() {
+  if (finished_) return file_->stored_bytes();
+  finished_ = true;
+  FlushBlock();
+  file_->FinishWrite();
+  if (stats_ != nullptr) {
+    stats_->files.fetch_add(1, std::memory_order_relaxed);
+    stats_->bytes_written.fetch_add(file_->stored_bytes(),
+                                    std::memory_order_relaxed);
+  }
+  return file_->stored_bytes();
+}
+
+SpillRunReader::SpillRunReader(const SpillFile& file, bool compressed)
+    : path_(file.path()), compressed_(compressed) {
+  handle_ = std::fopen(path_.c_str(), "rb");
+  if (handle_ == nullptr) {
+    throw std::runtime_error("cannot open spill run " + path_ + ": " +
+                             std::strerror(errno));
+  }
+}
+
+SpillRunReader::~SpillRunReader() {
+  if (handle_ != nullptr) std::fclose(handle_);
+}
+
+bool SpillRunReader::ReadBlock() {
+  // Block length varint, byte by byte (at most 10 bytes).
+  uint64_t stored_size = 0;
+  int shift = 0;
+  int c = std::fgetc(handle_);
+  if (c == EOF) {
+    if (std::ferror(handle_)) {
+      throw std::runtime_error("read error on spill run " + path_);
+    }
+    return false;  // clean end of run
+  }
+  while (true) {
+    if (shift >= 64) {
+      throw std::runtime_error("corrupt spill run " + path_ +
+                               ": oversized block length");
+    }
+    stored_size |= static_cast<uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+    c = std::fgetc(handle_);
+    if (c == EOF) {
+      throw std::runtime_error("truncated spill run " + path_);
+    }
+  }
+  stored_.resize(stored_size);
+  if (stored_size > 0 &&
+      std::fread(&stored_[0], 1, stored_size, handle_) != stored_size) {
+    throw std::runtime_error("truncated spill run " + path_);
+  }
+  if (compressed_) {
+    if (!DecompressBlock(stored_, &block_)) {
+      throw std::runtime_error("corrupt compressed spill run " + path_);
+    }
+  } else {
+    block_.swap(stored_);
+  }
+  pos_ = 0;
+  return true;
+}
+
+bool SpillRunReader::Next(std::string_view* key, std::string_view* value) {
+  while (pos_ >= block_.size()) {
+    if (!ReadBlock()) return false;
+  }
+  std::string_view raw(block_);
+  uint64_t key_size = 0;
+  uint64_t value_size = 0;
+  if (!GetVarint(raw, &pos_, &key_size) ||
+      !GetVarint(raw, &pos_, &value_size) || key_size > raw.size() - pos_ ||
+      value_size > raw.size() - pos_ - key_size) {
+    throw std::runtime_error("corrupt spill run " + path_ +
+                             ": malformed record framing");
+  }
+  *key = raw.substr(pos_, key_size);
+  pos_ += key_size;
+  *value = raw.substr(pos_, value_size);
+  pos_ += value_size;
+  return true;
+}
+
+}  // namespace dseq

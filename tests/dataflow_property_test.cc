@@ -86,8 +86,18 @@ struct RunOutcome {
   DataflowMetrics metrics;
 };
 
+// The tiny out-of-core budget of the spilled property runs: far below both
+// the pipelines' shuffle volume and the combiner tables' resident size, so
+// spilled runs really exercise multiple spill files and merge passes. The
+// CI spill group squeezes it further via DSEQ_SPILL_TEST_BUDGET.
+uint64_t TinySpillBudget() {
+  static const uint64_t budget = testing::SpillTestBudget(128);
+  return budget;
+}
+
 RunOutcome RunPipeline(const Pipeline& p, int workers, Execution execution,
-                       bool compress = false) {
+                       bool compress = false,
+                       const std::string& spill_dir = std::string()) {
   MapFn map_fn = [&](size_t i, const EmitFn& emit) {
     for (const auto& [key, value] : p.emissions[i]) emit(key, value);
   };
@@ -103,6 +113,11 @@ RunOutcome RunPipeline(const Pipeline& p, int workers, Execution execution,
   options.num_reduce_workers = workers;
   options.execution = execution;
   options.compress_shuffle = compress;
+  if (!spill_dir.empty()) {
+    options.memory_budget_bytes = TinySpillBudget();
+    options.spill_dir = spill_dir;
+    options.spill_merge_fan_in = 2;  // force multi-pass merges
+  }
   RunOutcome outcome;
   outcome.metrics = RunMapReduce(p.emissions.size(), map_fn,
                                  FactoryFor(p.combiner), reduce_fn, options);
@@ -199,6 +214,38 @@ TEST_P(DataflowPropertyTest, DeterministicAcrossWorkersAndExecutionModes) {
       EXPECT_EQ(threads.metrics.shuffle_compressed_bytes, 0u);
       if (compressed.metrics.shuffle_records > 0) {
         EXPECT_GT(compressed.metrics.shuffle_compressed_bytes, 0u);
+      }
+
+      // Out-of-core execution is invisible too: the same run under a tiny
+      // memory budget (spilling multiple sorted runs, merging them back in
+      // multiple passes) reduces to identical groups with identical raw
+      // shuffle metrics, and reports the spill volume on the side. The
+      // ScopedTempDir destructor re-asserts that no spill file survived.
+      testing::ScopedTempDir spill_dir;
+      RunOutcome spilled = RunPipeline(p, workers, Execution::kThreads,
+                                       /*compress=*/false, spill_dir.path());
+      EXPECT_EQ(spilled.groups, threads.groups);
+      EXPECT_EQ(spilled.metrics.shuffle_bytes, threads.metrics.shuffle_bytes);
+      EXPECT_EQ(spilled.metrics.shuffle_records,
+                threads.metrics.shuffle_records);
+      EXPECT_EQ(spilled.metrics.map_output_records,
+                threads.metrics.map_output_records);
+      EXPECT_EQ(spilled.metrics.reducer_bytes, threads.metrics.reducer_bytes);
+      EXPECT_EQ(threads.metrics.spill_files, 0u);
+      // Spills are guaranteed where a single worker's state clearly
+      // outgrows the budget (per-worker overdraft floors make sharded
+      // workers with near-empty state legitimately spill-free): without a
+      // combiner once the volume dwarfs the budget, with one once the add
+      // count crosses the combiner's overdraft spill batch (64 records).
+      bool must_spill =
+          workers == 1 &&
+          (kind == CombinerKind::kNone
+               ? threads.metrics.shuffle_bytes > 4 * TinySpillBudget()
+               : threads.metrics.map_output_records >= 72);
+      if (must_spill) {
+        EXPECT_GT(spilled.metrics.spill_files, 0u);
+        EXPECT_GT(spilled.metrics.spill_bytes_written, 0u);
+        EXPECT_GE(spilled.metrics.spill_merge_passes, 1u);
       }
     });
   }

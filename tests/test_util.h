@@ -3,8 +3,12 @@
 #ifndef DSEQ_TESTS_TEST_UTIL_H_
 #define DSEQ_TESTS_TEST_UTIL_H_
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <initializer_list>
 #include <random>
@@ -42,6 +46,55 @@ inline int PropertyIterations(int fallback) {
   int value = std::atoi(env);
   return value > 0 ? value : fallback;
 }
+
+/// Memory budget of the out-of-core tests: `fallback` by default,
+/// overridden by DSEQ_SPILL_TEST_BUDGET (the CI spill group lowers it to
+/// squeeze the budget and force more spill runs and merge passes).
+inline uint64_t SpillTestBudget(uint64_t fallback) {
+  const char* env = std::getenv("DSEQ_SPILL_TEST_BUDGET");
+  if (env == nullptr) return fallback;
+  long long value = std::atoll(env);
+  return value > 0 ? static_cast<uint64_t>(value) : fallback;
+}
+
+/// Entries in `dir` other than "." and "..". 0 for an unreadable dir.
+inline size_t CountDirEntries(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  size_t count = 0;
+  while (dirent* entry = readdir(d)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") ++count;
+  }
+  closedir(d);
+  return count;
+}
+
+/// A fresh temp directory (mkdtemp under the gtest temp dir), removed on
+/// destruction with an EXPECT that it was left empty — the spill-file RAII
+/// hygiene contract of the out-of-core tests.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    std::string templ = ::testing::TempDir() + "dseq_spill_XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    char* made = mkdtemp(buf.data());
+    EXPECT_NE(made, nullptr);
+    path_ = made != nullptr ? made : "";
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+  ~ScopedTempDir() {
+    if (path_.empty()) return;
+    EXPECT_EQ(CountDirEntries(path_), 0u) << "files leaked in " << path_;
+    rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 /// Builds a random sequence database over `num_items` items named
 /// "i0".."iN" with a random DAG hierarchy (parents always have smaller

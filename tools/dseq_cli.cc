@@ -10,6 +10,7 @@
 //            [--workers N] [--limit N] [--stats] [--compress]
 //            [--recount] [--recount-sample N] [--lambda N]
 //            [--balance [--split-factor F]]
+//            [--memory-budget N [--spill-dir DIR]]
 //
 // Iterative (multi-round) jobs: --recount prepends a distributed
 // frequency-recount round to naive/semi-naive/dseq, and
@@ -23,14 +24,26 @@
 // instead of hash partitioning; --stats then also prints the plan and the
 // measured per-reducer balance.
 //
+// Out-of-core execution: --memory-budget N bounds the resident shuffle and
+// combiner state of the distributed algorithms to N bytes. With --spill-dir
+// DIR (created if missing) the run degrades gracefully — overflowing state
+// is spilled to sorted runs in DIR and external-merged back during the
+// reduce, with identical mined output; --stats reports the spill volume.
+// Without --spill-dir the budget is a hard ceiling that fails with an
+// actionable error.
+//
 // Input format: one sequence per line, whitespace-separated item names; the
 // hierarchy file has one "child parent" pair per line. Output: one frequent
 // sequence per line with its frequency, ordered by decreasing frequency.
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "src/baselines/prefix_span.h"
@@ -62,6 +75,8 @@ struct Args {
   bool balance = false;
   double split_factor = 1.0;
   bool split_factor_set = false;
+  uint64_t memory_budget = 0;  // 0 = no budget
+  std::string spill_dir;
 };
 
 [[noreturn]] void Usage(const char* message) {
@@ -91,7 +106,11 @@ struct Args {
       "                     under a partition plan (bundle light pivots,\n"
       "                     range-split heavy ones) instead of hashing\n"
       "  --split-factor F   split pivots heavier than F x the mean reducer\n"
-      "                     load (default 1.0; requires --balance)\n");
+      "                     load (default 1.0; requires --balance)\n"
+      "  --memory-budget N  bound the resident shuffle + combiner state of\n"
+      "                     the distributed algorithms to N bytes\n"
+      "  --spill-dir DIR    spill overflowing state to sorted runs in DIR\n"
+      "                     (created if missing; requires --memory-budget)\n");
   std::exit(2);
 }
 
@@ -170,6 +189,13 @@ Args ParseArgs(int argc, char** argv) {
       args.split_factor =
           ParsePositiveDouble("--split-factor", need_value("--split-factor"));
       args.split_factor_set = true;
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0) {
+      args.memory_budget = ParseUnsigned(
+          "--memory-budget", need_value("--memory-budget"), UINT64_MAX);
+      if (args.memory_budget == 0) Usage("--memory-budget must be positive");
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0) {
+      args.spill_dir = need_value("--spill-dir");
+      if (args.spill_dir.empty()) Usage("--spill-dir requires a directory");
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage(nullptr);
     } else {
@@ -214,7 +240,24 @@ Args ParseArgs(int argc, char** argv) {
   if (args.split_factor_set && !args.balance) {
     Usage("--split-factor requires --balance");
   }
+  if (!args.spill_dir.empty() && args.memory_budget == 0) {
+    Usage("--spill-dir requires --memory-budget");
+  }
+  if (args.memory_budget > 0 &&
+      (args.algorithm == "desq-dfs" || args.algorithm == "desq-count")) {
+    Usage("--memory-budget requires a distributed (shuffling) algorithm");
+  }
   return args;
+}
+
+// ", spilled N runs (...)" — the out-of-core volume of one round (silent
+// when the round never spilled).
+void PrintSpillCounters(const dseq::DataflowMetrics& m) {
+  if (m.spill_files == 0) return;
+  std::fprintf(stderr, ", spilled %llu runs (%llu bytes, %llu merge passes)",
+               static_cast<unsigned long long>(m.spill_files),
+               static_cast<unsigned long long>(m.spill_bytes_written),
+               static_cast<unsigned long long>(m.spill_merge_passes));
 }
 
 // ", reducer max/mean X.XX" — the measured balance of one round's shuffle
@@ -258,6 +301,7 @@ void PrintRoundStats(const dseq::ChainedDistributedResult& result) {
       std::fprintf(stderr, ", compressed %llu bytes",
                    static_cast<unsigned long long>(m.shuffle_compressed_bytes));
     }
+    PrintSpillCounters(m);
     PrintReducerBalance(m);
     std::fprintf(stderr, "\n");
   }
@@ -270,6 +314,7 @@ void PrintRoundStats(const dseq::ChainedDistributedResult& result) {
                  static_cast<unsigned long long>(
                      result.aggregate.shuffle_compressed_bytes));
   }
+  PrintSpillCounters(result.aggregate);
   std::fprintf(stderr, "\n");
   if (result.input_storage_reads > 0 || result.input_cache_hits > 0) {
     std::fprintf(stderr,
@@ -291,8 +336,26 @@ void PrintRunStats(const dseq::DataflowMetrics& m) {
     std::fprintf(stderr, ", compressed %llu bytes",
                  static_cast<unsigned long long>(m.shuffle_compressed_bytes));
   }
+  PrintSpillCounters(m);
   PrintReducerBalance(m);
   std::fprintf(stderr, "\n");
+}
+
+// Copies the out-of-core flags onto a miner's options (every distributed
+// miner extends DistributedRunOptions). --compress also covers the spill
+// files: both knobs trade CPU for bytes on the same serialized records.
+void ApplySpillOptions(const Args& args, dseq::DistributedRunOptions* options) {
+  options->memory_budget_bytes = args.memory_budget;
+  options->spill_dir = args.spill_dir;
+  options->compress_spill = args.compress;
+}
+
+// Creates the spill directory if it is missing (one level, like mkdir).
+void EnsureSpillDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("cannot create --spill-dir " + dir + ": " +
+                             std::strerror(errno));
+  }
 }
 
 }  // namespace
@@ -303,6 +366,7 @@ int main(int argc, char** argv) {
   int workers = args.workers > 0 ? args.workers : DefaultWorkers();
 
   try {
+    if (!args.spill_dir.empty()) EnsureSpillDir(args.spill_dir);
     SequenceDatabase db =
         ReadTextDatabaseFromFiles(args.sequences, args.hierarchy);
     if (args.stats) {
@@ -326,6 +390,7 @@ int main(int argc, char** argv) {
       options.num_map_workers = workers;
       options.num_reduce_workers = workers;
       options.compress_shuffle = args.compress;
+      ApplySpillOptions(args, &options);
       options.plan.split_factor = args.split_factor;
       PartitionPlan plan;
       ChainedDistributedResult result =
@@ -341,6 +406,7 @@ int main(int argc, char** argv) {
       options.num_map_workers = workers;
       options.num_reduce_workers = workers;
       options.compress_shuffle = args.compress;
+      ApplySpillOptions(args, &options);
       if (args.recount) {
         options.recount_sample_every = args.recount_sample;
         ChainedDistributedResult result =
@@ -358,6 +424,7 @@ int main(int argc, char** argv) {
       options.num_map_workers = workers;
       options.num_reduce_workers = workers;
       options.compress_shuffle = args.compress;
+      ApplySpillOptions(args, &options);
       DistributedResult result = MineDCand(db.sequences, fst, db.dict, options);
       if (args.stats) PrintRunStats(result.metrics);
       patterns = std::move(result.patterns);
@@ -368,6 +435,7 @@ int main(int argc, char** argv) {
       options.num_map_workers = workers;
       options.num_reduce_workers = workers;
       options.compress_shuffle = args.compress;
+      ApplySpillOptions(args, &options);
       if (args.recount) {
         options.recount_sample_every = args.recount_sample;
         ChainedDistributedResult result =
@@ -388,6 +456,7 @@ int main(int argc, char** argv) {
       options.num_map_workers = workers;
       options.num_reduce_workers = workers;
       options.compress_shuffle = args.compress;
+      ApplySpillOptions(args, &options);
       if (args.algorithm == "prefix-span-chained") {
         ChainedDistributedResult result =
             MineChainedPrefixSpan(db.sequences, db.dict, options);
@@ -431,6 +500,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "frequent sequences: %zu (printed %zu)\n",
                    patterns.size(), shown);
     }
+  } catch (const ShuffleOverflowError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr,
+                 "hint: raise --memory-budget, or add --spill-dir DIR to "
+                 "spill overflowing shuffle state to disk\n");
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
