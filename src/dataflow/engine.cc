@@ -13,6 +13,7 @@
 #include "src/spill/spill_context.h"
 #include "src/spill/spill_file.h"
 #include "src/util/arena.h"
+#include "src/util/check.h"
 #include "src/util/thread_pool.h"
 #include "src/util/varint.h"
 
@@ -854,6 +855,22 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
   metrics.spill_files = spill_stats.files.load();
   metrics.spill_bytes_written = spill_stats.bytes_written.load();
   metrics.spill_merge_passes = spill_stats.merge_passes.load();
+  // Round teardown: every bucket must have been drained by its reduce
+  // worker (its live-gauge contribution is then zero — the per-round form
+  // of the ShuffleBufferLiveBytes()==0 contract the RAII tests assert), its
+  // budget charge handed back, and every spilled run consumed by a merge.
+  for (int w = 0; w < map_workers; ++w) {
+    for (int r = 0; r < reduce_workers; ++r) {
+      DSEQ_DCHECK_MSG(buckets[w][r].data_bytes() == 0,
+                      "shuffle bucket not drained at round teardown");
+      if (budget.enabled()) {
+        DSEQ_DCHECK_MSG(bucket_charged[w][r] == 0,
+                        "bucket budget charge not released at round teardown");
+        DSEQ_DCHECK_MSG(spill_runs[w][r].empty(),
+                        "spilled run not consumed at round teardown");
+      }
+    }
+  }
   return metrics;
 }
 

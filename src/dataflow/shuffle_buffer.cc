@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/util/block_codec.h"
+#include "src/util/check.h"
 #include "src/util/varint.h"
 
 namespace dseq {
@@ -54,6 +55,9 @@ void ShuffleBuffer::Untrack() {
 }
 
 void ShuffleBuffer::Append(std::string_view key, std::string_view value) {
+  // Appending varint frames after the buffer was block-compressed would
+  // interleave raw bytes into the codec stream and corrupt every record.
+  DSEQ_DCHECK_MSG(!compressed_, "ShuffleBuffer::Append after Compress");
   PutVarint(&data_, key.size());
   PutVarint(&data_, value.size());
   // Guarded appends: emitted views may legally be empty with null data.

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "src/dist/distributed.h"
+#include "src/util/check.h"
 #include "src/util/thread_pool.h"
 #include "src/util/varint.h"
 
@@ -76,13 +77,22 @@ int PartitionPlan::ReducerForKey(std::string_view key) const {
             return a.first < p;
           });
       if (it != assignments.end() && it->first == parts.pivot) {
+        // Every planned index must be a real reducer — a plan deserialized
+        // or mutated out of range would misroute whole partitions.
+        DSEQ_DCHECK_MSG(it->second >= 0 && it->second < num_reducers,
+                        "partition plan assigns a pivot to an out-of-range "
+                        "reducer");
         return it->second;
       }
     } else {
       const PivotSplit* split = FindSplit(parts.pivot);
       if (split != nullptr &&
           parts.subpartition < split->num_subpartitions()) {
-        return split->reducers[parts.subpartition];
+        int reducer = split->reducers[parts.subpartition];
+        DSEQ_DCHECK_MSG(reducer >= 0 && reducer < num_reducers,
+                        "partition plan assigns a sub-partition to an "
+                        "out-of-range reducer");
+        return reducer;
       }
     }
   }
@@ -191,6 +201,22 @@ PartitionPlan BuildPartitionPlan(const std::vector<PartitionStats>& stats,
     }
   }
   std::sort(plan.assignments.begin(), plan.assignments.end());
+  // Construction-time contract (cold path, so always on): everything the
+  // packing placed must point at a real reducer.
+  for (const auto& [pivot, reducer] : plan.assignments) {
+    DSEQ_CHECK_MSG(reducer >= 0 && reducer < plan.num_reducers,
+                   "BuildPartitionPlan packed pivot " + std::to_string(pivot) +
+                       " onto out-of-range reducer " + std::to_string(reducer));
+  }
+  for (const PivotSplit& split : plan.splits) {
+    for (int reducer : split.reducers) {
+      DSEQ_CHECK_MSG(reducer >= 0 && reducer < plan.num_reducers,
+                     "BuildPartitionPlan packed a sub-partition of pivot " +
+                         std::to_string(split.pivot) +
+                         " onto out-of-range reducer " +
+                         std::to_string(reducer));
+    }
+  }
   return plan;
 }
 

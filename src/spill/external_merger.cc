@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "src/util/check.h"
 
 namespace dseq {
 namespace {
@@ -35,10 +38,30 @@ uint64_t MergeSources(const std::vector<RecordSource*>& sources,
   }
   std::make_heap(heap.begin(), heap.end(), HeapGreater{});
   uint64_t records = 0;
+#if DSEQ_DCHECK_IS_ON
+  // Merge-order stability: each emitted key must be >= its predecessor, or
+  // a source lied about being sorted and the group sweep would split keys.
+  // The previous key is copied because its backing view dies when its
+  // source advances (debug builds only).
+  std::string prev_key;
+  bool has_prev = false;
+#endif
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), HeapGreater{});
     HeadRecord head = heap.back();
     heap.pop_back();
+#if DSEQ_DCHECK_IS_ON
+    DSEQ_DCHECK_MSG(!has_prev || head.key >= prev_key,
+                    "external merge emitted keys out of order (unsorted "
+                    "source run?)");
+    // Guarded assign: an empty view may legally carry a null data pointer.
+    if (head.key.empty()) {
+      prev_key.clear();
+    } else {
+      prev_key.assign(head.key.data(), head.key.size());
+    }
+    has_prev = true;
+#endif
     emit(head.key, head.value);
     ++records;
     // Only now advance the source (Next invalidates the emitted views).

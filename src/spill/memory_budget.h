@@ -22,6 +22,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
+
+#include "src/util/check.h"
 
 namespace dseq {
 
@@ -58,8 +61,17 @@ class MemoryBudget {
     if (enabled()) used_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
+  /// Releases a prior charge. Charges and releases must mirror exactly:
+  /// releasing more than is currently charged means a double release (or a
+  /// charge that was never made), which would let the balance wrap and all
+  /// later spill decisions run against garbage — so it aborts, always.
   void Release(uint64_t bytes) {
-    if (enabled()) used_.fetch_sub(bytes, std::memory_order_relaxed);
+    if (!enabled() || bytes == 0) return;
+    uint64_t prev = used_.fetch_sub(bytes, std::memory_order_relaxed);
+    DSEQ_CHECK_MSG(prev >= bytes,
+                   "MemoryBudget::Release of " + std::to_string(bytes) +
+                       " bytes exceeds the charged balance of " +
+                       std::to_string(prev) + " bytes (double release?)");
   }
 
  private:

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "src/util/block_codec.h"
+#include "src/util/check.h"
 #include "src/util/varint.h"
 
 namespace dseq {
@@ -86,6 +87,9 @@ SpillWriter::SpillWriter(SpillFile* file, bool compress, SpillStats* stats)
     : file_(file), compress_(compress), stats_(stats) {}
 
 void SpillWriter::Append(std::string_view key, std::string_view value) {
+  // Appending to a finished run would buffer records that are never
+  // flushed — silent data loss, not an I/O error, so it aborts.
+  DSEQ_CHECK_MSG(!finished_, "SpillWriter::Append after Finish");
   PutVarint(&block_, key.size());
   PutVarint(&block_, value.size());
   if (!key.empty()) block_.append(key.data(), key.size());
@@ -193,6 +197,9 @@ bool SpillRunReader::Next(std::string_view* key, std::string_view* value) {
   pos_ += key_size;
   *value = raw.substr(pos_, value_size);
   pos_ += value_size;
+  // The bounds checks above imply this; keep the cursor invariant planted
+  // so a future framing change cannot silently read past the block.
+  DSEQ_DCHECK_LE(pos_, block_.size());
   return true;
 }
 

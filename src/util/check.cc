@@ -1,0 +1,22 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dseq {
+namespace check_internal {
+
+void CheckFailed(const char* file, int line, const char* what,
+                 const std::string& details) {
+  if (details.empty()) {
+    std::fprintf(stderr, "DSEQ_CHECK failed at %s:%d: %s\n", file, line, what);
+  } else {
+    std::fprintf(stderr, "DSEQ_CHECK failed at %s:%d: %s (%s)\n", file, line,
+                 what, details.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace dseq

@@ -1,0 +1,117 @@
+// Planted invariant checks (the machine-checked form of the contracts the
+// code used to state only in comments).
+//
+// DSEQ_CHECK(cond)            always on, in every build type. For cheap
+//                             invariants on cold paths whose violation means
+//                             memory corruption or silent data loss is next
+//                             (budget charge/release symmetry, plan
+//                             construction, spill-run bookkeeping).
+// DSEQ_DCHECK(cond)           debug builds only (compiled out under NDEBUG
+//                             unless DSEQ_FORCE_DCHECKS is defined). For
+//                             hot-path invariants the release build cannot
+//                             afford (per-record merge-order checks,
+//                             per-bucket teardown sweeps).
+// DSEQ_CHECK_EQ / DSEQ_DCHECK_EQ / _NE / _LE / _LT / _GE / _GT
+//                             comparison forms that print both operands.
+//
+// A failed check prints "DSEQ_CHECK failed at file:line: expr (details)" to
+// stderr and aborts — it is a bug in dseq, never a data error. Hostile or
+// corrupt *input* (shuffle frames, spill blocks, serialized NFAs) keeps
+// throwing typed exceptions; checks guard what must already have been
+// validated.
+#ifndef DSEQ_UTIL_CHECK_H_
+#define DSEQ_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace dseq {
+namespace check_internal {
+
+/// Prints the failure and aborts. Out of line so the macro expansion in hot
+/// paths stays one compare + one never-taken call.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* what,
+                              const std::string& details);
+
+/// Formats one operand of a comparison check. Everything the checks compare
+/// is streamable (integers, string_views); the indirection keeps <sstream>
+/// instantiation out of the fast path.
+template <typename A, typename B>
+[[noreturn]] void CheckOpFailed(const char* file, int line, const char* what,
+                                const A& a, const B& b) {
+  std::ostringstream details;
+  details << a << " vs " << b;
+  CheckFailed(file, line, what, details.str());
+}
+
+}  // namespace check_internal
+}  // namespace dseq
+
+#define DSEQ_CHECK(cond)                                             \
+  do {                                                               \
+    if (__builtin_expect(!(cond), 0)) {                              \
+      ::dseq::check_internal::CheckFailed(__FILE__, __LINE__, #cond, \
+                                          std::string());            \
+    }                                                                \
+  } while (0)
+
+#define DSEQ_CHECK_MSG(cond, msg)                                    \
+  do {                                                               \
+    if (__builtin_expect(!(cond), 0)) {                              \
+      ::dseq::check_internal::CheckFailed(__FILE__, __LINE__, #cond, \
+                                          (msg));                    \
+    }                                                                \
+  } while (0)
+
+#define DSEQ_CHECK_OP_(op, a, b)                                          \
+  do {                                                                    \
+    if (__builtin_expect(!((a)op(b)), 0)) {                               \
+      ::dseq::check_internal::CheckOpFailed(__FILE__, __LINE__,           \
+                                            #a " " #op " " #b, (a), (b)); \
+    }                                                                     \
+  } while (0)
+
+#define DSEQ_CHECK_EQ(a, b) DSEQ_CHECK_OP_(==, a, b)
+#define DSEQ_CHECK_NE(a, b) DSEQ_CHECK_OP_(!=, a, b)
+#define DSEQ_CHECK_LE(a, b) DSEQ_CHECK_OP_(<=, a, b)
+#define DSEQ_CHECK_LT(a, b) DSEQ_CHECK_OP_(<, a, b)
+#define DSEQ_CHECK_GE(a, b) DSEQ_CHECK_OP_(>=, a, b)
+#define DSEQ_CHECK_GT(a, b) DSEQ_CHECK_OP_(>, a, b)
+
+// Debug checks are on in debug builds and whenever DSEQ_FORCE_DCHECKS is
+// defined (the sanitizer CI builds force them so ASan/TSan/UBSan run with
+// every planted invariant live).
+#if !defined(NDEBUG) || defined(DSEQ_FORCE_DCHECKS)
+#define DSEQ_DCHECK_IS_ON 1
+#else
+#define DSEQ_DCHECK_IS_ON 0
+#endif
+
+#if DSEQ_DCHECK_IS_ON
+#define DSEQ_DCHECK(cond) DSEQ_CHECK(cond)
+#define DSEQ_DCHECK_MSG(cond, msg) DSEQ_CHECK_MSG(cond, msg)
+#define DSEQ_DCHECK_EQ(a, b) DSEQ_CHECK_EQ(a, b)
+#define DSEQ_DCHECK_NE(a, b) DSEQ_CHECK_NE(a, b)
+#define DSEQ_DCHECK_LE(a, b) DSEQ_CHECK_LE(a, b)
+#define DSEQ_DCHECK_LT(a, b) DSEQ_CHECK_LT(a, b)
+#define DSEQ_DCHECK_GE(a, b) DSEQ_CHECK_GE(a, b)
+#define DSEQ_DCHECK_GT(a, b) DSEQ_CHECK_GT(a, b)
+#else
+// Compiled out, but the condition stays visible to the compiler (unevaluated
+// sizeof context), so a DCHECK can never rot into a syntax error or an
+// unused-variable warning in release builds.
+#define DSEQ_DCHECK(cond) \
+  static_cast<void>(sizeof(static_cast<bool>(cond)))
+#define DSEQ_DCHECK_MSG(cond, msg) \
+  static_cast<void>(sizeof(static_cast<bool>(cond)))
+#define DSEQ_DCHECK_OP_OFF_(a, b) \
+  static_cast<void>(sizeof(static_cast<bool>((a) == (b))))
+#define DSEQ_DCHECK_EQ(a, b) DSEQ_DCHECK_OP_OFF_(a, b)
+#define DSEQ_DCHECK_NE(a, b) DSEQ_DCHECK_OP_OFF_(a, b)
+#define DSEQ_DCHECK_LE(a, b) DSEQ_DCHECK_OP_OFF_(a, b)
+#define DSEQ_DCHECK_LT(a, b) DSEQ_DCHECK_OP_OFF_(a, b)
+#define DSEQ_DCHECK_GE(a, b) DSEQ_DCHECK_OP_OFF_(a, b)
+#define DSEQ_DCHECK_GT(a, b) DSEQ_DCHECK_OP_OFF_(a, b)
+#endif
+
+#endif  // DSEQ_UTIL_CHECK_H_

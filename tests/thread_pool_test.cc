@@ -1,0 +1,116 @@
+// Pins the documented contracts of the parallel-for utilities
+// (src/util/thread_pool.h), most importantly exception propagation: the
+// first exception wins, it is rethrown on the calling thread with its
+// original type, and the remaining shards still run to completion (a
+// throwing worker must not cancel or corrupt its siblings' work — the
+// engine relies on this to keep shuffle state consistent when a mapper
+// throws).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace dseq {
+namespace {
+
+TEST(ClampWorkersTest, NonPositiveCountsRunSerially) {
+  EXPECT_EQ(ClampWorkers(-3), 1);
+  EXPECT_EQ(ClampWorkers(0), 1);
+  EXPECT_EQ(ClampWorkers(1), 1);
+  EXPECT_EQ(ClampWorkers(8), 8);
+}
+
+TEST(ParallelShardsTest, ShardsPartitionTheItemRange) {
+  std::vector<int> owner(100, -1);
+  ParallelShards(owner.size(), 4, [&](int worker, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ASSERT_EQ(owner[i], -1) << "item " << i << " sharded twice";
+      owner[i] = worker;
+    }
+  });
+  for (size_t i = 0; i < owner.size(); ++i) {
+    EXPECT_NE(owner[i], -1) << "item " << i << " never sharded";
+  }
+}
+
+TEST(ParallelShardsTest, FewerItemsThanWorkersLeavesTrailingWorkersIdle) {
+  std::atomic<int> calls{0};
+  ParallelShards(3, 8, [&](int worker, size_t begin, size_t end) {
+    EXPECT_LT(begin, end) << "empty shard dispatched to worker " << worker;
+    calls.fetch_add(1);
+  });
+  EXPECT_LE(calls.load(), 3);
+}
+
+TEST(ParallelShardsTest, SingleWorkerRunsInlineAsWorkerZero) {
+  ParallelShards(10, 1, [&](int worker, size_t begin, size_t end) {
+    EXPECT_EQ(worker, 0);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+  });
+}
+
+TEST(ParallelShardsTest, ExceptionIsRethrownWithItsOriginalType) {
+  struct ShardError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+  };
+  EXPECT_THROW(
+      ParallelShards(100, 4,
+                     [](int worker, size_t, size_t) {
+                       if (worker == 2) throw ShardError("shard 2 failed");
+                     }),
+      ShardError);
+}
+
+TEST(ParallelShardsTest, ThrowingShardDoesNotCancelTheOthers) {
+  std::vector<std::atomic<int>> hits(100);
+  try {
+    ParallelShards(hits.size(), 4, [&](int worker, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      if (worker == 0) throw std::runtime_error("worker 0 failed");
+    });
+    FAIL() << "expected ParallelShards to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker 0 failed");
+  }
+  // Every item was still processed exactly once, including by shards that
+  // started after worker 0 threw.
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ParallelWorkersTest, EveryWorkerIdRunsExactlyOnce) {
+  std::vector<std::atomic<int>> runs(8);
+  ParallelWorkers(8, [&](int w) { runs[w].fetch_add(1); });
+  for (size_t w = 0; w < runs.size(); ++w) {
+    EXPECT_EQ(runs[w].load(), 1) << "worker " << w;
+  }
+}
+
+TEST(ParallelWorkersTest, FirstExceptionWinsAndAllWorkersComplete) {
+  std::atomic<int> ran{0};
+  try {
+    ParallelWorkers(8, [&](int w) {
+      ran.fetch_add(1);
+      throw std::runtime_error("worker " + std::to_string(w));
+    });
+    FAIL() << "expected ParallelWorkers to rethrow";
+  } catch (const std::runtime_error& e) {
+    // Exactly one of the eight exceptions surfaces; which one depends on
+    // scheduling, but it must be one of them, intact.
+    EXPECT_EQ(std::string(e.what()).rfind("worker ", 0), 0u);
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(DefaultWorkersTest, IsAtLeastOne) {
+  EXPECT_GE(DefaultWorkers(), 1);
+}
+
+}  // namespace
+}  // namespace dseq
