@@ -421,8 +421,11 @@ TEST(EngineSpillTest, BudgetWithoutSpillDirThrowsActionableError) {
 
   // The combiner path reports its own actionable context.
   options.round_index = 0;
-  std::mt19937_64 rng(1);
-  MapFn count_map = [&](size_t, const EmitFn& emit) {
+  MapFn count_map = [](size_t input, const EmitFn& emit) {
+    // Map workers run this concurrently, so the RNG must be per-call (a
+    // shared engine captured by reference is a data race), seeded by the
+    // input index to stay deterministic.
+    std::mt19937_64 rng(1 + input);
     std::string one;
     PutVarint(&one, 1);
     for (int i = 0; i < 50; ++i) {
