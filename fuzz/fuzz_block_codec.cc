@@ -1,0 +1,36 @@
+// Fuzzes the LZ block codec (src/util/block_codec.h). Two surfaces, chosen
+// by the first input byte:
+//   even — the remaining bytes are a hostile *block*: DecompressBlock must
+//          return false or produce bytes that re-compress losslessly, and
+//          never crash or over-allocate;
+//   odd  — the remaining bytes are *raw* data: CompressBlock ∘
+//          DecompressBlock must be the identity.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/block_codec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  std::string_view payload(reinterpret_cast<const char*>(data + 1), size - 1);
+  if (data[0] % 2 == 0) {
+    std::string raw;
+    if (dseq::DecompressBlock(payload, &raw)) {
+      // Whatever decoded must survive a clean round trip.
+      std::string recoded = dseq::CompressBlock(raw);
+      std::string raw2;
+      if (!dseq::DecompressBlock(recoded, &raw2) || raw2 != raw) {
+        __builtin_trap();
+      }
+    }
+  } else {
+    std::string block = dseq::CompressBlock(payload);
+    std::string raw;
+    if (!dseq::DecompressBlock(block, &raw) || raw != payload) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fuzzes SpillRunReader (src/spill/spill_file.h) over corrupted run files.
+// Spill files never cross a trust boundary, but disk corruption must fail
+// with the documented std::runtime_error — never a crash, hang, or silent
+// short read. The first input byte selects the compressed flag; the rest
+// becomes the on-disk run image.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unistd.h>
+
+#include "src/spill/spill_file.h"
+
+namespace {
+
+// One scratch directory per process; SpillFile removes each backing file,
+// the directory itself goes at exit.
+const std::string& ScratchDir() {
+  static const std::string* dir = [] {
+    static char templ[] = "/tmp/dseq_fuzz_spill_XXXXXX";
+    char* made = mkdtemp(templ);
+    if (made == nullptr) std::abort();
+    std::atexit([] { rmdir(templ); });
+    return new std::string(made);
+  }();
+  return *dir;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const bool compressed = data[0] % 2 != 0;
+  dseq::SpillFile file = dseq::SpillFile::Create(ScratchDir());
+  if (size > 1) file.Append(data + 1, size - 1);
+  file.FinishWrite();
+
+  try {
+    dseq::SpillRunReader reader(file, compressed);
+    std::string_view key;
+    std::string_view value;
+    uint64_t records = 0;
+    while (reader.Next(&key, &value)) {
+      ++records;
+      // A compressed block may legitimately decode to far more bytes than
+      // it stores (LZ runs), so these bounds only hold for raw runs: frames
+      // live inside the stored block, and every record costs >= 2 bytes.
+      if (!compressed) {
+        if (key.size() + value.size() > size) __builtin_trap();
+        if (records > size) __builtin_trap();
+      }
+    }
+  } catch (const std::runtime_error&) {
+    // Corrupt run correctly rejected.
+  }
+  return 0;
+}

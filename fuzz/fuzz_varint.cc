@@ -1,0 +1,51 @@
+// Fuzzes the varint layer (src/util/varint.h) — the innermost decoder of
+// every shuffle record, spill block, and serialized NFA. Properties:
+// decoding never reads past the buffer, always makes progress, and decoded
+// values re-encode to bytes that decode back to the same value.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/dict/sequence.h"
+#include "src/util/varint.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // Walk the buffer as a varint stream.
+  size_t pos = 0;
+  while (pos < input.size()) {
+    size_t before = pos;
+    uint64_t value = 0;
+    if (!dseq::GetVarint(input, &pos, &value)) break;
+    if (pos <= before || pos > input.size()) __builtin_trap();
+    // Canonical re-encode must round-trip to the same value.
+    std::string reencoded;
+    dseq::PutVarint(&reencoded, value);
+    size_t rpos = 0;
+    uint64_t decoded = 0;
+    if (!dseq::GetVarint(reencoded, &rpos, &decoded) ||
+        rpos != reencoded.size() || decoded != value) {
+      __builtin_trap();
+    }
+  }
+
+  // The same bytes as a delta-coded sequence stream.
+  pos = 0;
+  dseq::Sequence seq;
+  while (pos < input.size()) {
+    size_t before = pos;
+    if (!dseq::GetSequence(input, &pos, &seq)) break;
+    if (pos <= before || pos > input.size()) __builtin_trap();
+    std::string reencoded;
+    dseq::PutSequence(&reencoded, seq);
+    size_t rpos = 0;
+    dseq::Sequence decoded;
+    if (!dseq::GetSequence(reencoded, &rpos, &decoded) ||
+        rpos != reencoded.size() || decoded != seq) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

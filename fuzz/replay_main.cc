@@ -1,0 +1,69 @@
+// Corpus-replay driver used when the toolchain has no libFuzzer (GCC
+// builds): runs LLVMFuzzerTestOneInput over every file passed on the
+// command line (directories are walked one level deep — the layout of the
+// checked-in fuzz/corpus/<target>/ seed sets). No fuzzing happens here; the
+// targets still execute under whatever sanitizers the build enables, so the
+// corpus doubles as a regression suite. Clang builds link real libFuzzer
+// instead (see the fuzzer section of CMakeLists.txt) and get the same
+// behavior from `-runs=0 <corpus dir>`.
+#include <dirent.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+// Collects `path` if it is a file, or its immediate children if it is a
+// directory.
+void CollectInputs(const std::string& path, std::vector<std::string>* files) {
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) {
+    files->push_back(path);
+    return;
+  }
+  while (dirent* entry = readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    std::string child = path + "/" + name;
+    if (opendir(child.c_str()) != nullptr) continue;  // skip subdirectories
+    files->push_back(child);
+  }
+  closedir(dir);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) CollectInputs(argv[i], &files);
+  size_t executed = 0;
+  for (const std::string& file : files) {
+    std::string bytes;
+    if (!ReadFile(file, &bytes)) {
+      std::fprintf(stderr, "cannot read corpus input %s\n", file.c_str());
+      return 1;
+    }
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++executed;
+  }
+  std::printf("replayed %zu corpus inputs\n", executed);
+  if (executed == 0) {
+    std::fprintf(stderr, "no corpus inputs found\n");
+    return 1;
+  }
+  return 0;
+}
