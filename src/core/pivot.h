@@ -144,6 +144,8 @@ class PivotItemVec {
   void Grow(size_t min_capacity) {
     size_t new_capacity = capacity_ * 2;
     if (new_capacity < min_capacity) new_capacity = min_capacity;
+    // This *is* the owning RAII type: the small-vector's heap storage,
+    // paired with FreeHeap() below. dseq-lint: allow(naked-new)
     ItemId* heap = new ItemId[new_capacity];
     std::memcpy(heap, data_, size_ * sizeof(ItemId));
     FreeHeap();
@@ -152,6 +154,7 @@ class PivotItemVec {
   }
 
   void FreeHeap() {
+    // dseq-lint: allow(naked-new)
     if (data_ != inline_) delete[] data_;
   }
 

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for dseq (run by the lint CI job and by hand).
+
+Rules (suppress a finding with a `// dseq-lint: allow(<rule>)` comment on
+the offending line or the line above it):
+
+  naked-new            `new`/`delete` expressions in src/ — ownership lives
+                       in containers and smart pointers; the one sanctioned
+                       exception (PivotItemVec's inline small-vector
+                       storage) carries an allow annotation.
+  unseeded-rng         rand()/srand()/std::random_device outside
+                       src/datagen/ — results must be reproducible from a
+                       seed; benches and tests derive their RNGs from
+                       explicit seeds.
+  hot-path-string-copy owning std::string `key`/`value`/`payload`
+                       parameters in src/dataflow/ and src/spill/ — records
+                       are views into arenas; an owning parameter on the
+                       emit/combine path silently copies every record.
+  spill-file-raii      `new SpillFile` anywhere, and raw `SpillFile*`
+                       outside src/spill/spill_file.{h,cc} — every spill
+                       file must be owned by RAII so a dead run cannot leak
+                       droppings (SpillWriter's borrowed pointer lives in
+                       the exempt header).
+  header-guard         src/ and tests/ headers must use the canonical
+                       DSEQ_<PATH>_H_ include guard.
+  header-self-contained (--check-headers) every header must compile on its
+                       own: g++ -fsyntax-only over a TU that includes just
+                       the header — headers include what they use.
+
+Exit status: 0 clean, 1 findings, 2 usage/setup error.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ALLOW_RE = re.compile(r"dseq-lint:\s*allow\(([a-z-]+)\)")
+
+def strip_code(text):
+    """Blanks comments, string literals, and char literals, preserving line
+    structure so reported line numbers match the file. A character scanner,
+    not regexes: an apostrophe inside a comment must not open a char
+    literal."""
+    out = []
+    state = "code"  # code | line_comment | block_comment | string | char
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state, repl = "line_comment", "  "
+                i += 1
+            elif c == "/" and nxt == "*":
+                state, repl = "block_comment", "  "
+                i += 1
+            elif c == '"':
+                state, repl = "string", " "
+            elif c == "'":
+                state, repl = "char", " "
+            else:
+                repl = c
+        else:
+            if c == "\n":
+                repl = "\n"
+                if state == "line_comment":
+                    state = "code"
+            else:
+                repl = " "
+                if state == "block_comment" and c == "*" and nxt == "/":
+                    state, repl = "code", "  "
+                    i += 1
+                elif state in ("string", "char") and c == "\\":
+                    repl = "  "
+                    i += 1
+                elif (state == "string" and c == '"') or \
+                        (state == "char" and c == "'"):
+                    state = "code"
+        out.append(repl)
+        i += 1
+    return "".join(out)
+
+
+def source_files(roots, exts):
+    for root in roots:
+        for dirpath, _, names in os.walk(os.path.join(REPO, root)):
+            for name in sorted(names):
+                if os.path.splitext(name)[1] in exts:
+                    yield os.path.relpath(os.path.join(dirpath, name), REPO)
+
+
+class Linter:
+    def __init__(self):
+        self.findings = []
+
+    def report(self, path, lineno, rule, message, raw_lines):
+        for candidate in (lineno - 1, lineno - 2):
+            if 0 <= candidate < len(raw_lines):
+                allow = ALLOW_RE.search(raw_lines[candidate])
+                if allow and allow.group(1) == rule:
+                    return
+        self.findings.append(f"{path}:{lineno}: [{rule}] {message}")
+
+    # --- rules --------------------------------------------------------------
+
+    NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (nothrow)` still matches later
+    DELETE_RE = re.compile(r"\bdelete\b(\[\])?\s*[^;,)\s]")
+
+    def check_naked_new(self, path, raw_lines, code_lines):
+        for i, line in enumerate(code_lines, start=1):
+            if re.search(r"=\s*delete\b", line):
+                line = re.sub(r"=\s*delete\b", "", line)
+            if self.NEW_RE.search(line):
+                self.report(path, i, "naked-new",
+                            "naked `new` — own allocations with containers "
+                            "or smart pointers", raw_lines)
+            if self.DELETE_RE.search(line):
+                self.report(path, i, "naked-new",
+                            "naked `delete` — pair allocation and ownership "
+                            "in one RAII type", raw_lines)
+
+    RNG_RE = re.compile(r"\b(?:rand|srand)\s*\(|std::random_device")
+
+    def check_unseeded_rng(self, path, raw_lines, code_lines):
+        if path.startswith("src/datagen/"):
+            return
+        for i, line in enumerate(code_lines, start=1):
+            if self.RNG_RE.search(line):
+                self.report(path, i, "unseeded-rng",
+                            "non-reproducible RNG — derive a seeded "
+                            "std::mt19937_64 instead", raw_lines)
+
+    STRING_PARAM_RE = re.compile(
+        r"(?:const\s+std::string\s*&|std::string\s+)\s*"
+        r"(?:key|value|payload)\s*[,)]")
+
+    def check_hot_path_string_copy(self, path, raw_lines, code_lines):
+        if not (path.startswith("src/dataflow/") or
+                path.startswith("src/spill/")):
+            return
+        for i, line in enumerate(code_lines, start=1):
+            if self.STRING_PARAM_RE.search(line):
+                self.report(path, i, "hot-path-string-copy",
+                            "owning string parameter on the record path — "
+                            "take std::string_view", raw_lines)
+
+    SPILL_EXEMPT = {"src/spill/spill_file.h", "src/spill/spill_file.cc"}
+
+    def check_spill_file_raii(self, path, raw_lines, code_lines):
+        for i, line in enumerate(code_lines, start=1):
+            if re.search(r"\bnew\s+SpillFile\b", line):
+                self.report(path, i, "spill-file-raii",
+                            "heap-allocated SpillFile — hold it by value so "
+                            "the file dies with its owner", raw_lines)
+            if path not in self.SPILL_EXEMPT and \
+                    re.search(r"\bSpillFile\s*\*", line):
+                self.report(path, i, "spill-file-raii",
+                            "raw SpillFile pointer outside spill_file.{h,cc} "
+                            "— pass SpillFile& or move the value", raw_lines)
+
+    def check_header_guard(self, path, raw_lines, code_lines):
+        expected = "DSEQ_" + re.sub(r"[/.]", "_", path.upper()
+                                    .removeprefix("SRC/")).rstrip("_") + "_"
+        text = "\n".join(code_lines)
+        match = re.search(r"#ifndef\s+(\S+)\s*\n\s*#define\s+(\S+)", text)
+        if not match or match.group(1) != expected or \
+                match.group(2) != expected:
+            found = match.group(1) if match else "none"
+            self.report(path, 1, "header-guard",
+                        f"include guard must be {expected} (found {found})",
+                        raw_lines)
+
+    # --- driver -------------------------------------------------------------
+
+    def run(self, check_headers):
+        headers = []
+        for path in sorted(set(source_files(["src", "tests", "tools", "fuzz",
+                                             "bench"], {".h", ".cc"}))):
+            with open(os.path.join(REPO, path), encoding="utf-8") as f:
+                raw = f.read()
+            raw_lines = raw.splitlines()
+            code_lines = strip_code(raw).splitlines()
+            if path.startswith("src/"):
+                self.check_naked_new(path, raw_lines, code_lines)
+            self.check_unseeded_rng(path, raw_lines, code_lines)
+            self.check_hot_path_string_copy(path, raw_lines, code_lines)
+            self.check_spill_file_raii(path, raw_lines, code_lines)
+            if path.endswith(".h") and (path.startswith("src/") or
+                                        path.startswith("tests/")):
+                self.check_header_guard(path, raw_lines, code_lines)
+                headers.append(path)
+        if check_headers:
+            self.check_self_contained(headers)
+        return self.findings
+
+    def check_self_contained(self, headers):
+        for path in headers:
+            with tempfile.NamedTemporaryFile(
+                    mode="w", suffix=".cc", delete=False) as tu:
+                tu.write(f'#include "{path}"\n')
+                tu_path = tu.name
+            try:
+                proc = subprocess.run(
+                    ["g++", "-std=c++17", "-fsyntax-only", "-I", REPO,
+                     "-I", "/usr/include", tu_path],
+                    capture_output=True, text=True)
+                if proc.returncode != 0:
+                    first_error = next(
+                        (l for l in proc.stderr.splitlines() if "error" in l),
+                        proc.stderr.strip().splitlines()[-1]
+                        if proc.stderr.strip() else "compile failed")
+                    self.report(path, 1, "header-self-contained",
+                                f"header does not compile standalone: "
+                                f"{first_error}", [])
+            finally:
+                os.unlink(tu_path)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check-headers", action="store_true",
+                        help="also compile every header standalone (slow)")
+    args = parser.parse_args()
+
+    findings = Linter().run(args.check_headers)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} lint finding(s)", file=sys.stderr)
+        return 1
+    print("lint clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
