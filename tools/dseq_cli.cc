@@ -36,6 +36,7 @@
 // hierarchy file has one "child parent" pair per line. Output: one frequent
 // sequence per line with its frequency, ordered by decreasing frequency.
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -45,6 +46,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "src/baselines/prefix_span.h"
 #include "src/core/desq_count.h"
@@ -350,12 +352,36 @@ void ApplySpillOptions(const Args& args, dseq::DistributedRunOptions* options) {
   options->compress_spill = args.compress;
 }
 
-// Creates the spill directory if it is missing (one level, like mkdir).
+// Validates --spill-dir before any mining starts: creates the directory if
+// it is missing (one level, like mkdir), rejects paths that exist but are
+// not directories, and proves writability by creating and removing a probe
+// file (an access(2) check would lie under root or ACLs). Failing here is
+// the point — a broken spill target must abort the run up front, not
+// minutes in when the first worker overflows its budget.
 void EnsureSpillDir(const std::string& dir) {
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
     throw std::runtime_error("cannot create --spill-dir " + dir + ": " +
                              std::strerror(errno));
   }
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0) {
+    throw std::runtime_error("cannot stat --spill-dir " + dir + ": " +
+                             std::strerror(errno));
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    throw std::runtime_error("--spill-dir " + dir +
+                             " exists but is not a directory");
+  }
+  std::string probe = dir + "/.dseq_spill_probe_XXXXXX";
+  std::vector<char> buf(probe.begin(), probe.end());
+  buf.push_back('\0');
+  int fd = ::mkstemp(buf.data());
+  if (fd < 0) {
+    throw std::runtime_error("--spill-dir " + dir + " is not writable: " +
+                             std::strerror(errno));
+  }
+  ::close(fd);
+  ::unlink(buf.data());
 }
 
 }  // namespace
