@@ -1,0 +1,180 @@
+// Backend scaling benchmark: threads (local) vs. forked worker processes
+// (proc) running the same D-SEQ rounds.
+//
+// For each workload and worker count the harness mines once per backend and
+// reports both wall times and the process-transport overhead ratio. The
+// backends must agree byte-for-byte — identical patterns and identical raw
+// shuffle volume (the proc backend's determinism contract,
+// src/rpc/proc_backend.h); the binary exits non-zero otherwise, so CI runs
+// double as an equivalence check.
+//
+// Usage: bench_backend_scaling [--json] [--tiny] [--workers N,N,...]
+//   --json     machine-readable output (CI archives it as BENCH_backend.json)
+//   --tiny     CI-sized databases (fast smoke run)
+//   --workers  comma-separated worker counts to sweep (default 1,2,4)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common/bench_util.h"
+#include "src/datagen/skewed_zipf.h"
+#include "src/datagen/text_corpus.h"
+#include "src/dist/dseq_miner.h"
+#include "src/fst/compiler.h"
+
+namespace dseq {
+namespace {
+
+struct Config {
+  bool json = false;
+  bool tiny = false;
+  std::vector<int> workers = {1, 2, 4};
+};
+Config g_config;
+
+struct BackendRow {
+  std::string name;
+  int workers = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t num_patterns = 0;
+  double local_seconds = 0.0;
+  double proc_seconds = 0.0;
+  double proc_overhead = 0.0;  // proc / local wall time
+  bool identical = false;
+};
+
+std::vector<BackendRow> g_rows;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RunCase(const std::string& name, const SequenceDatabase& db,
+             const std::string& pattern, uint64_t sigma) {
+  Fst fst = CompileFst(pattern, db.dict);
+  for (int workers : g_config.workers) {
+    DSeqOptions options;
+    options.sigma = sigma;
+    options.num_map_workers = workers;
+    options.num_reduce_workers = workers;
+
+    double start = Now();
+    DistributedResult local = MineDSeq(db.sequences, fst, db.dict, options);
+    double local_seconds = Now() - start;
+
+    options.backend = DataflowBackend::kProc;
+    start = Now();
+    DistributedResult proc = MineDSeq(db.sequences, fst, db.dict, options);
+    double proc_seconds = Now() - start;
+
+    BackendRow row;
+    row.name = name;
+    row.workers = workers;
+    row.shuffle_bytes = local.metrics.shuffle_bytes;
+    row.num_patterns = local.patterns.size();
+    row.local_seconds = local_seconds;
+    row.proc_seconds = proc_seconds;
+    row.proc_overhead = local_seconds > 0 ? proc_seconds / local_seconds : 0.0;
+    row.identical =
+        local.patterns == proc.patterns &&
+        local.metrics.shuffle_bytes == proc.metrics.shuffle_bytes &&
+        local.metrics.shuffle_records == proc.metrics.shuffle_records &&
+        local.metrics.reducer_bytes == proc.metrics.reducer_bytes;
+    g_rows.push_back(row);
+
+    if (!g_config.json) {
+      std::printf(
+          "%-24s W=%-2d shuffle=%-9llu patterns=%-6llu local %6.3fs -> proc "
+          "%6.3fs (%4.2fx)  %s\n",
+          row.name.c_str(), row.workers,
+          static_cast<unsigned long long>(row.shuffle_bytes),
+          static_cast<unsigned long long>(row.num_patterns), row.local_seconds,
+          row.proc_seconds, row.proc_overhead,
+          row.identical ? "identical" : "MISMATCH");
+    }
+  }
+}
+
+void PrintJson() {
+  std::printf("{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const BackendRow& r = g_rows[i];
+    std::printf(
+        "    {\"name\": \"%s\", \"workers\": %d, \"shuffle_bytes\": %llu, "
+        "\"num_patterns\": %llu, \"local_seconds\": %.4f, "
+        "\"proc_seconds\": %.4f, \"proc_overhead\": %.3f, "
+        "\"identical\": %s}%s\n",
+        r.name.c_str(), r.workers,
+        static_cast<unsigned long long>(r.shuffle_bytes),
+        static_cast<unsigned long long>(r.num_patterns), r.local_seconds,
+        r.proc_seconds, r.proc_overhead, r.identical ? "true" : "false",
+        i + 1 < g_rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+}  // namespace dseq
+
+int main(int argc, char** argv) {
+  using namespace dseq;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      g_config.json = true;
+    } else if (std::strcmp(argv[i], "--tiny") == 0) {
+      g_config.tiny = true;
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      g_config.workers.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        int w = std::atoi(p);
+        if (w > 0) g_config.workers.push_back(w);
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+      if (g_config.workers.empty()) g_config.workers = {1, 2, 4};
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_backend_scaling [--json] [--tiny] "
+                   "[--workers N,N,...]\n");
+      return 2;
+    }
+  }
+
+  bool tiny = g_config.tiny;
+
+  // Text corpus: the shuffle-heavy generalized n-gram workload.
+  TextCorpusOptions text;
+  text.num_sentences = tiny ? 300 : 2'000;
+  text.lemmas_per_pos = tiny ? 80 : 300;
+  text.num_entities = tiny ? 40 : 200;
+  SequenceDatabase corpus = GenerateTextCorpus(text);
+  RunCase("text_bigram", corpus, ".* (.^){2} .*", tiny ? 5 : 10);
+
+  // Skewed Zipf: one heavy pivot dominates one reducer column, so the proc
+  // backend's per-task segment shipping sees its adversarial shape.
+  SkewedZipfOptions zipf;
+  zipf.seed = 77;
+  zipf.num_items = tiny ? 60 : 150;
+  zipf.num_groups = 2;
+  zipf.num_sequences = tiny ? 200 : 1'000;
+  zipf.min_length = 4;
+  zipf.max_length = tiny ? 12 : 20;
+  zipf.zipf_exponent = 1.3;
+  SequenceDatabase skewed = GenerateSkewedZipf(zipf);
+  RunCase("zipf_single_gen", skewed, ".*(.^).*", 2);
+
+  if (g_config.json) PrintJson();
+
+  bool all_identical = true;
+  for (const auto& row : g_rows) all_identical &= row.identical;
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "bench_backend_scaling: proc backend diverged from local!\n");
+  }
+  return all_identical ? 0 : 1;
+}

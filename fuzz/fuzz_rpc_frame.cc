@@ -1,0 +1,44 @@
+// Fuzzes the RPC frame decoder (src/rpc/frame.h) over arbitrary byte
+// streams fed in adversarially small chunks. The decoder sits on the
+// coordinator's socket path, so hostile or corrupted bytes must never
+// crash, hang, over-read, or allocate unbounded memory — malformed input
+// ends in the sticky kBadFrame state, nothing else.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/rpc/frame.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  // The first byte picks the Append chunk size, so the corpus explores
+  // reassembly boundaries (1-byte trickle up to one big write).
+  const size_t chunk = static_cast<size_t>(data[0] % 64) + 1;
+  std::string_view stream(reinterpret_cast<const char*>(data + 1), size - 1);
+
+  dseq::rpc::FrameDecoder decoder;
+  size_t frames = 0;
+  bool bad = false;
+  for (size_t off = 0; off < stream.size(); off += chunk) {
+    decoder.Append(stream.substr(off, chunk));
+    dseq::rpc::MsgType type;
+    std::string_view payload;
+    for (;;) {
+      auto status = decoder.Next(&type, &payload);
+      if (status == dseq::rpc::FrameDecoder::Status::kFrame) {
+        // Frames never claim more than the cap, and the payload view must
+        // lie within what was appended so far.
+        if (payload.size() > dseq::rpc::kMaxFramePayloadBytes)
+          __builtin_trap();
+        if (bad) __builtin_trap();  // no frames after a bad one
+        ++frames;
+        continue;
+      }
+      if (status == dseq::rpc::FrameDecoder::Status::kBadFrame) bad = true;
+      break;
+    }
+    // Every decoded frame consumed at least 2 bytes (type + size prefix).
+    if (frames > stream.size() / 2 + 1) __builtin_trap();
+  }
+  return 0;
+}

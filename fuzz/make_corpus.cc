@@ -16,6 +16,7 @@
 
 #include "src/nfa/output_nfa.h"
 #include "src/nfa/serializer.h"
+#include "src/rpc/frame.h"
 #include "src/spill/spill_file.h"
 #include "src/util/block_codec.h"
 #include "src/util/varint.h"
@@ -131,6 +132,36 @@ std::string SpillRunBytes(bool compress) {
   return bytes;
 }
 
+void RpcFrameSeeds() {
+  // fuzz_rpc_frame's first input byte selects the Append chunk size; the
+  // seeds pair real AppendFrame output (chunk 1 = byte-by-byte trickle,
+  // chunk 64 = bulk) with the rejection paths the decoder must pin.
+  std::string stream;
+  dseq::rpc::AppendFrame(&stream, dseq::rpc::MsgType::kHello, Varint(3));
+  dseq::rpc::AppendFrame(&stream, dseq::rpc::MsgType::kMapTask,
+                         Varint(0) + Varint(0) + Varint(25));
+  dseq::rpc::AppendFrame(&stream, dseq::rpc::MsgType::kSegment,
+                         Varint(0) + Varint(1) + Varint(1) + Varint(0) +
+                             Varint(7) + "payload");
+  dseq::rpc::AppendFrame(&stream, dseq::rpc::MsgType::kShutdown, "");
+  WriteSeed("fuzz_rpc_frame", "stream_trickle", std::string(1, '\0') + stream);
+  WriteSeed("fuzz_rpc_frame", "stream_bulk", std::string(1, '\x3f') + stream);
+  // Length prefix over the frame cap: rejected before any buffering.
+  WriteSeed("fuzz_rpc_frame", "oversize_length",
+            std::string(1, '\x07') +
+                Varint(static_cast<uint64_t>(dseq::rpc::MsgType::kSegment)) +
+                Varint(dseq::rpc::kMaxFramePayloadBytes + 1));
+  // No such message type.
+  WriteSeed("fuzz_rpc_frame", "bad_type",
+            std::string(1, '\x07') + Varint(99) + Varint(0));
+  // A frame cut mid-payload: must stay kNeedMore, never a frame.
+  std::string one_frame;
+  dseq::rpc::AppendFrame(&one_frame, dseq::rpc::MsgType::kReduceTask,
+                         std::string(40, 'r'));
+  WriteSeed("fuzz_rpc_frame", "truncated",
+            std::string(1, '\0') + one_frame.substr(0, one_frame.size() / 2));
+}
+
 void SpillRunSeeds() {
   std::string raw_run = SpillRunBytes(/*compress=*/false);
   std::string compressed_run = SpillRunBytes(/*compress=*/true);
@@ -156,5 +187,6 @@ int main(int argc, char** argv) {
   NfaSeeds();
   BlockCodecSeeds();
   SpillRunSeeds();
+  RpcFrameSeeds();
   return 0;
 }

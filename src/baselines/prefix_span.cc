@@ -107,7 +107,6 @@ ChainedDistributedResult MineChainedPrefixSpan(
   if (options.lambda == 0) return {};  // as in MinePrefixSpan
 
   DataflowJob job(MakeChainedOptions(options));
-  std::vector<MiningResult> per_worker(std::max(1, options.num_reduce_workers));
   const uint64_t sigma = options.sigma;
   const uint32_t lambda = options.lambda;
 
@@ -115,8 +114,14 @@ ChainedDistributedResult MineChainedPrefixSpan(
   // = the projected suffixes of the input sequences supporting it. Surviving
   // prefixes are output and, below lambda, extended by one item: the
   // extension records are next round's map input.
-  ChainReduceFn reduce_fn = [&per_worker, sigma, lambda](
-                                int worker, std::string_view key,
+  //
+  // Both outputs leave the reduce as boundary records (the only channel that
+  // survives the proc backend's forked reducers), distinguished by a
+  // one-byte tag: 'P' = mined pattern, 'E' = extension. The driver strips
+  // the tag before extensions re-enter a shuffle, so round metrics are
+  // unchanged by the tagging.
+  ChainReduceFn reduce_fn = [sigma, lambda](
+                                int /*worker*/, std::string_view key,
                                 std::vector<std::string_view>& values,
                                 const EmitFn& emit) {
     if (values.size() < sigma) return;
@@ -125,7 +130,11 @@ ChainedDistributedResult MineChainedPrefixSpan(
     if (!GetSequence(key, &pos, &prefix) || pos != key.size()) {
       throw std::invalid_argument("malformed chained PrefixSpan prefix key");
     }
-    per_worker[worker].push_back(PatternCount{prefix, values.size()});
+    std::string pattern_key(1, 'P');
+    pattern_key.append(key);
+    std::string pattern_value;
+    PutVarint(&pattern_value, values.size());
+    emit(pattern_key, pattern_value);
     if (prefix.size() >= lambda) return;
 
     Sequence extended = prefix;
@@ -142,7 +151,7 @@ ChainedDistributedResult MineChainedPrefixSpan(
       for (uint32_t j = 0; j < suffix.size(); ++j) first.emplace(suffix[j], j);
       for (const auto& [w, j] : first) {
         extended.back() = w;
-        std::string next_key;
+        std::string next_key(1, 'E');
         PutSequence(&next_key, extended);
         std::string next_value;
         PutSequence(&next_value,
@@ -172,21 +181,51 @@ ChainedDistributedResult MineChainedPrefixSpan(
   };
   job.RunRound(db.size(), seed_map, nullptr, reduce_fn);
 
+  // Partitions a round's boundary records: patterns accumulate into
+  // `patterns`, extensions (tag stripped, emission order preserved — the
+  // record order the pre-tagging driver re-shuffled) become the next
+  // round's map input.
+  MiningResult patterns;
+  std::vector<Record> extensions;
+  auto harvest = [&] {
+    extensions.clear();
+    for (Record& record : job.TakeRecords()) {
+      if (record.key.empty() ||
+          (record.key[0] != 'P' && record.key[0] != 'E')) {
+        throw std::invalid_argument("malformed chained PrefixSpan record tag");
+      }
+      const char tag = record.key[0];
+      record.key.erase(0, 1);
+      if (tag == 'E') {
+        extensions.push_back(std::move(record));
+        continue;
+      }
+      PatternCount mined;
+      size_t pos = 0;
+      if (!GetSequence(record.key, &pos, &mined.pattern) ||
+          pos != record.key.size()) {
+        throw std::invalid_argument("malformed chained PrefixSpan pattern");
+      }
+      pos = 0;
+      if (!GetVarint(record.value, &pos, &mined.frequency) ||
+          pos != record.value.size()) {
+        throw std::invalid_argument("malformed chained PrefixSpan support");
+      }
+      patterns.push_back(std::move(mined));
+    }
+  };
+  harvest();
+
   // Rounds 2..lambda: the identity map re-shuffles each extension record to
   // the reducer owning its grown prefix.
-  RecordMapFn repartition = [](size_t, const Record& record,
-                               const EmitFn& emit) {
-    emit(record.key, record.value);
-  };
-  while (!job.records().empty()) {
-    job.RunChainedRound(repartition, nullptr, reduce_fn);
+  while (!extensions.empty()) {
+    MapFn repartition = [&extensions](size_t index, const EmitFn& emit) {
+      emit(extensions[index].key, extensions[index].value);
+    };
+    job.RunRound(extensions.size(), repartition, nullptr, reduce_fn);
+    harvest();
   }
 
-  MiningResult patterns;
-  for (auto& part : per_worker) {
-    patterns.insert(patterns.end(), std::make_move_iterator(part.begin()),
-                    std::make_move_iterator(part.end()));
-  }
   Canonicalize(&patterns);
   return MakeChainedResult(std::move(patterns), job);
 }

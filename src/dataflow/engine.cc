@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/dataflow/map_shard.h"
 #include "src/dataflow/shuffle_buffer.h"
 #include "src/spill/external_merger.h"
 #include "src/spill/memory_budget.h"
@@ -198,7 +199,7 @@ class SpillableCombiner : public Combiner {
   /// in-memory tail and streams the groups.
   ExternalMergePlan MakeMergePlan() {
     ExternalMergePlan plan(ctx_->spill_dir, ctx_->compress_spill,
-                           ctx_->merge_fan_in, ctx_->stats);
+                           ctx_->merge_fan_in, ctx_->stats, ctx_->budget);
     for (SpillFile& run : runs_) plan.AddRun(std::move(run));
     runs_.clear();
     return plan;
@@ -562,33 +563,17 @@ double RunPhase(int num_workers, Execution execution,
   return SecondsSince(start);
 }
 
-// One shuffle record view during bucket sorting / merging.
-struct BucketEntry {
-  std::string_view key;
-  std::string_view value;
-};
-
-// Parses `raw` (ReleaseRaw frames) into entries stable-sorted by key —
-// emit order within equal keys is preserved, which both the in-memory
-// grouping and the spilled sorted runs rely on.
-std::vector<BucketEntry> SortedBucketEntries(std::string_view raw) {
-  std::vector<BucketEntry> entries;
-  ShuffleBuffer::ForEachRecord(
-      raw, [&](std::string_view key, std::string_view value) {
-        entries.push_back(BucketEntry{key, value});
-      });
-  std::stable_sort(
-      entries.begin(), entries.end(),
-      [](const BucketEntry& a, const BucketEntry& b) { return a.key < b.key; });
-  return entries;
-}
-
 }  // namespace
 
 DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
                              const CombinerFactory& combiner_factory,
                              const ReduceFn& reduce_fn,
                              const DataflowOptions& options) {
+  if (options.backend != DataflowBackend::kLocal) {
+    throw std::invalid_argument(
+        "RunMapReduce only executes the local backend; run proc-backend "
+        "rounds through DataflowJob (src/dataflow/chained.h)");
+  }
   DataflowMetrics metrics;
   int map_workers = ClampWorkers(options.num_map_workers);
   int reduce_workers = ClampWorkers(options.num_reduce_workers);
@@ -634,123 +619,29 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
 
   size_t shard = (num_inputs + map_workers - 1) / map_workers;
   metrics.map_seconds = RunPhase(map_workers, options.execution, [&](int w) {
-    size_t begin = std::min(num_inputs, static_cast<size_t>(w) * shard);
-    size_t end = std::min(num_inputs, begin + shard);
-    uint64_t local_output_records = 0;
-
-    // Drains every resident bucket of this worker to a sorted run on disk,
-    // returning the freed bytes to the budget. A worker can only ever free
-    // its own state, so this is the whole spill action of the emit path.
-    auto spill_worker_buckets = [&]() {
-      for (int r = 0; r < reduce_workers; ++r) {
-        if (buckets[w][r].num_records() == 0) continue;
-        std::string raw = buckets[w][r].ReleaseRaw();
-        SpillFile run = SpillFile::Create(options.spill_dir);
-        SpillWriter writer(&run, options.compress_spill, &spill_stats);
-        for (const BucketEntry& entry : SortedBucketEntries(raw)) {
-          writer.Append(entry.key, entry.value);
-        }
-        writer.Finish();
-        spill_runs[w][r].push_back(std::move(run));
-        budget.Release(bucket_charged[w][r]);
-        bucket_charged[w][r] = 0;
-      }
-    };
-
-    // Emits a post-combine record into this worker's shuffle buckets.
-    EmitFn shuffle_emit = [&](std::string_view key, std::string_view value) {
-      uint64_t bytes = key.size() + value.size() + kShuffleRecordOverheadBytes;
-      // The reducer is resolved before the budget checks so overflow errors
-      // can name the offending bucket.
-      int r = options.partitioner
-                  ? options.partitioner(key, reduce_workers)
-                  : ShuffleReducerForKey(key, reduce_workers);
-      if (r < 0 || r >= reduce_workers) {
-        throw std::out_of_range("partitioner returned reducer " +
-                                std::to_string(r) + " for " +
-                                std::to_string(reduce_workers) + " workers");
-      }
-      uint64_t total = shuffle_bytes.fetch_add(bytes) + bytes;
-      shuffle_records.fetch_add(1, std::memory_order_relaxed);
-      if (options.shuffle_budget_bytes > 0 &&
-          total > options.shuffle_budget_bytes) {
-        throw ShuffleOverflowError(
-            "round " + std::to_string(options.round_index) +
-            ": shuffle volume exceeded the budget buffering a record for "
-            "reducer " +
-            std::to_string(r) + " (budget " +
-            std::to_string(options.shuffle_budget_bytes) +
-            " bytes, attempted " + std::to_string(total) + " bytes)");
-      }
-      if (budget.enabled() && !budget.TryCharge(bytes)) {
-        if (!spill_enabled) {
-          throw ShuffleOverflowError(
-              "round " + std::to_string(options.round_index) +
-              ", map worker " + std::to_string(w) +
-              ": shuffle memory exceeded the budget buffering a record for "
-              "reducer " +
-              std::to_string(r) + " (budget " +
-              std::to_string(budget.budget_bytes()) + " bytes, resident " +
-              std::to_string(budget.used_bytes()) + " bytes, attempted +" +
-              std::to_string(bytes) +
-              " bytes); set spill_dir to spill to disk or raise "
-              "memory_budget_bytes");
-        }
-        // Spill only when this worker holds enough resident bytes to make
-        // the disk run worthwhile; otherwise take the bounded overdraft
-        // (ForceCharge) — spilling near-empty buckets would degrade into
-        // one-record runs when other workers hold the whole budget.
-        uint64_t resident = 0;
-        for (int rr = 0; rr < reduce_workers; ++rr) {
-          resident += bucket_charged[w][rr];
-        }
-        uint64_t min_worth_spilling = std::max<uint64_t>(
-            bytes, std::min<uint64_t>(budget.budget_bytes() / 2, 4096));
-        if (resident >= min_worth_spilling) {
-          spill_worker_buckets();
-          // Everything this worker can free is on disk; the record itself
-          // must still be buffered (bounded overshoot, see MemoryBudget).
-          if (!budget.TryCharge(bytes)) budget.ForceCharge(bytes);
-        } else {
-          budget.ForceCharge(bytes);
-        }
-      }
-      if (budget.enabled()) bucket_charged[w][r] += bytes;
-      worker_reducer_bytes[w][r] += bytes;
-      buckets[w][r].Append(key, value);
-    };
-
-    std::unique_ptr<Combiner> combiner =
-        combiner_factory ? combiner_factory() : nullptr;
-    if (combiner != nullptr && budget.enabled()) {
-      combiner->EnableSpill(&combiner_contexts[w]);
-    }
-    EmitFn map_emit = [&](std::string_view key, std::string_view value) {
-      ++local_output_records;
-      if (combiner != nullptr) {
-        combiner->Add(key, value);
-      } else {
-        shuffle_emit(key, value);
-      }
-    };
-
-    for (size_t i = begin; i < end; ++i) {
-      map_fn(i, map_emit);
-    }
-    if (combiner != nullptr) combiner->Flush(shuffle_emit);
-    if (options.compress_shuffle) {
-      uint64_t compressed = 0;
-      for (int r = 0; r < reduce_workers; ++r) {
-        compressed += buckets[w][r].Compress();
-      }
-      shuffle_compressed_bytes.fetch_add(compressed,
-                                         std::memory_order_relaxed);
-    } else {
-      // Sync the amortized live-bytes gauge now that the buckets are final.
-      for (int r = 0; r < reduce_workers; ++r) buckets[w][r].Seal();
-    }
-    map_output_records.fetch_add(local_output_records,
-                                 std::memory_order_relaxed);
+    // The shard body lives in map_shard.cc, shared verbatim with the proc
+    // backend's worker processes — that sharing is the byte-identity
+    // contract between the two backends.
+    MapShardContext ctx;
+    ctx.options = &options;
+    ctx.map_worker = w;
+    ctx.reduce_workers = reduce_workers;
+    ctx.begin = std::min(num_inputs, static_cast<size_t>(w) * shard);
+    ctx.end = std::min(num_inputs, ctx.begin + shard);
+    ctx.map_fn = &map_fn;
+    ctx.combiner_factory = &combiner_factory;
+    ctx.buckets = buckets[w].data();
+    ctx.spill_runs = budget.enabled() ? spill_runs[w].data() : nullptr;
+    ctx.bucket_charged = bucket_charged[w].data();
+    ctx.reducer_bytes = worker_reducer_bytes[w].data();
+    ctx.budget = &budget;
+    ctx.spill_stats = &spill_stats;
+    ctx.combiner_ctx = budget.enabled() ? &combiner_contexts[w] : nullptr;
+    ctx.shuffle_bytes = &shuffle_bytes;
+    ctx.shuffle_records = &shuffle_records;
+    ctx.map_output_records = &map_output_records;
+    ctx.shuffle_compressed_bytes = &shuffle_compressed_bytes;
+    RunMapShard(ctx);
   });
   metrics.shuffle_bytes = shuffle_bytes.load();
   metrics.shuffle_compressed_bytes = shuffle_compressed_bytes.load();
@@ -791,7 +682,8 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
           // Source order is the stability contract: per map worker, the
           // spilled runs (chronological) and then the resident tail.
           ExternalMergePlan plan(options.spill_dir, options.compress_spill,
-                                 options.spill_merge_fan_in, &spill_stats);
+                                 options.spill_merge_fan_in, &spill_stats,
+                                 &budget);
           std::vector<std::string> raws(map_workers);
           for (int w = 0; w < map_workers; ++w) {
             for (SpillFile& run : spill_runs[w][r]) {

@@ -106,6 +106,21 @@ enum class Execution {
   kSimulated,
 };
 
+/// Where a round's map and reduce tasks execute.
+enum class DataflowBackend {
+  /// Threads (or the sequential simulation) inside this process — the
+  /// default, handled directly by RunMapReduce.
+  kLocal,
+  /// Real worker processes forked per round, exchanging shuffle segments
+  /// over loopback TCP (src/rpc/proc_backend.h). Results and raw shuffle
+  /// metrics are byte-identical to kLocal by construction: workers run the
+  /// same RunMapShard body and the coordinator reassembles segments in the
+  /// same source order the local reduce phase uses. Only DataflowJob (and
+  /// the distributed layer above it) dispatches to this backend;
+  /// RunMapReduce itself rejects it.
+  kProc,
+};
+
 /// Key→reducer assignment hook. Must be a pure function of the key (every
 /// record of a key has to reach the same reducer) and return a value in
 /// [0, num_reduce_workers); out-of-range results throw. Which reducer a key
@@ -160,6 +175,17 @@ struct DataflowOptions {
   /// 0-based index of this round within a chained job. Purely diagnostic:
   /// it contextualizes ShuffleOverflowError messages (DataflowJob sets it).
   int round_index = 0;
+
+  // --- multi-process execution (src/rpc/) ---------------------------------
+  /// kProc runs the round's tasks in forked worker processes over a socket
+  /// shuffle (see DataflowBackend). Honored by DataflowJob and everything
+  /// layered on it (DistributedRunOptions::backend, dseq_cli --backend);
+  /// RunMapReduce throws std::invalid_argument for kProc.
+  DataflowBackend backend = DataflowBackend::kLocal;
+  /// Proc backend only: kill and reassign an in-flight worker that has made
+  /// no progress for this long. 0 disables the timeout (worker loss is
+  /// still detected via connection EOF and the task re-executed).
+  int proc_worker_timeout_ms = 0;
 };
 
 /// Emits one record from a mapper or a combiner flush. The engine copies

@@ -1,0 +1,146 @@
+#include "src/dataflow/map_shard.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dseq {
+
+std::vector<BucketEntry> SortedBucketEntries(std::string_view raw) {
+  std::vector<BucketEntry> entries;
+  ShuffleBuffer::ForEachRecord(
+      raw, [&](std::string_view key, std::string_view value) {
+        entries.push_back(BucketEntry{key, value});
+      });
+  std::stable_sort(
+      entries.begin(), entries.end(),
+      [](const BucketEntry& a, const BucketEntry& b) { return a.key < b.key; });
+  return entries;
+}
+
+void RunMapShard(const MapShardContext& ctx) {
+  const DataflowOptions& options = *ctx.options;
+  MemoryBudget& budget = *ctx.budget;
+  const bool spill_enabled = budget.enabled() && !options.spill_dir.empty();
+  const int w = ctx.map_worker;
+  const int reduce_workers = ctx.reduce_workers;
+  uint64_t local_output_records = 0;
+
+  // Drains every resident bucket of this worker to a sorted run on disk,
+  // returning the freed bytes to the budget. A worker can only ever free
+  // its own state, so this is the whole spill action of the emit path.
+  auto spill_worker_buckets = [&]() {
+    for (int r = 0; r < reduce_workers; ++r) {
+      if (ctx.buckets[r].num_records() == 0) continue;
+      std::string raw = ctx.buckets[r].ReleaseRaw();
+      SpillFile run = SpillFile::Create(options.spill_dir);
+      SpillWriter writer(&run, options.compress_spill, ctx.spill_stats);
+      for (const BucketEntry& entry : SortedBucketEntries(raw)) {
+        writer.Append(entry.key, entry.value);
+      }
+      writer.Finish();
+      ctx.spill_runs[r].push_back(std::move(run));
+      budget.Release(ctx.bucket_charged[r]);
+      ctx.bucket_charged[r] = 0;
+    }
+  };
+
+  // Emits a post-combine record into this worker's shuffle buckets.
+  EmitFn shuffle_emit = [&](std::string_view key, std::string_view value) {
+    uint64_t bytes = key.size() + value.size() + kShuffleRecordOverheadBytes;
+    // The reducer is resolved before the budget checks so overflow errors
+    // can name the offending bucket.
+    int r = options.partitioner
+                ? options.partitioner(key, reduce_workers)
+                : ShuffleReducerForKey(key, reduce_workers);
+    if (r < 0 || r >= reduce_workers) {
+      throw std::out_of_range("partitioner returned reducer " +
+                              std::to_string(r) + " for " +
+                              std::to_string(reduce_workers) + " workers");
+    }
+    uint64_t total = ctx.shuffle_bytes->fetch_add(bytes) + bytes;
+    ctx.shuffle_records->fetch_add(1, std::memory_order_relaxed);
+    if (options.shuffle_budget_bytes > 0 &&
+        total > options.shuffle_budget_bytes) {
+      throw ShuffleOverflowError(
+          "round " + std::to_string(options.round_index) +
+          ": shuffle volume exceeded the budget buffering a record for "
+          "reducer " +
+          std::to_string(r) + " (budget " +
+          std::to_string(options.shuffle_budget_bytes) + " bytes, attempted " +
+          std::to_string(total) + " bytes)");
+    }
+    if (budget.enabled() && !budget.TryCharge(bytes)) {
+      if (!spill_enabled) {
+        throw ShuffleOverflowError(
+            "round " + std::to_string(options.round_index) + ", map worker " +
+            std::to_string(w) +
+            ": shuffle memory exceeded the budget buffering a record for "
+            "reducer " +
+            std::to_string(r) + " (budget " +
+            std::to_string(budget.budget_bytes()) + " bytes, resident " +
+            std::to_string(budget.used_bytes()) + " bytes, attempted +" +
+            std::to_string(bytes) +
+            " bytes); set spill_dir to spill to disk or raise "
+            "memory_budget_bytes");
+      }
+      // Spill only when this worker holds enough resident bytes to make
+      // the disk run worthwhile; otherwise take the bounded overdraft
+      // (ForceCharge) — spilling near-empty buckets would degrade into
+      // one-record runs when other workers hold the whole budget.
+      uint64_t resident = 0;
+      for (int rr = 0; rr < reduce_workers; ++rr) {
+        resident += ctx.bucket_charged[rr];
+      }
+      uint64_t min_worth_spilling = std::max<uint64_t>(
+          bytes, std::min<uint64_t>(budget.budget_bytes() / 2, 4096));
+      if (resident >= min_worth_spilling) {
+        spill_worker_buckets();
+        // Everything this worker can free is on disk; the record itself
+        // must still be buffered (bounded overshoot, see MemoryBudget).
+        if (!budget.TryCharge(bytes)) budget.ForceCharge(bytes);
+      } else {
+        budget.ForceCharge(bytes);
+      }
+    }
+    if (budget.enabled()) ctx.bucket_charged[r] += bytes;
+    ctx.reducer_bytes[r] += bytes;
+    ctx.buckets[r].Append(key, value);
+  };
+
+  std::unique_ptr<Combiner> combiner =
+      *ctx.combiner_factory ? (*ctx.combiner_factory)() : nullptr;
+  if (combiner != nullptr && budget.enabled()) {
+    combiner->EnableSpill(ctx.combiner_ctx);
+  }
+  EmitFn map_emit = [&](std::string_view key, std::string_view value) {
+    ++local_output_records;
+    if (combiner != nullptr) {
+      combiner->Add(key, value);
+    } else {
+      shuffle_emit(key, value);
+    }
+  };
+
+  for (size_t i = ctx.begin; i < ctx.end; ++i) {
+    (*ctx.map_fn)(i, map_emit);
+  }
+  if (combiner != nullptr) combiner->Flush(shuffle_emit);
+  if (options.compress_shuffle) {
+    uint64_t compressed = 0;
+    for (int r = 0; r < reduce_workers; ++r) {
+      compressed += ctx.buckets[r].Compress();
+    }
+    ctx.shuffle_compressed_bytes->fetch_add(compressed,
+                                            std::memory_order_relaxed);
+  } else {
+    // Sync the amortized live-bytes gauge now that the buckets are final.
+    for (int r = 0; r < reduce_workers; ++r) ctx.buckets[r].Seal();
+  }
+  ctx.map_output_records->fetch_add(local_output_records,
+                                    std::memory_order_relaxed);
+}
+
+}  // namespace dseq

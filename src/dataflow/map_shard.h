@@ -1,0 +1,78 @@
+// The per-worker map-shard body of the dataflow engine, extracted so the
+// local (in-process) backend and the proc backend's worker processes run
+// the *same* code: sharding, partitioner resolution, shuffle-byte
+// accounting, budget charging, and bucket spilling are shared by
+// construction, which is what makes the proc backend's results and raw
+// shuffle metrics byte-identical to the local engine's.
+//
+// RunMapReduce points the context at its shared per-round arrays and
+// atomics (one budget and one set of counters across all map workers); a
+// proc worker points it at the per-task state of its own process (its own
+// budget and counters, reported back to the coordinator afterwards).
+#ifndef DSEQ_DATAFLOW_MAP_SHARD_H_
+#define DSEQ_DATAFLOW_MAP_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/dataflow/engine.h"
+#include "src/dataflow/shuffle_buffer.h"
+#include "src/spill/memory_budget.h"
+#include "src/spill/spill_context.h"
+#include "src/spill/spill_file.h"
+
+namespace dseq {
+
+/// One shuffle record view during bucket sorting / merging.
+struct BucketEntry {
+  std::string_view key;
+  std::string_view value;
+};
+
+/// Parses `raw` (ReleaseRaw frames) into entries stable-sorted by key —
+/// emit order within equal keys is preserved, which both the in-memory
+/// grouping and the spilled sorted runs rely on.
+std::vector<BucketEntry> SortedBucketEntries(std::string_view raw);
+
+/// Everything one map worker's shard touches. All pointers are caller-owned
+/// and must outlive the RunMapShard call; the per-reducer arrays (`buckets`,
+/// `spill_runs`, `bucket_charged`, `reducer_bytes`) have one slot per reduce
+/// worker. `spill_runs` and `bucket_charged` may be null when the budget is
+/// disabled; `combiner_ctx` is null exactly when the budget is disabled.
+struct MapShardContext {
+  const DataflowOptions* options = nullptr;
+  int map_worker = 0;  // worker index locally, task index in the proc backend
+  int reduce_workers = 1;
+  size_t begin = 0;  // input shard [begin, end)
+  size_t end = 0;
+  const MapFn* map_fn = nullptr;
+  const CombinerFactory* combiner_factory = nullptr;
+
+  ShuffleBuffer* buckets = nullptr;
+  std::vector<SpillFile>* spill_runs = nullptr;
+  uint64_t* bucket_charged = nullptr;
+  uint64_t* reducer_bytes = nullptr;
+  MemoryBudget* budget = nullptr;
+  SpillStats* spill_stats = nullptr;
+  CombinerSpillContext* combiner_ctx = nullptr;
+
+  // Round counters: shared atomics across all map workers in the local
+  // backend (the shuffle budget is enforced on their global sum), the
+  // task's own counters in a proc worker.
+  std::atomic<uint64_t>* shuffle_bytes = nullptr;
+  std::atomic<uint64_t>* shuffle_records = nullptr;
+  std::atomic<uint64_t>* map_output_records = nullptr;
+  std::atomic<uint64_t>* shuffle_compressed_bytes = nullptr;
+};
+
+/// Runs one map shard: maps each input of [begin, end), combines, and
+/// leaves the shard's post-combine records in `buckets` (compressed or
+/// sealed per the options) and any spilled sorted runs in `spill_runs`.
+/// Throws ShuffleOverflowError when a budget is exceeded.
+void RunMapShard(const MapShardContext& ctx);
+
+}  // namespace dseq
+
+#endif  // DSEQ_DATAFLOW_MAP_SHARD_H_

@@ -96,6 +96,16 @@ std::string ShuffleBuffer::ReleaseRaw() {
   return raw;
 }
 
+std::string ShuffleBuffer::ReleaseStored(bool* compressed) {
+  *compressed = compressed_;
+  std::string stored = std::move(data_);
+  data_.clear();
+  num_records_ = 0;
+  compressed_ = false;
+  Untrack();
+  return stored;
+}
+
 void ShuffleBuffer::ParseRecord(std::string_view raw, size_t* pos,
                                 std::string_view* key,
                                 std::string_view* value) {

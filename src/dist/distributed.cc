@@ -39,6 +39,8 @@ ChainedDataflowOptions MakeChainedOptions(
   chained.spill_dir = options.spill_dir;
   chained.compress_spill = options.compress_spill;
   chained.spill_merge_fan_in = options.spill_merge_fan_in;
+  chained.backend = options.backend;
+  chained.proc_worker_timeout_ms = options.proc_worker_timeout_ms;
   return chained;
 }
 
@@ -46,19 +48,46 @@ MiningResult RunMiningRound(DataflowJob& job, size_t num_inputs,
                             const MapFn& map_fn,
                             const CombinerFactory& combiner_factory,
                             const PartitionReduceFn& reduce_fn) {
-  std::vector<MiningResult> per_worker(
-      ClampWorkers(job.options().num_reduce_workers));
-  ChainReduceFn worker_reduce = [&](int worker, std::string_view key,
+  // The reduce side runs in threads locally but in forked *processes* under
+  // the proc backend, where appends to captured parent state are lost with
+  // the child. Every mined pattern therefore leaves the reduce as a
+  // boundary record — the one channel that crosses the process boundary —
+  // and is decoded back here. Boundary records never touch the shuffle, so
+  // the round's metrics are unchanged by this routing.
+  ChainReduceFn worker_reduce = [&reduce_fn](
+                                    int, std::string_view key,
                                     std::vector<std::string_view>& values,
-                                    const EmitFn&) {
-    reduce_fn(key, values, per_worker[worker]);
+                                    const EmitFn& emit) {
+    MiningResult part;
+    reduce_fn(key, values, part);
+    std::string pattern_key;
+    std::string frequency_value;
+    for (const PatternCount& mined : part) {
+      pattern_key.clear();
+      frequency_value.clear();
+      PutSequence(&pattern_key, mined.pattern);
+      PutVarint(&frequency_value, mined.frequency);
+      emit(pattern_key, frequency_value);
+    }
   };
   job.RunRound(num_inputs, map_fn, combiner_factory, worker_reduce);
 
   MiningResult patterns;
-  for (auto& part : per_worker) {
-    patterns.insert(patterns.end(), std::make_move_iterator(part.begin()),
-                    std::make_move_iterator(part.end()));
+  std::vector<Record> records = job.TakeRecords();
+  patterns.reserve(records.size());
+  for (const Record& record : records) {
+    PatternCount mined;
+    size_t pos = 0;
+    if (!GetSequence(record.key, &pos, &mined.pattern) ||
+        pos != record.key.size()) {
+      throw std::invalid_argument("malformed mined-pattern record key");
+    }
+    pos = 0;
+    if (!GetVarint(record.value, &pos, &mined.frequency) ||
+        pos != record.value.size()) {
+      throw std::invalid_argument("malformed mined-pattern record value");
+    }
+    patterns.push_back(std::move(mined));
   }
   Canonicalize(&patterns);
   return patterns;

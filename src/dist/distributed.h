@@ -80,6 +80,15 @@ struct DistributedRunOptions {
   std::string spill_dir;
   bool compress_spill = false;
   int spill_merge_fan_in = 16;
+  /// Execution backend of every round (DataflowOptions::backend):
+  /// kLocal = threads in this process, kProc = real forked worker processes
+  /// over a socket shuffle (src/rpc/proc_backend.h). Mined patterns and raw
+  /// shuffle metrics are identical across backends.
+  DataflowBackend backend = DataflowBackend::kLocal;
+  /// Proc backend only (DataflowOptions::proc_worker_timeout_ms): SIGKILL
+  /// and reassign an in-flight worker with no progress for this long;
+  /// 0 disables.
+  int proc_worker_timeout_ms = 0;
 };
 
 /// Cross-round cache of database reads for chained drivers — the in-process
@@ -136,8 +145,11 @@ DistributedResult RunDistributedMining(size_t num_inputs, const MapFn& map_fn,
 
 /// The chained-job analogue of RunDistributedMining: runs one mining round
 /// on `job` (sharing its budgets and per-round metrics) and returns the
-/// round's merged, canonicalized patterns. The round emits no boundary
-/// records, so it is a terminal round of the chain.
+/// round's merged, canonicalized patterns. Mined patterns cross the round
+/// boundary as records (emitted by the reduce side, consumed here), so the
+/// round works identically on the proc backend, where reduce functions run
+/// in forked processes and side effects on captured state are lost; the
+/// job's records() is left empty, making this a terminal round of the chain.
 MiningResult RunMiningRound(DataflowJob& job, size_t num_inputs,
                             const MapFn& map_fn,
                             const CombinerFactory& combiner_factory,

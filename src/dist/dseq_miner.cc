@@ -277,14 +277,18 @@ ChainedDistributedResult MineDSeqBalanced(const std::vector<Sequence>& db,
 
   GridOptions grid_options;
   grid_options.prune_sigma = options.sigma;
-  int reduce_workers = ClampWorkers(options.num_reduce_workers);
-  std::vector<MiningResult> per_worker(reduce_workers);
 
   // Mining round. Unsplit partitions finish here exactly as in MineDSeq.
   // Sub-partitions of a split pivot see only a slice of the pivot's
   // sequences, so their local support proves nothing about σ — they mine at
-  // σ=1 and ship (pattern, local support) boundary records instead.
-  ChainReduceFn reduce = [&](int worker, std::string_view key,
+  // σ=1 and ship (pattern, local support) records for the reconcile round.
+  //
+  // Both outcomes leave the reduce as boundary records (the only channel
+  // that survives the proc backend's forked reducers), distinguished by a
+  // one-byte tag: 'F' = finished pattern, 'S' = split partial. The tag is
+  // stripped by the driver before anything re-enters a shuffle, so round
+  // metrics are unchanged by the tagging.
+  ChainReduceFn reduce = [&](int /*worker*/, std::string_view key,
                              std::vector<std::string_view>& values,
                              const EmitFn& emit) {
     PivotKeyParts parts = DecodePivotKeyParts(key);
@@ -298,16 +302,11 @@ ChainedDistributedResult MineDSeqBalanced(const std::vector<Sequence>& db,
     local.early_stop = options.early_stop;
     local.sigma = parts.subpartition < 0 ? options.sigma : 1;
     MiningResult local_result = MineDesqDfsGrids(grids, weights, local);
-    if (parts.subpartition < 0) {
-      MiningResult& out = per_worker[worker];
-      out.insert(out.end(), std::make_move_iterator(local_result.begin()),
-                 std::make_move_iterator(local_result.end()));
-      return;
-    }
+    const char tag = parts.subpartition < 0 ? 'F' : 'S';
     std::string k;
     std::string v;
     for (const PatternCount& pc : local_result) {
-      k.clear();
+      k.assign(1, tag);
       v.clear();
       PutSequence(&k, pc.pattern);
       PutVarint(&v, pc.frequency);
@@ -318,25 +317,48 @@ ChainedDistributedResult MineDSeqBalanced(const std::vector<Sequence>& db,
                MakeDSeqMapFn(db, fst, dict, options, nullptr, &plan),
                DSeqCombinerFactory(options), reduce);
 
+  // Partition the boundary records by tag: finished patterns are final,
+  // split partials (tag stripped) feed the reconcile round below in their
+  // emission order — exactly the record order the pre-tagging driver
+  // re-shuffled, so the reconcile round's bytes are unchanged.
   MiningResult patterns;
-  for (MiningResult& part : per_worker) {
-    patterns.insert(patterns.end(), std::make_move_iterator(part.begin()),
-                    std::make_move_iterator(part.end()));
+  std::vector<Record> split;
+  for (Record& record : job.TakeRecords()) {
+    if (record.key.empty() || (record.key[0] != 'F' && record.key[0] != 'S')) {
+      throw std::invalid_argument("malformed balanced-mining record tag");
+    }
+    const char tag = record.key[0];
+    record.key.erase(0, 1);
+    if (tag == 'S') {
+      split.push_back(std::move(record));
+      continue;
+    }
+    PatternCount mined;
+    size_t pos = 0;
+    if (!GetSequence(record.key, &pos, &mined.pattern) ||
+        pos != record.key.size()) {
+      throw std::invalid_argument("malformed finished-pattern key");
+    }
+    pos = 0;
+    if (!GetVarint(record.value, &pos, &mined.frequency) ||
+        pos != record.value.size()) {
+      throw std::invalid_argument("malformed finished-pattern value");
+    }
+    patterns.push_back(std::move(mined));
   }
 
   // Reconcile round: sum each split pattern's per-sub-partition supports
   // and apply σ once, globally. Every input sequence reached exactly one
   // sub-partition of its pivot, so the sums equal the unsplit supports and
-  // the merged output is byte-identical to MineDSeq's.
-  if (!job.records().empty()) {
-    std::vector<MiningResult> reconciled(reduce_workers);
-    RecordMapFn pass_through = [](size_t, const Record& record,
-                                  const EmitFn& emit) {
-      emit(record.key, record.value);
+  // the merged output is byte-identical to MineDSeq's. Survivors come back
+  // as boundary records (proc-safe, as above).
+  if (!split.empty()) {
+    MapFn replay = [&split](size_t index, const EmitFn& emit) {
+      emit(split[index].key, split[index].value);
     };
-    ChainReduceFn sum = [&](int worker, std::string_view key,
+    ChainReduceFn sum = [&](int /*worker*/, std::string_view key,
                             std::vector<std::string_view>& values,
-                            const EmitFn&) {
+                            const EmitFn& emit) {
       uint64_t total = 0;
       for (std::string_view v : values) {
         size_t pos = 0;
@@ -350,17 +372,24 @@ ChainedDistributedResult MineDSeqBalanced(const std::vector<Sequence>& db,
         total += count;
       }
       if (total < options.sigma) return;
-      Sequence pattern;
+      std::string v;
+      PutVarint(&v, total);
+      emit(key, v);
+    };
+    job.RunRound(split.size(), replay, MakeSumCombiner, sum);
+    for (const Record& record : job.TakeRecords()) {
+      PatternCount mined;
       size_t pos = 0;
-      if (!GetSequence(key, &pos, &pattern) || pos != key.size()) {
+      if (!GetSequence(record.key, &pos, &mined.pattern) ||
+          pos != record.key.size()) {
         throw std::invalid_argument("malformed split-pattern key");
       }
-      reconciled[worker].push_back(PatternCount{std::move(pattern), total});
-    };
-    job.RunChainedRound(pass_through, MakeSumCombiner, sum);
-    for (MiningResult& part : reconciled) {
-      patterns.insert(patterns.end(), std::make_move_iterator(part.begin()),
-                      std::make_move_iterator(part.end()));
+      pos = 0;
+      if (!GetVarint(record.value, &pos, &mined.frequency) ||
+          pos != record.value.size()) {
+        throw std::invalid_argument("malformed reconciled-support value");
+      }
+      patterns.push_back(std::move(mined));
     }
   }
 

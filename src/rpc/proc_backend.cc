@@ -1,0 +1,1015 @@
+#include "src/rpc/proc_backend.h"
+
+#include <dirent.h>
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/dataflow/map_shard.h"
+#include "src/dataflow/shuffle_buffer.h"
+#include "src/rpc/frame.h"
+#include "src/rpc/socket.h"
+#include "src/spill/external_merger.h"
+#include "src/spill/memory_budget.h"
+#include "src/spill/spill_context.h"
+#include "src/spill/spill_file.h"
+#include "src/util/block_codec.h"
+#include "src/util/thread_pool.h"
+#include "src/util/varint.h"
+
+namespace dseq {
+namespace {
+
+using rpc::MsgConn;
+using rpc::MsgType;
+
+// Exception kinds carried in kError frames (see MsgType::kError).
+enum ErrorKind : uint64_t {
+  kErrRuntime = 0,
+  kErrShuffleOverflow = 1,
+  kErrInvalidArgument = 2,
+  kErrOutOfRange = 3,
+  kErrOverflow = 4,
+};
+
+// Segment kinds (see MsgType::kSegment).
+constexpr uint64_t kSegmentRun = 0;
+constexpr uint64_t kSegmentTail = 1;
+constexpr uint64_t kFlagCompressed = 1;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+[[noreturn]] void ProtocolError(const std::string& what) {
+  throw std::runtime_error("proc backend: " + what);
+}
+
+void RequireVarint(std::string_view payload, size_t* pos, uint64_t* value,
+                   const char* what) {
+  if (!GetVarint(payload, pos, value)) {
+    ProtocolError(std::string("truncated ") + what + " field");
+  }
+}
+
+// Whole-file read used to ship spill-run bytes verbatim. EINTR-safe: a
+// short fread with EINTR pending clears the error and resumes.
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("proc backend: cannot reopen segment file " +
+                             path + ": " + std::strerror(errno));
+  }
+  std::string out;
+  char buf[64 * 1024];
+  for (;;) {
+    size_t n = std::fread(buf, 1, sizeof(buf), f);
+    out.append(buf, n);
+    if (n == sizeof(buf)) continue;
+    if (std::ferror(f)) {
+      if (errno == EINTR) {
+        std::clearerr(f);
+        continue;
+      }
+      int err = errno;
+      std::fclose(f);
+      throw std::runtime_error("proc backend: read of segment file " + path +
+                               " failed: " + std::strerror(err));
+    }
+    break;  // short read without error = EOF
+  }
+  std::fclose(f);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side. Everything below WorkerBody runs in a forked child: the
+// round's closures are valid via the fork's address-space copy, all results
+// leave through the connection, and the child never returns to the caller's
+// stack (it _exits).
+
+void SendOrThrow(MsgConn& conn, MsgType type, std::string_view payload) {
+  if (!conn.Send(type, payload)) {
+    throw std::runtime_error("proc worker: coordinator connection lost");
+  }
+}
+
+void AppendSegmentHeader(std::string* out, uint64_t task, uint64_t reducer,
+                         uint64_t kind, uint64_t flags, uint64_t num_records) {
+  PutVarint(out, task);
+  PutVarint(out, reducer);
+  PutVarint(out, kind);
+  PutVarint(out, flags);
+  PutVarint(out, num_records);
+}
+
+struct SegmentHeader {
+  uint64_t task = 0;
+  uint64_t reducer = 0;
+  uint64_t kind = 0;
+  uint64_t flags = 0;
+  uint64_t num_records = 0;
+  std::string_view bytes;
+};
+
+SegmentHeader ParseSegment(std::string_view payload) {
+  SegmentHeader h;
+  size_t pos = 0;
+  RequireVarint(payload, &pos, &h.task, "segment task");
+  RequireVarint(payload, &pos, &h.reducer, "segment reducer");
+  RequireVarint(payload, &pos, &h.kind, "segment kind");
+  RequireVarint(payload, &pos, &h.flags, "segment flags");
+  RequireVarint(payload, &pos, &h.num_records, "segment record count");
+  if (h.kind != kSegmentRun && h.kind != kSegmentTail) {
+    ProtocolError("unknown segment kind " + std::to_string(h.kind));
+  }
+  h.bytes = payload.substr(pos);
+  return h;
+}
+
+// Runs one map task: the shared RunMapShard body over [begin, end), then
+// ships each reducer's output (spilled runs verbatim, then the stored
+// bucket tail) and the task's raw metrics. `kill_before_commit` is the
+// fault-injection hook: die after the segments, before kMapDone, so the
+// coordinator must discard them and re-execute the task.
+void RunWorkerMapTask(MsgConn& conn, std::string_view payload,
+                      const MapFn& map_fn,
+                      const CombinerFactory& combiner_factory,
+                      const DataflowOptions& options, bool kill_before_commit) {
+  size_t pos = 0;
+  uint64_t task = 0;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  RequireVarint(payload, &pos, &task, "map task");
+  RequireVarint(payload, &pos, &begin, "map begin");
+  RequireVarint(payload, &pos, &end, "map end");
+  int reduce_workers = ClampWorkers(options.num_reduce_workers);
+
+  // Per-task state mirroring one row of the local engine's per-round
+  // arrays. The budget is per-process: each map task gets the whole
+  // configured budget, so spill *timing* differs from the local backend
+  // (results and raw metrics do not — spilling is correctness-neutral).
+  std::vector<ShuffleBuffer> buckets(reduce_workers);
+  MemoryBudget budget(options.memory_budget_bytes);
+  SpillStats spill_stats;
+  std::vector<std::vector<SpillFile>> spill_runs(
+      budget.enabled() ? reduce_workers : 0);
+  std::vector<uint64_t> bucket_charged(reduce_workers, 0);
+  std::vector<uint64_t> reducer_bytes(reduce_workers, 0);
+  CombinerSpillContext combiner_ctx;
+  if (budget.enabled()) {
+    combiner_ctx.spill_dir = options.spill_dir;
+    combiner_ctx.compress_spill = options.compress_spill;
+    combiner_ctx.merge_fan_in = options.spill_merge_fan_in;
+    combiner_ctx.budget = &budget;
+    combiner_ctx.stats = &spill_stats;
+    combiner_ctx.round_index = options.round_index;
+    combiner_ctx.map_worker = static_cast<int>(task);
+  }
+  std::atomic<uint64_t> shuffle_bytes{0};
+  std::atomic<uint64_t> shuffle_records{0};
+  std::atomic<uint64_t> map_output_records{0};
+  std::atomic<uint64_t> shuffle_compressed_bytes{0};
+
+  MapShardContext ctx;
+  ctx.options = &options;
+  ctx.map_worker = static_cast<int>(task);
+  ctx.reduce_workers = reduce_workers;
+  ctx.begin = begin;
+  ctx.end = end;
+  ctx.map_fn = &map_fn;
+  ctx.combiner_factory = &combiner_factory;
+  ctx.buckets = buckets.data();
+  ctx.spill_runs = budget.enabled() ? spill_runs.data() : nullptr;
+  ctx.bucket_charged = bucket_charged.data();
+  ctx.reducer_bytes = reducer_bytes.data();
+  ctx.budget = &budget;
+  ctx.spill_stats = &spill_stats;
+  ctx.combiner_ctx = budget.enabled() ? &combiner_ctx : nullptr;
+  ctx.shuffle_bytes = &shuffle_bytes;
+  ctx.shuffle_records = &shuffle_records;
+  ctx.map_output_records = &map_output_records;
+  ctx.shuffle_compressed_bytes = &shuffle_compressed_bytes;
+  RunMapShard(ctx);
+
+  // Ship: per reducer, the spilled runs in chronological order, then the
+  // bucket tail in stored form. This is exactly the source order the local
+  // reduce phase uses per map worker, so the coordinator can replay
+  // segments into an identical stable merge.
+  std::string seg;
+  for (int r = 0; r < reduce_workers; ++r) {
+    if (budget.enabled()) {
+      for (SpillFile& run : spill_runs[r]) {
+        seg.clear();
+        AppendSegmentHeader(&seg, task, r, kSegmentRun,
+                            options.compress_spill ? kFlagCompressed : 0, 0);
+        seg += ReadFileBytes(run.path());
+        SendOrThrow(conn, MsgType::kSegment, seg);
+      }
+      spill_runs[r].clear();  // shipped; delete the local files now
+    }
+    uint64_t tail_records = buckets[r].num_records();
+    bool compressed = false;
+    std::string stored = buckets[r].ReleaseStored(&compressed);
+    if (stored.empty()) continue;  // nothing buffered for this reducer
+    seg.clear();
+    AppendSegmentHeader(&seg, task, r, kSegmentTail,
+                        compressed ? kFlagCompressed : 0, tail_records);
+    seg += stored;
+    SendOrThrow(conn, MsgType::kSegment, seg);
+  }
+
+  if (kill_before_commit) ::raise(SIGKILL);
+
+  std::string done;
+  PutVarint(&done, task);
+  PutVarint(&done, map_output_records.load());
+  PutVarint(&done, shuffle_records.load());
+  PutVarint(&done, shuffle_bytes.load());
+  PutVarint(&done, shuffle_compressed_bytes.load());
+  PutVarint(&done, spill_stats.files.load());
+  PutVarint(&done, spill_stats.bytes_written.load());
+  PutVarint(&done, spill_stats.merge_passes.load());
+  PutVarint(&done, reduce_workers);
+  for (int r = 0; r < reduce_workers; ++r) PutVarint(&done, reducer_bytes[r]);
+  SendOrThrow(conn, MsgType::kMapDone, done);
+}
+
+// Runs one reduce task over the segments the coordinator streams after the
+// kReduceTask frame (already in map-task order, runs before tails per
+// task). Reproduces the local reduce phase exactly: an external stable
+// merge when any run segment exists, the sort-based in-memory grouping
+// otherwise.
+void RunWorkerReduceTask(MsgConn& conn, std::string_view payload,
+                         const ChainReduceFn& reduce_fn,
+                         const DataflowOptions& options) {
+  size_t pos = 0;
+  uint64_t reducer = 0;
+  uint64_t num_segments = 0;
+  RequireVarint(payload, &pos, &reducer, "reduce task");
+  RequireVarint(payload, &pos, &num_segments, "reduce segment count");
+
+  struct Seg {
+    uint64_t kind;
+    bool compressed;
+    std::string bytes;
+  };
+  std::vector<Seg> segments;
+  segments.reserve(num_segments);
+  bool any_run = false;
+  for (uint64_t i = 0; i < num_segments; ++i) {
+    MsgType type;
+    std::string frame;
+    if (!conn.Recv(&type, &frame)) {
+      throw std::runtime_error("proc worker: coordinator connection lost");
+    }
+    if (type != MsgType::kSegment) ProtocolError("expected a segment frame");
+    SegmentHeader h = ParseSegment(frame);
+    if (h.reducer != reducer) ProtocolError("segment for the wrong reducer");
+    any_run = any_run || h.kind == kSegmentRun;
+    segments.push_back(Seg{h.kind, (h.flags & kFlagCompressed) != 0,
+                           std::string(h.bytes)});
+  }
+
+  MemoryBudget budget(options.memory_budget_bytes);
+  SpillStats spill_stats;
+  uint64_t num_records = 0;
+  std::string record_bytes;
+  EmitFn emit = [&](std::string_view key, std::string_view value) {
+    ++num_records;
+    PutVarint(&record_bytes, key.size());
+    PutVarint(&record_bytes, value.size());
+    record_bytes.append(key.data(), key.size());
+    record_bytes.append(value.data(), value.size());
+  };
+  auto handle_group = [&](std::string_view key,
+                          std::vector<std::string_view>& values) {
+    reduce_fn(static_cast<int>(reducer), key, values, emit);
+  };
+
+  // Decoded tail buffers must stay put while views into them live in the
+  // merge sources / entry vectors — a deque never relocates its strings.
+  std::deque<std::string> tail_raws;
+  auto decode_tail = [&](Seg& s) -> const std::string& {
+    if (s.compressed) {
+      std::string raw;
+      if (!DecompressBlock(s.bytes, &raw)) {
+        throw std::runtime_error(
+            "proc worker: corrupt compressed shuffle segment");
+      }
+      tail_raws.push_back(std::move(raw));
+    } else {
+      tail_raws.push_back(std::move(s.bytes));
+    }
+    return tail_raws.back();
+  };
+
+  if (any_run) {
+    ExternalMergePlan plan(options.spill_dir, options.compress_spill,
+                           options.spill_merge_fan_in, &spill_stats, &budget);
+    for (Seg& s : segments) {
+      if (s.kind == kSegmentRun) {
+        // The shipped bytes are a complete spill run; materializing them
+        // into a SpillFile makes them a local run again, verbatim.
+        SpillFile run = SpillFile::Create(options.spill_dir);
+        run.Append(s.bytes.data(), s.bytes.size());
+        run.FinishWrite();
+        std::string().swap(s.bytes);
+        plan.AddRun(std::move(run));
+      } else {
+        const std::string& raw = decode_tail(s);
+        std::vector<std::pair<std::string_view, std::string_view>> tail;
+        for (const BucketEntry& entry : SortedBucketEntries(raw)) {
+          tail.emplace_back(entry.key, entry.value);
+        }
+        if (!tail.empty()) {
+          plan.AddSource(std::make_unique<InMemorySource>(std::move(tail)));
+        }
+      }
+    }
+    plan.MergeGroups(handle_group);
+  } else {
+    std::vector<BucketEntry> entries;
+    for (Seg& s : segments) {
+      const std::string& raw = decode_tail(s);
+      ShuffleBuffer::ForEachRecord(
+          raw, [&](std::string_view key, std::string_view value) {
+            entries.push_back(BucketEntry{key, value});
+          });
+    }
+    // Stable: within a key, values keep (map task, emit order) — the same
+    // sweep as the local engine's in-memory reduce path.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const BucketEntry& a, const BucketEntry& b) {
+                       return a.key < b.key;
+                     });
+    std::vector<std::string_view> values;
+    size_t i = 0;
+    while (i < entries.size()) {
+      size_t j = i + 1;
+      while (j < entries.size() && entries[j].key == entries[i].key) ++j;
+      values.clear();
+      values.reserve(j - i);
+      for (size_t k = i; k < j; ++k) values.push_back(entries[k].value);
+      handle_group(entries[i].key, values);
+      i = j;
+    }
+  }
+
+  std::string done;
+  PutVarint(&done, reducer);
+  PutVarint(&done, spill_stats.files.load());
+  PutVarint(&done, spill_stats.bytes_written.load());
+  PutVarint(&done, spill_stats.merge_passes.load());
+  PutVarint(&done, num_records);
+  done += record_bytes;
+  SendOrThrow(conn, MsgType::kReduceDone, done);
+}
+
+// The worker loop: connect, announce the ordinal, then serve tasks until
+// shutdown. Returns the child's exit code; the caller _exits with it (all
+// RAII state lives inside this function's scopes).
+int WorkerBody(int ordinal, uint16_t port, const MapFn& map_fn,
+               const CombinerFactory& combiner_factory,
+               const ChainReduceFn& reduce_fn, const DataflowOptions& options) {
+  rpc::IgnoreSigPipe();
+  std::unique_ptr<MsgConn> conn;
+  try {
+    conn = std::make_unique<MsgConn>(rpc::ConnectLoopback(port));
+    std::string hello;
+    PutVarint(&hello, ordinal);
+    SendOrThrow(*conn, MsgType::kHello, hello);
+  } catch (const std::exception&) {
+    return 1;  // no connection to report through
+  }
+
+  const char* kill_env = std::getenv("DSEQ_PROC_TEST_KILL_WORKER");
+  bool kill_on_first_map =
+      kill_env != nullptr && std::atoi(kill_env) == ordinal;
+
+  try {
+    for (;;) {
+      MsgType type;
+      std::string payload;
+      if (!conn->Recv(&type, &payload)) return 1;  // coordinator gone
+      if (type == MsgType::kShutdown) return 0;
+      if (type == MsgType::kMapTask) {
+        RunWorkerMapTask(*conn, payload, map_fn, combiner_factory, options,
+                         kill_on_first_map);
+        kill_on_first_map = false;  // unreachable when injected, but tidy
+      } else if (type == MsgType::kReduceTask) {
+        RunWorkerReduceTask(*conn, payload, reduce_fn, options);
+      } else {
+        ProtocolError("unexpected message from coordinator");
+      }
+    }
+  } catch (const std::exception& e) {
+    uint64_t kind = kErrRuntime;
+    if (dynamic_cast<const ShuffleOverflowError*>(&e) != nullptr) {
+      kind = kErrShuffleOverflow;
+    } else if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+      kind = kErrInvalidArgument;
+    } else if (dynamic_cast<const std::out_of_range*>(&e) != nullptr) {
+      kind = kErrOutOfRange;
+    } else if (dynamic_cast<const std::overflow_error*>(&e) != nullptr) {
+      kind = kErrOverflow;
+    }
+    std::string err;
+    PutVarint(&err, kind);
+    err += e.what();
+    conn->Send(MsgType::kError, err);  // best effort
+    return 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side.
+
+// One committed shuffle segment held between the phases. Run segments are
+// parked in spill files (they only exist when a spill directory is
+// configured, and they can dominate the shuffle volume); tails stay in
+// memory, like the local backend's resident buckets.
+struct StoredSegment {
+  uint64_t kind = 0;
+  uint64_t flags = 0;
+  uint64_t num_records = 0;
+  std::string bytes;
+  std::unique_ptr<SpillFile> file;
+
+  std::string Bytes() const {
+    return file != nullptr ? ReadFileBytes(file->path()) : bytes;
+  }
+};
+
+// Raw per-task metrics reported in kMapDone.
+struct MapReport {
+  uint64_t map_output_records = 0;
+  uint64_t shuffle_records = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t shuffle_compressed_bytes = 0;
+  uint64_t spill_files = 0;
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_merge_passes = 0;
+  std::vector<uint64_t> reducer_bytes;
+};
+
+class Coordinator {
+ public:
+  Coordinator(size_t num_inputs, const MapFn& map_fn,
+              const CombinerFactory& combiner_factory,
+              const ChainReduceFn& reduce_fn, const DataflowOptions& options)
+      : num_inputs_(num_inputs),
+        map_fn_(map_fn),
+        combiner_factory_(combiner_factory),
+        reduce_fn_(reduce_fn),
+        options_(options),
+        map_tasks_(ClampWorkers(options.num_map_workers)),
+        reduce_tasks_(ClampWorkers(options.num_reduce_workers)) {
+    // Sized here, not via a fill constructor: StoredSegment is move-only
+    // (it owns its parked SpillFile), and vector's fill path copies.
+    for (auto& per_task : store_) {
+      per_task.resize(static_cast<size_t>(reduce_tasks_));
+    }
+  }
+
+  ~Coordinator() { Cleanup(); }
+
+  ProcRoundResult Run() {
+    rpc::IgnoreSigPipe();
+    Spawn();
+    ProcRoundResult result;
+    {
+      auto start = std::chrono::steady_clock::now();
+      RunTasks(map_tasks_, [this](Worker& w, int t) { return SendMapTask(w, t); },
+               [this](Worker& w, MsgType type, std::string_view payload) {
+                 return OnMapFrame(w, type, payload);
+               });
+      result.metrics.map_seconds = SecondsSince(start);
+    }
+    {
+      auto start = std::chrono::steady_clock::now();
+      RunTasks(reduce_tasks_,
+               [this](Worker& w, int t) { return SendReduceTask(w, t); },
+               [this](Worker& w, MsgType type, std::string_view payload) {
+                 return OnReduceFrame(w, type, payload);
+               });
+      result.metrics.reduce_seconds = SecondsSince(start);
+    }
+    Cleanup();  // graceful shutdown while results are assembled below
+
+    DataflowMetrics& m = result.metrics;
+    m.reducer_bytes.assign(reduce_tasks_, 0);
+    for (const MapReport& report : map_reports_) {
+      m.map_output_records += report.map_output_records;
+      m.shuffle_records += report.shuffle_records;
+      m.shuffle_bytes += report.shuffle_bytes;
+      m.shuffle_compressed_bytes += report.shuffle_compressed_bytes;
+      m.spill_files += report.spill_files;
+      m.spill_bytes_written += report.spill_bytes_written;
+      m.spill_merge_passes += report.spill_merge_passes;
+      for (int r = 0; r < reduce_tasks_; ++r) {
+        m.reducer_bytes[r] += report.reducer_bytes[r];
+      }
+    }
+    m.spill_files += reduce_spill_files_;
+    m.spill_bytes_written += reduce_spill_bytes_;
+    m.spill_merge_passes += reduce_merge_passes_;
+    size_t total = 0;
+    for (const auto& records : reduce_records_) total += records.size();
+    result.records.reserve(total);
+    for (auto& records : reduce_records_) {
+      for (Record& record : records) result.records.push_back(std::move(record));
+    }
+    return result;
+  }
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int ordinal = -1;
+    std::unique_ptr<MsgConn> conn;
+    bool exited = false;  // reaped by waitpid
+    int task = -1;        // in-flight task, -1 when idle
+    std::chrono::steady_clock::time_point last_progress;
+    // Segments of the in-flight map task, discarded if the worker dies
+    // before kMapDone commits them.
+    std::vector<std::pair<int, StoredSegment>> staged;
+  };
+
+  bool Alive(const Worker& w) const { return w.conn != nullptr; }
+
+  int AliveCount() const {
+    int n = 0;
+    for (const Worker& w : workers_) n += Alive(w) ? 1 : 0;
+    return n;
+  }
+
+  void Spawn() {
+    int pool = std::max(map_tasks_, reduce_tasks_);
+    uint16_t port = 0;
+    int listen_fd = rpc::ListenLoopback(&port);
+    workers_.resize(pool);
+    for (int w = 0; w < pool; ++w) {
+      pid_t pid = ::fork();
+      if (pid < 0) {
+        int err = errno;
+        ::close(listen_fd);
+        throw std::runtime_error(std::string("proc backend: fork: ") +
+                                 std::strerror(err));
+      }
+      if (pid == 0) {
+        ::close(listen_fd);
+        // The child serves the round and leaves through _exit — never
+        // through the coordinator's stack (its RAII state all lives inside
+        // WorkerBody's scopes).
+        ::_exit(WorkerBody(w, port, map_fn_, combiner_factory_, reduce_fn_,
+                           options_));
+      }
+      workers_[w].pid = pid;
+      workers_[w].ordinal = w;
+    }
+    try {
+      AcceptWorkers(listen_fd);
+    } catch (...) {
+      ::close(listen_fd);
+      throw;
+    }
+    ::close(listen_fd);
+  }
+
+  void AcceptWorkers(int listen_fd) {
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      Reap();
+      bool settled = true;
+      for (const Worker& w : workers_) {
+        if (!Alive(w) && !w.exited) settled = false;
+      }
+      if (settled) {
+        if (AliveCount() == 0) {
+          throw std::runtime_error(
+              "proc backend: every worker died before connecting");
+        }
+        return;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw std::runtime_error(
+            "proc backend: workers failed to connect within 30s");
+      }
+      pollfd p{listen_fd, POLLIN, 0};
+      int n = ::poll(&p, 1, 100);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("proc backend: poll: ") +
+                                 std::strerror(errno));
+      }
+      if (n == 0 || (p.revents & POLLIN) == 0) continue;
+      MsgConn conn(rpc::AcceptConn(listen_fd));
+      MsgType type;
+      std::string payload;
+      // The hello follows the connect immediately; a connection that dies
+      // first is dropped here and its child shows up in Reap().
+      if (!conn.Recv(&type, &payload) || type != MsgType::kHello) continue;
+      size_t pos = 0;
+      uint64_t ordinal = 0;
+      RequireVarint(payload, &pos, &ordinal, "hello ordinal");
+      if (ordinal >= workers_.size() || Alive(workers_[ordinal])) {
+        ProtocolError("bad hello ordinal " + std::to_string(ordinal));
+      }
+      workers_[ordinal].conn = std::make_unique<MsgConn>(std::move(conn));
+      workers_[ordinal].last_progress = std::chrono::steady_clock::now();
+    }
+  }
+
+  void Reap() {
+    for (Worker& w : workers_) {
+      if (w.exited || w.pid < 0) continue;
+      int status = 0;
+      if (::waitpid(w.pid, &status, WNOHANG) == w.pid) w.exited = true;
+    }
+  }
+
+  // Declares a worker dead: its connection is dropped, its in-flight task
+  // goes back to the queue, and its uncommitted segments are discarded
+  // (committed output in store_ is untouched — that is the re-execution
+  // correctness contract).
+  void MarkDead(Worker& w, std::deque<int>* pending) {
+    if (w.task != -1) {
+      pending->push_back(w.task);
+      w.task = -1;
+    }
+    w.staged.clear();
+    w.conn.reset();
+  }
+
+  // Generic phase driver: schedules tasks 0..num_tasks-1 onto idle workers,
+  // pumps their connections, reassigns tasks of dead (or timed-out) workers.
+  // `send_task` returns false when the worker died mid-send; `on_frame`
+  // returns true when the worker's in-flight task completed (and throws to
+  // abort the round, e.g. on kError).
+  void RunTasks(int num_tasks,
+                const std::function<bool(Worker&, int)>& send_task,
+                const std::function<bool(Worker&, MsgType, std::string_view)>&
+                    on_frame) {
+    std::deque<int> pending;
+    for (int t = 0; t < num_tasks; ++t) pending.push_back(t);
+    int done = 0;
+    while (done < num_tasks) {
+      if (AliveCount() == 0) {
+        throw std::runtime_error(
+            "proc backend: every worker died with tasks outstanding");
+      }
+      for (Worker& w : workers_) {
+        if (pending.empty()) break;
+        if (!Alive(w) || w.task != -1) continue;
+        w.task = pending.front();
+        pending.pop_front();
+        w.staged.clear();
+        w.last_progress = std::chrono::steady_clock::now();
+        if (!send_task(w, w.task)) MarkDead(w, &pending);
+      }
+
+      std::vector<pollfd> pfds;
+      std::vector<Worker*> order;
+      for (Worker& w : workers_) {
+        if (!Alive(w)) continue;
+        pfds.push_back(pollfd{w.conn->fd(), POLLIN, 0});
+        order.push_back(&w);
+      }
+      int timeout_ms = options_.proc_worker_timeout_ms > 0 ? 50 : 200;
+      int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+      if (n < 0 && errno != EINTR) {
+        throw std::runtime_error(std::string("proc backend: poll: ") +
+                                 std::strerror(errno));
+      }
+      if (n > 0) {
+        for (size_t i = 0; i < pfds.size(); ++i) {
+          if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+          Worker& w = *order[i];
+          if (!Alive(w)) continue;
+          bool io_ok = w.conn->FillOnce();
+          for (;;) {
+            MsgType type;
+            std::string payload;
+            auto status = w.conn->TryNext(&type, &payload);
+            if (status == rpc::FrameDecoder::Status::kNeedMore) break;
+            if (status == rpc::FrameDecoder::Status::kBadFrame) {
+              ProtocolError("malformed frame from worker " +
+                            std::to_string(w.ordinal));
+            }
+            w.last_progress = std::chrono::steady_clock::now();
+            if (on_frame(w, type, payload)) {
+              ++done;
+              w.task = -1;
+              w.staged.clear();
+            }
+          }
+          if (!io_ok) MarkDead(w, &pending);
+        }
+      }
+
+      if (options_.proc_worker_timeout_ms > 0) {
+        auto now = std::chrono::steady_clock::now();
+        auto limit = std::chrono::milliseconds(options_.proc_worker_timeout_ms);
+        for (Worker& w : workers_) {
+          if (!Alive(w) || w.task == -1) continue;
+          if (now - w.last_progress <= limit) continue;
+          ::kill(w.pid, SIGKILL);  // stuck: reclaim the task forcibly
+          MarkDead(w, &pending);
+        }
+      }
+      Reap();
+    }
+  }
+
+  bool SendMapTask(Worker& w, int task) {
+    size_t shard = (num_inputs_ + map_tasks_ - 1) / map_tasks_;
+    size_t begin = std::min(num_inputs_, static_cast<size_t>(task) * shard);
+    size_t end = std::min(num_inputs_, begin + shard);
+    std::string payload;
+    PutVarint(&payload, task);
+    PutVarint(&payload, begin);
+    PutVarint(&payload, end);
+    return w.conn->Send(MsgType::kMapTask, payload);
+  }
+
+  bool OnMapFrame(Worker& w, MsgType type, std::string_view payload) {
+    if (type == MsgType::kError) ThrowWorkerError(payload);
+    if (type == MsgType::kSegment) {
+      SegmentHeader h = ParseSegment(payload);
+      if (w.task < 0 || h.task != static_cast<uint64_t>(w.task) ||
+          h.reducer >= static_cast<uint64_t>(reduce_tasks_)) {
+        ProtocolError("segment outside the worker's in-flight task");
+      }
+      StoredSegment seg;
+      seg.kind = h.kind;
+      seg.flags = h.flags;
+      seg.num_records = h.num_records;
+      if (h.kind == kSegmentRun) {
+        if (options_.spill_dir.empty()) {
+          ProtocolError("run segment without a spill directory");
+        }
+        // Park run bytes on disk: the SpillFile doubles as the shuffle
+        // segment store, and a discarded stage cleans itself up via RAII.
+        seg.file = std::make_unique<SpillFile>(
+            SpillFile::Create(options_.spill_dir));
+        seg.file->Append(h.bytes.data(), h.bytes.size());
+        seg.file->FinishWrite();
+      } else {
+        seg.bytes.assign(h.bytes);
+      }
+      w.staged.emplace_back(static_cast<int>(h.reducer), std::move(seg));
+      return false;
+    }
+    if (type == MsgType::kMapDone) {
+      size_t pos = 0;
+      uint64_t task = 0;
+      RequireVarint(payload, &pos, &task, "map-done task");
+      if (w.task < 0 || task != static_cast<uint64_t>(w.task)) {
+        ProtocolError("map-done outside the worker's in-flight task");
+      }
+      MapReport report;
+      RequireVarint(payload, &pos, &report.map_output_records, "map-done");
+      RequireVarint(payload, &pos, &report.shuffle_records, "map-done");
+      RequireVarint(payload, &pos, &report.shuffle_bytes, "map-done");
+      RequireVarint(payload, &pos, &report.shuffle_compressed_bytes,
+                    "map-done");
+      RequireVarint(payload, &pos, &report.spill_files, "map-done");
+      RequireVarint(payload, &pos, &report.spill_bytes_written, "map-done");
+      RequireVarint(payload, &pos, &report.spill_merge_passes, "map-done");
+      uint64_t num_reducers = 0;
+      RequireVarint(payload, &pos, &num_reducers, "map-done reducer count");
+      if (num_reducers != static_cast<uint64_t>(reduce_tasks_)) {
+        ProtocolError("map-done reducer count mismatch");
+      }
+      report.reducer_bytes.resize(reduce_tasks_);
+      for (int r = 0; r < reduce_tasks_; ++r) {
+        RequireVarint(payload, &pos, &report.reducer_bytes[r],
+                      "map-done reducer bytes");
+      }
+      // Commit: the task's segments become durable coordinator state, its
+      // metrics enter the round totals, and the global shuffle budget is
+      // enforced on the committed sum (each worker already enforced the
+      // per-task share inside RunMapShard).
+      for (auto& [reducer, seg] : w.staged) {
+        store_[w.task][reducer].push_back(std::move(seg));
+      }
+      w.staged.clear();
+      map_reports_[w.task] = std::move(report);
+      committed_shuffle_bytes_ += map_reports_[w.task].shuffle_bytes;
+      if (options_.shuffle_budget_bytes > 0 &&
+          committed_shuffle_bytes_ > options_.shuffle_budget_bytes) {
+        throw ShuffleOverflowError(
+            "round " + std::to_string(options_.round_index) +
+            ": shuffle volume exceeded the budget across map tasks (budget " +
+            std::to_string(options_.shuffle_budget_bytes) +
+            " bytes, committed " + std::to_string(committed_shuffle_bytes_) +
+            " bytes)");
+      }
+      return true;
+    }
+    ProtocolError("unexpected frame during the map phase");
+  }
+
+  bool SendReduceTask(Worker& w, int reducer) {
+    uint64_t num_segments = 0;
+    for (int t = 0; t < map_tasks_; ++t) {
+      num_segments += store_[t][reducer].size();
+    }
+    std::string payload;
+    PutVarint(&payload, reducer);
+    PutVarint(&payload, num_segments);
+    if (!w.conn->Send(MsgType::kReduceTask, payload)) return false;
+    // Replay in map-task order — the stability contract of the reduce merge
+    // (identical to the local engine's source order), regardless of the
+    // order map tasks happened to finish in.
+    std::string seg;
+    for (int t = 0; t < map_tasks_; ++t) {
+      for (const StoredSegment& s : store_[t][reducer]) {
+        seg.clear();
+        AppendSegmentHeader(&seg, t, reducer, s.kind, s.flags, s.num_records);
+        seg += s.Bytes();
+        if (!w.conn->Send(MsgType::kSegment, seg)) return false;
+      }
+    }
+    return true;
+  }
+
+  bool OnReduceFrame(Worker& w, MsgType type, std::string_view payload) {
+    if (type == MsgType::kError) ThrowWorkerError(payload);
+    if (type != MsgType::kReduceDone) {
+      ProtocolError("unexpected frame during the reduce phase");
+    }
+    size_t pos = 0;
+    uint64_t reducer = 0;
+    RequireVarint(payload, &pos, &reducer, "reduce-done reducer");
+    if (w.task < 0 || reducer != static_cast<uint64_t>(w.task)) {
+      ProtocolError("reduce-done outside the worker's in-flight task");
+    }
+    uint64_t spill_files = 0;
+    uint64_t spill_bytes = 0;
+    uint64_t merge_passes = 0;
+    uint64_t num_records = 0;
+    RequireVarint(payload, &pos, &spill_files, "reduce-done");
+    RequireVarint(payload, &pos, &spill_bytes, "reduce-done");
+    RequireVarint(payload, &pos, &merge_passes, "reduce-done");
+    RequireVarint(payload, &pos, &num_records, "reduce-done record count");
+    std::vector<Record>& records = reduce_records_[reducer];
+    records.clear();  // a re-executed task replaces, never appends
+    records.reserve(num_records);
+    for (uint64_t i = 0; i < num_records; ++i) {
+      uint64_t key_size = 0;
+      uint64_t value_size = 0;
+      RequireVarint(payload, &pos, &key_size, "record key size");
+      RequireVarint(payload, &pos, &value_size, "record value size");
+      if (key_size > payload.size() - pos ||
+          value_size > payload.size() - pos - key_size) {
+        ProtocolError("truncated boundary record");
+      }
+      Record record;
+      record.key.assign(payload.substr(pos, key_size));
+      pos += key_size;
+      record.value.assign(payload.substr(pos, value_size));
+      pos += value_size;
+      records.push_back(std::move(record));
+    }
+    reduce_spill_files_ += spill_files;
+    reduce_spill_bytes_ += spill_bytes;
+    reduce_merge_passes_ += merge_passes;
+    return true;
+  }
+
+  [[noreturn]] void ThrowWorkerError(std::string_view payload) {
+    size_t pos = 0;
+    uint64_t kind = 0;
+    RequireVarint(payload, &pos, &kind, "error kind");
+    std::string message(payload.substr(pos));
+    switch (kind) {
+      case kErrShuffleOverflow:
+        throw ShuffleOverflowError(message);
+      case kErrInvalidArgument:
+        throw std::invalid_argument(message);
+      case kErrOutOfRange:
+        throw std::out_of_range(message);
+      case kErrOverflow:
+        throw std::overflow_error(message);
+      default:
+        throw std::runtime_error(message);
+    }
+  }
+
+  // Ends the worker pool: graceful shutdown first, SIGKILL for stragglers,
+  // then reap everything and sweep orphaned spill files of workers that
+  // died uncleanly (spill file names embed the owning pid, so a SIGKILLed
+  // worker's leftovers are identifiable). Idempotent; called from the
+  // success path and the destructor.
+  void Cleanup() {
+    for (Worker& w : workers_) {
+      if (Alive(w)) {
+        w.conn->Send(MsgType::kShutdown, {});
+        w.conn.reset();
+      }
+    }
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    for (;;) {
+      Reap();
+      bool all_exited = true;
+      for (const Worker& w : workers_) {
+        if (w.pid >= 0 && !w.exited) all_exited = false;
+      }
+      if (all_exited) break;
+      if (std::chrono::steady_clock::now() > deadline) {
+        for (Worker& w : workers_) {
+          if (w.pid >= 0 && !w.exited) ::kill(w.pid, SIGKILL);
+        }
+        for (Worker& w : workers_) {
+          if (w.pid < 0 || w.exited) continue;
+          int status = 0;
+          while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+          }
+          w.exited = true;
+        }
+        break;
+      }
+      ::usleep(2000);
+    }
+    RemoveOrphanSpillFiles();
+  }
+
+  void RemoveOrphanSpillFiles() {
+    if (options_.spill_dir.empty() || workers_.empty()) return;
+    DIR* dir = ::opendir(options_.spill_dir.c_str());
+    if (dir == nullptr) return;
+    std::vector<std::string> prefixes;
+    prefixes.reserve(workers_.size());
+    for (const Worker& w : workers_) {
+      if (w.pid >= 0) {
+        prefixes.push_back("spill-" + std::to_string(w.pid) + "-");
+      }
+    }
+    std::vector<std::string> doomed;
+    while (dirent* entry = ::readdir(dir)) {
+      std::string_view name(entry->d_name);
+      for (const std::string& prefix : prefixes) {
+        if (name.size() > prefix.size() &&
+            name.substr(0, prefix.size()) == prefix) {
+          doomed.push_back(options_.spill_dir + "/" + std::string(name));
+          break;
+        }
+      }
+    }
+    ::closedir(dir);
+    for (const std::string& path : doomed) ::unlink(path.c_str());
+  }
+
+  const size_t num_inputs_;
+  const MapFn& map_fn_;
+  const CombinerFactory& combiner_factory_;
+  const ChainReduceFn& reduce_fn_;
+  const DataflowOptions& options_;
+  const int map_tasks_;
+  const int reduce_tasks_;
+
+  std::vector<Worker> workers_;
+  // store_[map task][reducer] -> committed segments, runs-then-tail per task.
+  std::vector<std::vector<std::vector<StoredSegment>>> store_{
+      static_cast<size_t>(map_tasks_)};
+  std::vector<MapReport> map_reports_{static_cast<size_t>(map_tasks_)};
+  std::vector<std::vector<Record>> reduce_records_{
+      static_cast<size_t>(reduce_tasks_)};
+  uint64_t committed_shuffle_bytes_ = 0;
+  uint64_t reduce_spill_files_ = 0;
+  uint64_t reduce_spill_bytes_ = 0;
+  uint64_t reduce_merge_passes_ = 0;
+};
+
+}  // namespace
+
+ProcRoundResult RunProcRound(size_t num_inputs, const MapFn& map_fn,
+                             const CombinerFactory& combiner_factory,
+                             const ChainReduceFn& reduce_fn,
+                             const DataflowOptions& options) {
+  Coordinator coordinator(num_inputs, map_fn, combiner_factory, reduce_fn,
+                          options);
+  return coordinator.Run();
+}
+
+}  // namespace dseq

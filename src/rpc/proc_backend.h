@@ -1,0 +1,75 @@
+// Multi-process round execution: a coordinator and forked worker processes
+// exchanging shuffle segments over loopback TCP (DataflowBackend::kProc).
+//
+// One RunProcRound call executes one map-shuffle-reduce round:
+//
+//   1. The coordinator forks max(M, R) workers. fork() copies the address
+//      space, so the round's map/reduce closures (and whatever parent state
+//      they capture — the sequence database, NFAs, option structs) are
+//      valid in every worker without any serialization of the functions
+//      themselves. Data still crosses processes only in serialized form.
+//   2. Map tasks are scheduled onto idle workers. A worker runs the *same*
+//      RunMapShard body as the local backend (src/dataflow/map_shard.h),
+//      then ships each reducer's output as segments: spilled sorted runs
+//      verbatim (the SpillFile bytes double as the wire format), then the
+//      resident bucket tail in stored form (compressed iff
+//      compress_shuffle). kMapDone carries the task's raw shuffle metrics
+//      and commits its segments; the coordinator enforces the global
+//      shuffle budget on the committed sum.
+//   3. Reduce tasks replay each reducer's committed segments in map-task
+//      order — exactly the source order of the local reduce phase, so the
+//      stable merge (external when runs exist, sort-based otherwise) yields
+//      byte-identical groups and within-key value order. Boundary records
+//      come back in kReduceDone.
+//
+// Fault tolerance: a worker that dies (connection EOF, or no progress for
+// DataflowOptions::proc_worker_timeout_ms, which gets it SIGKILLed) has its
+// in-flight task's uncommitted segments discarded and the task re-executed
+// on another worker; committed map output persists on the coordinator, so
+// lost reduce tasks replay without re-running the map phase. Results are
+// identical because task output is deterministic and only committed once.
+// Orphaned spill files of killed workers are removed by the coordinator
+// (spill file names embed the owning pid).
+//
+// Determinism contract with the local backend: identical result records
+// (values in the same within-key order), identical raw shuffle metrics
+// (shuffle_bytes, shuffle_records, map_output_records, reducer_bytes, and
+// shuffle_compressed_bytes). spill_* metrics are real but not comparable —
+// each worker process budgets its own memory, so spill timing differs.
+#ifndef DSEQ_RPC_PROC_BACKEND_H_
+#define DSEQ_RPC_PROC_BACKEND_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/dataflow/chained.h"
+#include "src/dataflow/engine.h"
+
+namespace dseq {
+
+/// Output of one proc-backend round.
+struct ProcRoundResult {
+  DataflowMetrics metrics;
+  /// Boundary records emitted by the reduce functions, in reduce-task order
+  /// — the same flattening DataflowJob uses for the local backend.
+  std::vector<Record> records;
+};
+
+/// Runs one round on forked worker processes. `options` is honored like
+/// RunMapReduce honors it (workers, budgets, compression, partitioner,
+/// round_index), plus proc_worker_timeout_ms; Execution::kSimulated is
+/// ignored — processes are always real. Throws the worker's typed exception
+/// (ShuffleOverflowError etc.) on task failure, std::runtime_error when the
+/// worker pool dies entirely.
+///
+/// Test hook: DSEQ_PROC_TEST_KILL_WORKER=<ordinal> makes that worker
+/// SIGKILL itself at the end of its first map task, before the commit —
+/// exercising segment discard and task re-execution.
+ProcRoundResult RunProcRound(size_t num_inputs, const MapFn& map_fn,
+                             const CombinerFactory& combiner_factory,
+                             const ChainReduceFn& reduce_fn,
+                             const DataflowOptions& options);
+
+}  // namespace dseq
+
+#endif  // DSEQ_RPC_PROC_BACKEND_H_

@@ -1,0 +1,183 @@
+#include "src/rpc/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace dseq {
+namespace rpc {
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+// One read() that retries EINTR; returns the usual read() result otherwise.
+ssize_t ReadSome(int fd, void* data, size_t size) {
+  for (;;) {
+    ssize_t n = ::read(fd, data, size);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+}  // namespace
+
+void IgnoreSigPipe() {
+  // Plain signal() is enough: SIG_IGN is inherited across fork and the
+  // handler carries no state. Racing calls both store the same disposition.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+int ListenLoopback(uint16_t* port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("rpc: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-assigned ephemeral port
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    ThrowErrno("rpc: bind 127.0.0.1");
+  }
+  // The backlog must absorb every worker connecting at once right after the
+  // fork burst, before the coordinator starts accepting.
+  if (::listen(fd, 128) < 0) {
+    ::close(fd);
+    ThrowErrno("rpc: listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    ThrowErrno("rpc: getsockname");
+  }
+  *port = ntohs(addr.sin_port);
+  return fd;
+}
+
+int ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("rpc: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    ::close(fd);
+    ThrowErrno("rpc: connect 127.0.0.1:" + std::to_string(port));
+  }
+  // The protocol is strictly message-at-a-time request/response; disabling
+  // Nagle keeps the small control frames from batching behind segments.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+int AcceptConn(int listen_fd) {
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno != EINTR) ThrowErrno("rpc: accept");
+  }
+}
+
+bool WriteFull(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadFull(int fd, void* data, size_t size) {
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    ssize_t n = ReadSome(fd, p, size);
+    if (n <= 0) return false;  // 0 = EOF mid-message, <0 = error
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+MsgConn::MsgConn(MsgConn&& other) noexcept
+    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+MsgConn& MsgConn::operator=(MsgConn&& other) noexcept {
+  if (this == &other) return *this;
+  Close();
+  fd_ = other.fd_;
+  decoder_ = std::move(other.decoder_);
+  other.fd_ = -1;
+  return *this;
+}
+
+MsgConn::~MsgConn() { Close(); }
+
+void MsgConn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool MsgConn::Send(MsgType type, std::string_view payload) {
+  if (fd_ < 0) return false;
+  std::string frame;
+  frame.reserve(payload.size() + 16);
+  AppendFrame(&frame, type, payload);
+  return WriteFull(fd_, frame.data(), frame.size());
+}
+
+bool MsgConn::Recv(MsgType* type, std::string* payload) {
+  for (;;) {
+    FrameDecoder::Status status = TryNext(type, payload);
+    if (status == FrameDecoder::Status::kFrame) return true;
+    if (status == FrameDecoder::Status::kBadFrame) return false;
+    if (!FillOnce()) {
+      // Drain what the last fill completed before reporting EOF.
+      return TryNext(type, payload) == FrameDecoder::Status::kFrame;
+    }
+  }
+}
+
+bool MsgConn::FillOnce() {
+  if (fd_ < 0) return false;
+  char buf[64 * 1024];
+  ssize_t n = ReadSome(fd_, buf, sizeof(buf));
+  if (n <= 0) return false;
+  decoder_.Append(std::string_view(buf, static_cast<size_t>(n)));
+  return true;
+}
+
+FrameDecoder::Status MsgConn::TryNext(MsgType* type, std::string* payload) {
+  std::string_view view;
+  FrameDecoder::Status status = decoder_.Next(type, &view);
+  if (status == FrameDecoder::Status::kFrame) payload->assign(view);
+  return status;
+}
+
+}  // namespace rpc
+}  // namespace dseq

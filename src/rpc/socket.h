@@ -1,0 +1,86 @@
+// Loopback TCP plumbing for the multi-process backend.
+//
+// Thin, exception-on-setup/boolean-on-IO wrappers over BSD sockets: a
+// listener on 127.0.0.1 with a kernel-assigned port, a connect call for the
+// forked workers, and a message connection (MsgConn) that frames every
+// send/receive with src/rpc/frame.h. All reads and writes are EINTR-safe
+// and handle partial transfers; SIGPIPE is ignored process-wide
+// (IgnoreSigPipe) so a peer death surfaces as a failed write, never a
+// signal.
+#ifndef DSEQ_RPC_SOCKET_H_
+#define DSEQ_RPC_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/rpc/frame.h"
+
+namespace dseq {
+namespace rpc {
+
+/// Ignores SIGPIPE process-wide (idempotent). Every coordinator and worker
+/// entry point calls this so writes to a dead peer fail with EPIPE instead
+/// of killing the process.
+void IgnoreSigPipe();
+
+/// Creates a listening TCP socket bound to 127.0.0.1 on a kernel-assigned
+/// port, written to `*port`. Throws std::runtime_error on failure.
+int ListenLoopback(uint16_t* port);
+
+/// Connects to 127.0.0.1:`port`. Throws std::runtime_error on failure.
+int ConnectLoopback(uint16_t port);
+
+/// Accepts one connection from `listen_fd` (EINTR-safe). Throws
+/// std::runtime_error on failure.
+int AcceptConn(int listen_fd);
+
+/// Writes all `size` bytes (EINTR- and partial-write-safe). Returns false
+/// on any error, including EPIPE from a dead peer.
+bool WriteFull(int fd, const void* data, size_t size);
+
+/// Reads exactly `size` bytes (EINTR- and partial-read-safe). Returns
+/// false on EOF or error.
+bool ReadFull(int fd, void* data, size_t size);
+
+/// One message-framed connection. Owns the fd; move-only.
+class MsgConn {
+ public:
+  explicit MsgConn(int fd) : fd_(fd) {}
+  MsgConn(const MsgConn&) = delete;
+  MsgConn& operator=(const MsgConn&) = delete;
+  MsgConn(MsgConn&& other) noexcept;
+  MsgConn& operator=(MsgConn&& other) noexcept;
+  ~MsgConn();
+
+  int fd() const { return fd_; }
+
+  /// Sends one frame. Returns false once the connection is broken.
+  bool Send(MsgType type, std::string_view payload);
+
+  /// Blocks until one complete frame arrives; copies its payload out.
+  /// Returns false on EOF, socket error, or a malformed frame.
+  bool Recv(MsgType* type, std::string* payload);
+
+  /// Non-draining half of the coordinator's poll loop: performs one read()
+  /// into the decoder (call after poll() reported readability, so it does
+  /// not block). Returns false on EOF or socket error — buffered complete
+  /// frames remain drainable via TryNext either way.
+  bool FillOnce();
+
+  /// Drains the next complete frame out of already-buffered bytes without
+  /// touching the socket.
+  FrameDecoder::Status TryNext(MsgType* type, std::string* payload);
+
+ private:
+  void Close();
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace rpc
+}  // namespace dseq
+
+#endif  // DSEQ_RPC_SOCKET_H_

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/spill/memory_budget.h"
 #include "src/util/check.h"
 
 namespace dseq {
@@ -76,15 +77,29 @@ uint64_t MergeSources(const std::vector<RecordSource*>& sources,
 }  // namespace
 
 ExternalMergePlan::ExternalMergePlan(std::string dir, bool compress,
-                                     int max_fan_in, SpillStats* stats)
+                                     int max_fan_in, SpillStats* stats,
+                                     MemoryBudget* budget)
     : dir_(std::move(dir)),
       compress_(compress),
       max_fan_in_(max_fan_in < 2 ? 2 : max_fan_in),
-      stats_(stats) {}
+      stats_(stats),
+      budget_(budget) {
+  // Merge-side memory accounting: each open file-backed source holds up to
+  // two block buffers (stored + decoded), so a budget admits roughly
+  // budget / (2 * kSpillBlockBytes) concurrently open runs. Clamp the
+  // fan-in to that (never below 2 — a 2-way merge is the floor of
+  // progress), trading extra collapse passes for bounded reader memory.
+  if (budget_ != nullptr && budget_->enabled()) {
+    uint64_t affordable = budget_->budget_bytes() / (2 * kSpillBlockBytes);
+    if (affordable < static_cast<uint64_t>(max_fan_in_)) {
+      max_fan_in_ = affordable < 2 ? 2 : static_cast<int>(affordable);
+    }
+  }
+}
 
 void ExternalMergePlan::AddRun(SpillFile run) {
   sources_.push_back(
-      std::make_unique<SpillRunSource>(std::move(run), compress_));
+      std::make_unique<SpillRunSource>(std::move(run), compress_, budget_));
 }
 
 void ExternalMergePlan::AddSource(std::unique_ptr<RecordSource> source) {
@@ -127,7 +142,7 @@ void ExternalMergePlan::CollapseToFanIn() {
       // Free the consumed runs' disk space before the next group merges.
       for (size_t i = begin; i < end; ++i) sources_[i].reset();
       next.push_back(
-          std::make_unique<SpillRunSource>(std::move(out), compress_));
+          std::make_unique<SpillRunSource>(std::move(out), compress_, budget_));
     }
     sources_ = std::move(next);
   }

@@ -46,13 +46,17 @@ class RecordSource {
 /// RecordSource over a finished spill run. The owning constructor takes
 /// the run's backing file with it, so dropping the source (e.g. once an
 /// intermediate merge consumed the run) deletes the file immediately.
+/// `budget` (may be null) is handed to the reader, which charges its block
+/// buffers against it while the source is alive.
 class SpillRunSource : public RecordSource {
  public:
-  SpillRunSource(const SpillFile& run, bool compressed)
-      : reader_(run, compressed) {}
-  SpillRunSource(SpillFile&& run, bool compressed)
+  SpillRunSource(const SpillFile& run, bool compressed,
+                 MemoryBudget* budget = nullptr)
+      : reader_(run, compressed, budget) {}
+  SpillRunSource(SpillFile&& run, bool compressed,
+                 MemoryBudget* budget = nullptr)
       : owned_(std::make_unique<SpillFile>(std::move(run))),
-        reader_(*owned_, compressed) {}
+        reader_(*owned_, compressed, budget) {}
   bool Next(std::string_view* key, std::string_view* value) override {
     return reader_.Next(key, value);
   }
@@ -96,9 +100,14 @@ class ExternalMergePlan {
  public:
   /// `dir` is where intermediate runs go when the fan-in forces extra
   /// passes (required unless the source count stays within the fan-in);
-  /// `stats` may be null.
+  /// `stats` may be null. `budget` (may be null) charges the merge-side
+  /// read buffers against the round's MemoryBudget: each file-backed
+  /// source's resident blocks are charged while it is open, and the
+  /// effective fan-in is clamped so at most ~budget/(2*kSpillBlockBytes)
+  /// runs are open per pass (never below 2) — a tight budget trades extra
+  /// merge passes for bounded memory instead of silently exceeding it.
   ExternalMergePlan(std::string dir, bool compress, int max_fan_in,
-                    SpillStats* stats);
+                    SpillStats* stats, MemoryBudget* budget = nullptr);
 
   /// Takes ownership of a finished run and registers it as the next source.
   void AddRun(SpillFile run);
@@ -117,6 +126,7 @@ class ExternalMergePlan {
   bool compress_;
   int max_fan_in_;
   SpillStats* stats_;
+  MemoryBudget* budget_;
   // Every file-backed source owns its run (SpillRunSource), so dropping a
   // consumed source removes its file from disk.
   std::vector<std::unique_ptr<RecordSource>> sources_;

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/spill/memory_budget.h"
 #include "src/util/block_codec.h"
 #include "src/util/check.h"
 #include "src/util/varint.h"
@@ -13,11 +14,53 @@
 namespace dseq {
 namespace {
 
-// Target frame bytes per block. A record larger than this still goes into a
-// single (oversized) block — records never straddle blocks.
-constexpr size_t kSpillBlockBytes = 64 * 1024;
-
 std::atomic<uint64_t> g_spill_file_seq{0};
+
+// Full-buffer stdio helpers. A signal can interrupt the underlying read(2)/
+// write(2) mid-transfer, surfacing as a short stdio count with errno ==
+// EINTR; these retry until the whole buffer moved or a real error remains.
+// (The proc backend's coordinator forks and signals worker processes, so
+// interrupted spill I/O is a routine event, not a corner case.)
+
+// Writes all `size` bytes; returns false on a non-EINTR error.
+bool FWriteFully(std::FILE* f, const char* data, size_t size) {
+  while (size > 0) {
+    size_t n = std::fwrite(data, 1, size, f);
+    data += n;
+    size -= n;
+    if (size > 0) {
+      if (errno != EINTR) return false;
+      std::clearerr(f);
+    }
+  }
+  return true;
+}
+
+// Reads exactly `size` bytes; returns false on EOF or a non-EINTR error.
+bool FReadFully(std::FILE* f, char* out, size_t size) {
+  while (size > 0) {
+    size_t n = std::fread(out, 1, size, f);
+    out += n;
+    size -= n;
+    if (size > 0) {
+      if (std::feof(f)) return false;
+      if (errno != EINTR) return false;
+      std::clearerr(f);
+    }
+  }
+  return true;
+}
+
+// fgetc with EINTR retry; EOF means end-of-file or a real error (the caller
+// distinguishes via ferror).
+int FGetcRetry(std::FILE* f) {
+  while (true) {
+    int c = std::fgetc(f);
+    if (c != EOF) return c;
+    if (std::feof(f) || errno != EINTR) return EOF;
+    std::clearerr(f);
+  }
+}
 
 }  // namespace
 
@@ -66,7 +109,7 @@ void SpillFile::Append(const void* data, size_t size) {
   if (write_handle_ == nullptr) {
     throw std::runtime_error("spill file " + path_ + " is closed for writing");
   }
-  if (std::fwrite(data, 1, size, write_handle_) != size) {
+  if (!FWriteFully(write_handle_, static_cast<const char*>(data), size)) {
     throw std::runtime_error("short write to spill file " + path_ + ": " +
                              std::strerror(errno));
   }
@@ -127,8 +170,9 @@ uint64_t SpillWriter::Finish() {
   return file_->stored_bytes();
 }
 
-SpillRunReader::SpillRunReader(const SpillFile& file, bool compressed)
-    : path_(file.path()), compressed_(compressed) {
+SpillRunReader::SpillRunReader(const SpillFile& file, bool compressed,
+                               MemoryBudget* budget)
+    : path_(file.path()), compressed_(compressed), budget_(budget) {
   handle_ = std::fopen(path_.c_str(), "rb");
   if (handle_ == nullptr) {
     throw std::runtime_error("cannot open spill run " + path_ + ": " +
@@ -138,13 +182,26 @@ SpillRunReader::SpillRunReader(const SpillFile& file, bool compressed)
 
 SpillRunReader::~SpillRunReader() {
   if (handle_ != nullptr) std::fclose(handle_);
+  if (budget_ != nullptr && charged_ > 0) budget_->Release(charged_);
+}
+
+void SpillRunReader::ChargeBuffers() {
+  if (budget_ == nullptr) return;
+  uint64_t resident = stored_.size() + block_.size();
+  if (resident > charged_) {
+    uint64_t delta = resident - charged_;
+    // A reader cannot free its own buffers, so a full budget takes the
+    // bounded overshoot instead of deadlocking (see the constructor doc).
+    if (!budget_->TryCharge(delta)) budget_->ForceCharge(delta);
+    charged_ = resident;
+  }
 }
 
 bool SpillRunReader::ReadBlock() {
   // Block length varint, byte by byte (at most 10 bytes).
   uint64_t stored_size = 0;
   int shift = 0;
-  int c = std::fgetc(handle_);
+  int c = FGetcRetry(handle_);
   if (c == EOF) {
     if (std::ferror(handle_)) {
       throw std::runtime_error("read error on spill run " + path_);
@@ -159,14 +216,13 @@ bool SpillRunReader::ReadBlock() {
     stored_size |= static_cast<uint64_t>(c & 0x7f) << shift;
     if ((c & 0x80) == 0) break;
     shift += 7;
-    c = std::fgetc(handle_);
+    c = FGetcRetry(handle_);
     if (c == EOF) {
       throw std::runtime_error("truncated spill run " + path_);
     }
   }
   stored_.resize(stored_size);
-  if (stored_size > 0 &&
-      std::fread(&stored_[0], 1, stored_size, handle_) != stored_size) {
+  if (stored_size > 0 && !FReadFully(handle_, &stored_[0], stored_size)) {
     throw std::runtime_error("truncated spill run " + path_);
   }
   if (compressed_) {
@@ -177,6 +233,7 @@ bool SpillRunReader::ReadBlock() {
     block_.swap(stored_);
   }
   pos_ = 0;
+  ChargeBuffers();
   return true;
 }
 

@@ -26,6 +26,14 @@
 
 namespace dseq {
 
+class MemoryBudget;  // src/spill/memory_budget.h
+
+/// Target frame bytes per stored block. A record larger than this still goes
+/// into a single (oversized) block — records never straddle blocks. Exposed
+/// so the external merger can size its per-source read-buffer footprint
+/// against a MemoryBudget.
+inline constexpr size_t kSpillBlockBytes = 64 * 1024;
+
 /// Spill-volume counters of one dataflow round, shared by the engine's
 /// bucket spills and the combiners' table spills. Feed the
 /// DataflowMetrics::spill_* fields.
@@ -106,7 +114,15 @@ class SpillWriter {
 /// corruption must fail loudly, exactly like the shuffle codecs.
 class SpillRunReader {
  public:
-  SpillRunReader(const SpillFile& file, bool compressed);
+  /// `budget` (may be null) is charged with the reader's actual block-buffer
+  /// footprint while the reader is alive — merge-side memory is accounted,
+  /// not free. The charge uses ForceCharge semantics when the budget is
+  /// already full: a reader cannot shed its own buffers, so the bounded
+  /// overshoot is the same contract as the map-side emit path (the merge
+  /// fan-in clamp in ExternalMergePlan keeps the total reader footprint
+  /// near the budget).
+  SpillRunReader(const SpillFile& file, bool compressed,
+                 MemoryBudget* budget = nullptr);
   SpillRunReader(const SpillRunReader&) = delete;
   SpillRunReader& operator=(const SpillRunReader&) = delete;
   ~SpillRunReader();
@@ -116,12 +132,15 @@ class SpillRunReader {
 
  private:
   bool ReadBlock();
+  void ChargeBuffers();
 
   std::FILE* handle_ = nullptr;
   std::string path_;
   bool compressed_;
-  std::string stored_;  // raw block bytes as read from disk
-  std::string block_;   // decoded frame bytes the views point into
+  MemoryBudget* budget_ = nullptr;
+  uint64_t charged_ = 0;  // bytes currently charged against budget_
+  std::string stored_;    // raw block bytes as read from disk
+  std::string block_;     // decoded frame bytes the views point into
   size_t pos_ = 0;
 };
 

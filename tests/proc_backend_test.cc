@@ -1,0 +1,366 @@
+// Multi-process backend tests: the RPC frame codec, the backend-equivalence
+// matrix (every distributed miner under --backend proc must be
+// byte-identical to the local backend and the brute-force oracle, with
+// identical raw shuffle metrics), the out-of-core and compressed configs,
+// and fault tolerance (a worker killed mid-round must not change results).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/baselines/prefix_span.h"
+#include "src/dataflow/chained.h"
+#include "src/dataflow/engine.h"
+#include "src/dist/dcand_miner.h"
+#include "src/dist/dseq_miner.h"
+#include "src/dist/naive.h"
+#include "src/fst/compiler.h"
+#include "src/rpc/frame.h"
+#include "src/util/varint.h"
+#include "tests/test_util.h"
+
+namespace dseq {
+namespace {
+
+// --- Frame codec ------------------------------------------------------------
+
+TEST(FrameCodecTest, RoundTripsFramesFedByteByByte) {
+  std::string wire;
+  rpc::AppendFrame(&wire, rpc::MsgType::kHello, "w0");
+  rpc::AppendFrame(&wire, rpc::MsgType::kSegment, std::string(300, 'x'));
+  rpc::AppendFrame(&wire, rpc::MsgType::kShutdown, "");
+
+  // One byte at a time: the decoder must report kNeedMore until a frame
+  // completes, and must never mis-frame across the Append boundaries.
+  rpc::FrameDecoder decoder;
+  std::vector<std::pair<rpc::MsgType, std::string>> frames;
+  for (char byte : wire) {
+    decoder.Append(std::string_view(&byte, 1));
+    rpc::MsgType type;
+    std::string_view payload;
+    while (decoder.Next(&type, &payload) == rpc::FrameDecoder::Status::kFrame) {
+      frames.emplace_back(type, std::string(payload));
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].first, rpc::MsgType::kHello);
+  EXPECT_EQ(frames[0].second, "w0");
+  EXPECT_EQ(frames[1].first, rpc::MsgType::kSegment);
+  EXPECT_EQ(frames[1].second, std::string(300, 'x'));
+  EXPECT_EQ(frames[2].first, rpc::MsgType::kShutdown);
+  EXPECT_EQ(frames[2].second, "");
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameCodecTest, OversizePayloadIsRejectedFromTheLengthPrefix) {
+  // The length prefix alone must condemn the frame — no payload bytes are
+  // ever buffered, so a hostile peer cannot make the coordinator allocate.
+  std::string wire;
+  PutVarint(&wire, static_cast<uint64_t>(rpc::MsgType::kSegment));
+  PutVarint(&wire, rpc::kMaxFramePayloadBytes + 1);
+  rpc::FrameDecoder decoder;
+  decoder.Append(wire);
+  rpc::MsgType type;
+  std::string_view payload;
+  EXPECT_EQ(decoder.Next(&type, &payload),
+            rpc::FrameDecoder::Status::kBadFrame);
+  // A bad stream is dead: more bytes cannot resurrect it.
+  decoder.Append("anything");
+  EXPECT_EQ(decoder.Next(&type, &payload),
+            rpc::FrameDecoder::Status::kBadFrame);
+}
+
+TEST(FrameCodecTest, UnknownMessageTypeIsRejected) {
+  std::string wire;
+  PutVarint(&wire, 99);  // no such MsgType
+  PutVarint(&wire, 0);
+  rpc::FrameDecoder decoder;
+  decoder.Append(wire);
+  rpc::MsgType type;
+  std::string_view payload;
+  EXPECT_EQ(decoder.Next(&type, &payload),
+            rpc::FrameDecoder::Status::kBadFrame);
+}
+
+TEST(FrameCodecTest, TruncatedFrameReportsNeedMore) {
+  std::string wire;
+  rpc::AppendFrame(&wire, rpc::MsgType::kMapTask, "payload");
+  rpc::FrameDecoder decoder;
+  decoder.Append(std::string_view(wire).substr(0, wire.size() - 1));
+  rpc::MsgType type;
+  std::string_view payload;
+  EXPECT_EQ(decoder.Next(&type, &payload),
+            rpc::FrameDecoder::Status::kNeedMore);
+  decoder.Append(std::string_view(wire).substr(wire.size() - 1));
+  ASSERT_EQ(decoder.Next(&type, &payload), rpc::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(payload, "payload");
+}
+
+// --- Backend equivalence ----------------------------------------------------
+
+// The determinism contract of src/rpc/proc_backend.h: raw shuffle metrics
+// are identical across backends; spill_* and wall times are not compared.
+void ExpectSameRawMetrics(const DataflowMetrics& local,
+                          const DataflowMetrics& proc) {
+  EXPECT_EQ(local.shuffle_bytes, proc.shuffle_bytes);
+  EXPECT_EQ(local.shuffle_records, proc.shuffle_records);
+  EXPECT_EQ(local.map_output_records, proc.map_output_records);
+  EXPECT_EQ(local.shuffle_compressed_bytes, proc.shuffle_compressed_bytes);
+  EXPECT_EQ(local.reducer_bytes, proc.reducer_bytes);
+}
+
+TEST(ProcBackendTest, MinersMatchLocalAndBruteForceAcrossWorkerCounts) {
+  SequenceDatabase db = testing::RandomDatabase(4200, 7, 50, 8);
+  Fst fst = CompileFst(".*(.)[.*(.)]{0,2}.*", db.dict);
+  const uint64_t sigma = 2;
+  MiningResult expected =
+      testing::BruteForceMine(db.sequences, fst, db.dict, sigma);
+
+  testing::ForEachWorkerCount(
+      [&](int workers) {
+        auto run = [&](auto& options, auto miner, const char* name) {
+          options.sigma = sigma;
+          options.num_map_workers = workers;
+          options.num_reduce_workers = workers;
+          options.backend = DataflowBackend::kLocal;
+          DistributedResult local = miner(db.sequences, fst, db.dict, options);
+          options.backend = DataflowBackend::kProc;
+          DistributedResult proc = miner(db.sequences, fst, db.dict, options);
+          EXPECT_EQ(local.patterns, expected) << name;
+          EXPECT_EQ(proc.patterns, expected) << name << " (proc)";
+          ExpectSameRawMetrics(local.metrics, proc.metrics);
+        };
+        NaiveOptions naive;
+        run(naive,
+            [](auto&&... a) { return MineNaive(a...); }, "NAIVE");
+        DSeqOptions dseq;
+        run(dseq,
+            [](auto&&... a) { return MineDSeq(a...); }, "D-SEQ");
+        DCandOptions dcand;
+        run(dcand,
+            [](auto&&... a) { return MineDCand(a...); }, "D-CAND");
+      },
+      {2, 4});
+}
+
+TEST(ProcBackendTest, CompressedShuffleIsIdenticalAcrossBackends) {
+  SequenceDatabase db = testing::RandomDatabase(4300, 7, 60, 8);
+  Fst fst = CompileFst(".*(i0)[(.^).*]*(i1).*", db.dict);
+  DSeqOptions options;
+  options.sigma = 2;
+  options.num_map_workers = 3;
+  options.num_reduce_workers = 3;
+  options.compress_shuffle = true;
+  DistributedResult local = MineDSeq(db.sequences, fst, db.dict, options);
+  options.backend = DataflowBackend::kProc;
+  DistributedResult proc = MineDSeq(db.sequences, fst, db.dict, options);
+  EXPECT_EQ(local.patterns, proc.patterns);
+  ASSERT_GT(local.metrics.shuffle_compressed_bytes, 0u);
+  ExpectSameRawMetrics(local.metrics, proc.metrics);
+}
+
+TEST(ProcBackendTest, BudgetedSpillingRunIsIdenticalAcrossBackends) {
+  SequenceDatabase db = testing::RandomDatabase(4400, 7, 80, 8);
+  Fst fst = CompileFst(".*(.)[.*(.)]{0,2}.*", db.dict);
+  const uint64_t sigma = 2;
+  MiningResult expected =
+      testing::BruteForceMine(db.sequences, fst, db.dict, sigma);
+  testing::ScopedTempDir spill_dir;
+
+  DSeqOptions options;
+  options.sigma = sigma;
+  options.num_map_workers = 2;
+  options.num_reduce_workers = 2;
+  // Budget well below the measured shuffle volume so both backends must
+  // spill (the same scaling the local out-of-core acceptance test uses).
+  DistributedResult unbudgeted = MineDSeq(db.sequences, fst, db.dict, options);
+  ASSERT_GT(unbudgeted.metrics.shuffle_bytes, 0u);
+  options.memory_budget_bytes = testing::SpillTestBudget(
+      std::max<uint64_t>(unbudgeted.metrics.shuffle_bytes / 4, 64));
+  options.spill_dir = spill_dir.path();
+  options.spill_merge_fan_in = 4;
+  DistributedResult local = MineDSeq(db.sequences, fst, db.dict, options);
+  options.backend = DataflowBackend::kProc;
+  DistributedResult proc = MineDSeq(db.sequences, fst, db.dict, options);
+
+  EXPECT_EQ(local.patterns, expected);
+  EXPECT_EQ(proc.patterns, expected);
+  ExpectSameRawMetrics(local.metrics, proc.metrics);
+  // The budget must actually bite in the worker processes — otherwise this
+  // test exercises nothing — and the workers' spill files must all be gone
+  // (ScopedTempDir verifies the directory is empty on destruction).
+  EXPECT_GT(proc.metrics.spill_files, 0u);
+}
+
+TEST(ProcBackendTest, BudgetWithoutSpillDirThrowsAcrossTheWire) {
+  // A worker that overflows its memory budget with nowhere to spill must
+  // surface the same typed error the local backend throws, carried through
+  // the kError frame and rethrown by the coordinator.
+  SequenceDatabase db = testing::RandomDatabase(4500, 7, 60, 8);
+  Fst fst = CompileFst(".*(.)[.*(.)]{0,2}.*", db.dict);
+  DSeqOptions options;
+  options.sigma = 2;
+  options.num_map_workers = 2;
+  options.num_reduce_workers = 2;
+  options.memory_budget_bytes = 64;
+  options.backend = DataflowBackend::kProc;
+  EXPECT_THROW(MineDSeq(db.sequences, fst, db.dict, options),
+               ShuffleOverflowError);
+}
+
+TEST(ProcBackendTest, KilledWorkerIsReExecutedWithIdenticalResults) {
+  SequenceDatabase db = testing::RandomDatabase(4600, 7, 60, 8);
+  Fst fst = CompileFst(".*(.)[.*(.)]{0,2}.*", db.dict);
+  DSeqOptions options;
+  options.sigma = 2;
+  options.num_map_workers = 4;
+  options.num_reduce_workers = 4;
+  DistributedResult local = MineDSeq(db.sequences, fst, db.dict, options);
+
+  // Worker 1 SIGKILLs itself after shipping its first map task's segments
+  // but before committing them (kMapDone): the coordinator must discard the
+  // staged segments and re-execute the task on a surviving worker, with
+  // byte-identical results and metrics — re-executed output commits once.
+  ASSERT_EQ(::setenv("DSEQ_PROC_TEST_KILL_WORKER", "1", 1), 0);
+  options.backend = DataflowBackend::kProc;
+  DistributedResult proc = MineDSeq(db.sequences, fst, db.dict, options);
+  ::unsetenv("DSEQ_PROC_TEST_KILL_WORKER");
+
+  EXPECT_EQ(local.patterns, proc.patterns);
+  ExpectSameRawMetrics(local.metrics, proc.metrics);
+}
+
+TEST(ProcBackendTest, ChainedMinersMatchAcrossBackends) {
+  SequenceDatabase db = testing::RandomDatabase(4700, 7, 60, 8);
+  Fst fst = CompileFst(".*(.)[.*(.)]{0,2}.*", db.dict);
+
+  auto expect_same = [](const ChainedDistributedResult& local,
+                        const ChainedDistributedResult& proc,
+                        const char* name) {
+    EXPECT_EQ(local.patterns, proc.patterns) << name;
+    ASSERT_EQ(local.round_metrics.size(), proc.round_metrics.size()) << name;
+    for (size_t r = 0; r < local.round_metrics.size(); ++r) {
+      SCOPED_TRACE(std::string(name) + " round " + std::to_string(r));
+      ExpectSameRawMetrics(local.round_metrics[r], proc.round_metrics[r]);
+    }
+  };
+
+  {
+    // Two-round recount chain (collect-and-broadcast between rounds).
+    DSeqRecountOptions options;
+    options.sigma = 2;
+    options.num_map_workers = 3;
+    options.num_reduce_workers = 3;
+    ChainedDistributedResult local =
+        MineDSeqRecount(db.sequences, fst, db.dict, options);
+    options.backend = DataflowBackend::kProc;
+    ChainedDistributedResult proc =
+        MineDSeqRecount(db.sequences, fst, db.dict, options);
+    expect_same(local, proc, "recount");
+  }
+  {
+    // Balanced run: plan-driven partitioner, split pivots reconciled in an
+    // extra round — both the 'F'/'S'-tagged boundary channel and the
+    // reconcile shuffle must survive the process hop.
+    DSeqBalanceOptions options;
+    options.sigma = 2;
+    options.num_map_workers = 3;
+    options.num_reduce_workers = 3;
+    options.plan.split_factor = 0.5;  // force splits
+    ChainedDistributedResult local =
+        MineDSeqBalanced(db.sequences, fst, db.dict, options);
+    options.backend = DataflowBackend::kProc;
+    ChainedDistributedResult proc =
+        MineDSeqBalanced(db.sequences, fst, db.dict, options);
+    expect_same(local, proc, "balanced");
+  }
+  {
+    // Multi-round prefix growth: each round's extensions re-shuffle.
+    PrefixSpanOptions options;
+    options.sigma = 2;
+    options.lambda = 4;
+    options.num_map_workers = 2;
+    options.num_reduce_workers = 2;
+    ChainedDistributedResult local =
+        MineChainedPrefixSpan(db.sequences, db.dict, options);
+    options.backend = DataflowBackend::kProc;
+    ChainedDistributedResult proc =
+        MineChainedPrefixSpan(db.sequences, db.dict, options);
+    EXPECT_GT(local.num_rounds(), 1u);
+    expect_same(local, proc, "prefix-span-chained");
+  }
+}
+
+TEST(ProcBackendTest, DataflowJobRoundsMatchAcrossBackends) {
+  // Engine-level equivalence without any miner on top: a word-count round
+  // followed by a chained re-shuffle round, records compared byte-for-byte.
+  std::vector<std::vector<std::string>> inputs = {
+      {"b", "a", "b"}, {"c", "c", "a"}, {"a"}, {"b", "d"},
+      {"d", "a", "c"}, {"e"},           {"a", "e"},
+  };
+  auto run = [&](DataflowBackend backend) {
+    ChainedDataflowOptions options;
+    options.num_map_workers = 3;
+    options.num_reduce_workers = 2;
+    options.backend = backend;
+    DataflowJob job(options);
+    MapFn map_fn = [&](size_t i, const EmitFn& emit) {
+      std::string one;
+      PutVarint(&one, 1);
+      for (const std::string& word : inputs[i]) emit(word, one);
+    };
+    ChainReduceFn count = [](int, std::string_view key,
+                             std::vector<std::string_view>& values,
+                             const EmitFn& emit) {
+      std::string value;
+      PutVarint(&value, values.size());
+      emit(key, value);
+    };
+    job.RunRound(inputs.size(), map_fn, nullptr, count);
+    // Round 2: re-key every count under one bucket and sum it.
+    RecordMapFn rekey = [](size_t, const Record& record, const EmitFn& emit) {
+      emit("total:" + record.key, record.value);
+    };
+    ChainReduceFn sum = [](int, std::string_view key,
+                           std::vector<std::string_view>& values,
+                           const EmitFn& emit) {
+      uint64_t total = 0;
+      for (std::string_view v : values) {
+        size_t pos = 0;
+        uint64_t c = 0;
+        ASSERT_TRUE(GetVarint(v, &pos, &c));
+        total += c;
+      }
+      std::string value;
+      PutVarint(&value, total);
+      emit(key, value);
+    };
+    job.RunChainedRound(rekey, MakeSumCombiner, sum);
+    return std::make_pair(job.TakeRecords(), job.round_metrics());
+  };
+
+  auto [local_records, local_metrics] = run(DataflowBackend::kLocal);
+  auto [proc_records, proc_metrics] = run(DataflowBackend::kProc);
+  EXPECT_EQ(local_records, proc_records);
+  ASSERT_EQ(local_metrics.size(), proc_metrics.size());
+  for (size_t r = 0; r < local_metrics.size(); ++r) {
+    SCOPED_TRACE("round " + std::to_string(r));
+    ExpectSameRawMetrics(local_metrics[r], proc_metrics[r]);
+  }
+}
+
+TEST(ProcBackendTest, RunMapReduceRejectsProcBackend) {
+  DataflowOptions options;
+  options.backend = DataflowBackend::kProc;
+  MapFn map_fn = [](size_t, const EmitFn&) {};
+  ReduceFn reduce_fn = [](int, std::string_view,
+                          std::vector<std::string_view>&) {};
+  EXPECT_THROW(RunMapReduce(1, map_fn, nullptr, reduce_fn, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dseq

@@ -238,6 +238,47 @@ TEST(ExternalMergerTest, FanInCollapseAddsPassesAndPreservesOrder) {
   EXPECT_GE(stats.merge_passes.load(), 8u);
 }
 
+TEST(ExternalMergerTest, MergeBudgetClampsFanInAndChargesReadBuffers) {
+  // Each file-backed source holds up to two resident block buffers
+  // (~2 * kSpillBlockBytes) while open. A budget smaller than the merge's
+  // natural fan-in footprint must clamp the effective fan-in (here to the
+  // floor of 2) instead of silently exceeding the budget — trading extra
+  // collapse passes for bounded memory — with identical merged output.
+  auto merge_all = [](int max_fan_in, MemoryBudget* budget, SpillStats* stats,
+                      std::vector<std::pair<std::string, std::string>>* out) {
+    ScopedSpillDir dir;
+    ExternalMergePlan plan(dir.path(), /*compress=*/false, max_fan_in, stats,
+                           budget);
+    for (int i = 0; i < 12; ++i) {
+      plan.AddRun(WriteRun(dir.path(), false, stats,
+                           {{"k" + std::to_string(i % 3),
+                             "run" + std::to_string(i)}}));
+    }
+    plan.MergeGroups(
+        [&](std::string_view key, std::vector<std::string_view>& values) {
+          for (std::string_view v : values) out->emplace_back(key, v);
+        });
+  };
+
+  SpillStats unbudgeted_stats;
+  std::vector<std::pair<std::string, std::string>> expected;
+  merge_all(16, nullptr, &unbudgeted_stats, &expected);
+  EXPECT_EQ(unbudgeted_stats.merge_passes.load(), 1u);  // 12 <= fan-in 16
+
+  // 12 sources at ~128KiB each need ~1.5MiB; grant a quarter of one
+  // source's footprint, forcing the minimum fan-in of 2.
+  MemoryBudget budget(kSpillBlockBytes / 2);
+  SpillStats budgeted_stats;
+  std::vector<std::pair<std::string, std::string>> merged;
+  merge_all(16, &budget, &budgeted_stats, &merged);
+  EXPECT_EQ(merged, expected);
+  // Fan-in 2 over 12 runs: at least 10 collapse merges before the final
+  // pass — strictly more I/O, strictly less memory.
+  EXPECT_GE(budgeted_stats.merge_passes.load(), 11u);
+  // Every read-buffer charge must have been released with its source.
+  EXPECT_EQ(budget.used_bytes(), 0u);
+}
+
 // --- Engine out-of-core runs ------------------------------------------------
 
 using Emissions =

@@ -11,6 +11,7 @@
 //            [--recount] [--recount-sample N] [--lambda N]
 //            [--balance [--split-factor F]]
 //            [--memory-budget N [--spill-dir DIR]]
+//            [--backend local|proc]
 //
 // Iterative (multi-round) jobs: --recount prepends a distributed
 // frequency-recount round to naive/semi-naive/dseq, and
@@ -31,6 +32,11 @@
 // reduce, with identical mined output; --stats reports the spill volume.
 // Without --spill-dir the budget is a hard ceiling that fails with an
 // actionable error.
+//
+// --backend proc runs every shuffle round of the distributed algorithms on
+// forked worker processes exchanging segments over loopback TCP
+// (src/rpc/proc_backend.h) instead of threads; the mined output and the raw
+// shuffle metrics are identical to the default local backend.
 //
 // Input format: one sequence per line, whitespace-separated item names; the
 // hierarchy file has one "child parent" pair per line. Output: one frequent
@@ -79,6 +85,7 @@ struct Args {
   bool split_factor_set = false;
   uint64_t memory_budget = 0;  // 0 = no budget
   std::string spill_dir;
+  std::string backend = "local";
 };
 
 [[noreturn]] void Usage(const char* message) {
@@ -112,7 +119,10 @@ struct Args {
       "  --memory-budget N  bound the resident shuffle + combiner state of\n"
       "                     the distributed algorithms to N bytes\n"
       "  --spill-dir DIR    spill overflowing state to sorted runs in DIR\n"
-      "                     (created if missing; requires --memory-budget)\n");
+      "                     (created if missing; requires --memory-budget)\n"
+      "  --backend B        local (threads, default) | proc (forked worker\n"
+      "                     processes over a socket shuffle; distributed\n"
+      "                     algorithms only, identical output)\n");
   std::exit(2);
 }
 
@@ -198,6 +208,13 @@ Args ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--spill-dir") == 0) {
       args.spill_dir = need_value("--spill-dir");
       if (args.spill_dir.empty()) Usage("--spill-dir requires a directory");
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      args.backend = need_value("--backend");
+      if (args.backend != "local" && args.backend != "proc") {
+        Usage(("--backend: '" + args.backend +
+               "' is not a backend (local | proc)")
+                  .c_str());
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage(nullptr);
     } else {
@@ -248,6 +265,10 @@ Args ParseArgs(int argc, char** argv) {
   if (args.memory_budget > 0 &&
       (args.algorithm == "desq-dfs" || args.algorithm == "desq-count")) {
     Usage("--memory-budget requires a distributed (shuffling) algorithm");
+  }
+  if (args.backend == "proc" &&
+      (args.algorithm == "desq-dfs" || args.algorithm == "desq-count")) {
+    Usage("--backend proc requires a distributed (shuffling) algorithm");
   }
   return args;
 }
@@ -343,13 +364,16 @@ void PrintRunStats(const dseq::DataflowMetrics& m) {
   std::fprintf(stderr, "\n");
 }
 
-// Copies the out-of-core flags onto a miner's options (every distributed
-// miner extends DistributedRunOptions). --compress also covers the spill
-// files: both knobs trade CPU for bytes on the same serialized records.
+// Copies the out-of-core and backend flags onto a miner's options (every
+// distributed miner extends DistributedRunOptions). --compress also covers
+// the spill files: both knobs trade CPU for bytes on the same serialized
+// records.
 void ApplySpillOptions(const Args& args, dseq::DistributedRunOptions* options) {
   options->memory_budget_bytes = args.memory_budget;
   options->spill_dir = args.spill_dir;
   options->compress_spill = args.compress;
+  options->backend = args.backend == "proc" ? dseq::DataflowBackend::kProc
+                                            : dseq::DataflowBackend::kLocal;
 }
 
 // Validates --spill-dir before any mining starts: creates the directory if
