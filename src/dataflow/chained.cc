@@ -109,6 +109,14 @@ DataflowMetrics DataflowJob::aggregate_metrics() const {
     total.spill_files += m.spill_files;
     total.spill_bytes_written += m.spill_bytes_written;
     total.spill_merge_passes += m.spill_merge_passes;
+    total.input_storage_reads += m.input_storage_reads;
+    total.input_cache_hits += m.input_cache_hits;
+    total.proc_task_attempts += m.proc_task_attempts;
+    total.proc_task_retries += m.proc_task_retries;
+    total.proc_worker_kills += m.proc_worker_kills;
+    total.proc_workers_respawned += m.proc_workers_respawned;
+    total.proc_segment_chunks += m.proc_segment_chunks;
+    total.proc_parked_tails += m.proc_parked_tails;
     if (m.reducer_bytes.size() > total.reducer_bytes.size()) {
       total.reducer_bytes.resize(m.reducer_bytes.size(), 0);
     }

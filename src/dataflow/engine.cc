@@ -534,6 +534,16 @@ int ShuffleReducerForKey(std::string_view key, int num_reduce_workers) {
                           static_cast<size_t>(ClampWorkers(num_reduce_workers)));
 }
 
+std::atomic<uint64_t>& GlobalInputStorageReads() {
+  static std::atomic<uint64_t> reads{0};
+  return reads;
+}
+
+std::atomic<uint64_t>& GlobalInputCacheHits() {
+  static std::atomic<uint64_t> hits{0};
+  return hits;
+}
+
 std::unique_ptr<Combiner> MakeSumCombiner() {
   return std::make_unique<SumCombiner>();
 }

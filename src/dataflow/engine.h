@@ -46,6 +46,7 @@
 #ifndef DSEQ_DATAFLOW_ENGINE_H_
 #define DSEQ_DATAFLOW_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -90,9 +91,38 @@ struct DataflowMetrics {
   uint64_t spill_files = 0;
   uint64_t spill_bytes_written = 0;
   uint64_t spill_merge_passes = 0;
+  /// Input-cache counters shipped through kMapDone by proc-backend workers
+  /// (deltas of the process-global counters below around each map task).
+  /// Local rounds leave them 0 — the driver's CachedDatabase instance
+  /// counters already see every in-process read; the distributed layer sums
+  /// both views (see ChainedDistributedResult::input_storage_reads).
+  uint64_t input_storage_reads = 0;
+  uint64_t input_cache_hits = 0;
+  /// Proc-backend failure-policy counters (all 0 under kLocal): task
+  /// assignments (first tries + retries), reassignments after a worker
+  /// death/stall, workers SIGKILLed by stall detection, and replacement
+  /// workers forked after a death. Diagnostic only — never part of the
+  /// local/proc raw-metric equivalence contract.
+  uint64_t proc_task_attempts = 0;
+  uint64_t proc_task_retries = 0;
+  uint64_t proc_worker_kills = 0;
+  uint64_t proc_workers_respawned = 0;
+  /// Transport-shape counters (kLocal: 0): continuation frames used to chunk
+  /// oversized segments against the frame cap, and staged tail segments the
+  /// coordinator parked in SpillFiles instead of memory.
+  uint64_t proc_segment_chunks = 0;
+  uint64_t proc_parked_tails = 0;
 
   double total_seconds() const { return map_seconds + reduce_seconds; }
 };
+
+/// Process-global input-read counters, bumped by caching input readers
+/// (CachedDatabase in src/dist) next to their instance counters. The proc
+/// backend snapshots them around each map task in the *worker* process and
+/// ships the deltas through kMapDone, which is what makes per-child cache
+/// traffic visible to the driver at all (fork severs the instances).
+std::atomic<uint64_t>& GlobalInputStorageReads();
+std::atomic<uint64_t>& GlobalInputCacheHits();
 
 /// How workers execute.
 enum class Execution {
@@ -183,9 +213,31 @@ struct DataflowOptions {
   /// RunMapReduce throws std::invalid_argument for kProc.
   DataflowBackend backend = DataflowBackend::kLocal;
   /// Proc backend only: kill and reassign an in-flight worker that has made
-  /// no progress for this long. 0 disables the timeout (worker loss is
-  /// still detected via connection EOF and the task re-executed).
+  /// no progress for this long. "Progress" includes heartbeats: workers run
+  /// a progress-gated kPong pump while executing (see proc_heartbeat_
+  /// interval_ms), so a slow-but-working task survives any timeout while a
+  /// hung one goes silent and is killed. 0 disables the timeout (worker
+  /// loss is still detected via connection EOF and the task re-executed).
   int proc_worker_timeout_ms = 0;
+  /// Proc backend only: how many times one task may be attempted before the
+  /// round fails with ProcTaskFailedError naming the task, the attempt
+  /// count, and the last failure. Transient failures (a killed or stalled
+  /// worker) retry up to this bound on respawned or surviving workers;
+  /// deterministic worker exceptions (kError frames) never retry. Clamped
+  /// to >= 1.
+  int proc_max_task_attempts = 3;
+  /// Proc backend only: worker heartbeat period. 0 = derive from
+  /// proc_worker_timeout_ms (a quarter of it, clamped to [10ms, 1s]);
+  /// heartbeats are off entirely when the timeout is 0.
+  int proc_heartbeat_interval_ms = 0;
+  /// Proc backend only: wall-clock ceiling for one round (map + reduce).
+  /// Exceeding it throws ProcDeadlineError. 0 = no deadline.
+  int proc_round_deadline_ms = 0;
+  /// Proc backend only: staged tail segments at least this large are parked
+  /// in SpillFiles at the coordinator instead of held in memory (requires
+  /// spill_dir; charged to DataflowMetrics::proc_parked_tails). 0 disables
+  /// parking.
+  uint64_t proc_tail_park_bytes = uint64_t{1} << 20;
 };
 
 /// Emits one record from a mapper or a combiner flush. The engine copies

@@ -126,6 +126,9 @@ void RunMapShard(const MapShardContext& ctx) {
 
   for (size_t i = ctx.begin; i < ctx.end; ++i) {
     (*ctx.map_fn)(i, map_emit);
+    if (ctx.progress != nullptr) {
+      ctx.progress->fetch_add(1, std::memory_order_relaxed);
+    }
   }
   if (combiner != nullptr) combiner->Flush(shuffle_emit);
   if (options.compress_shuffle) {

@@ -65,6 +65,11 @@ struct MapShardContext {
   std::atomic<uint64_t>* shuffle_records = nullptr;
   std::atomic<uint64_t>* map_output_records = nullptr;
   std::atomic<uint64_t>* shuffle_compressed_bytes = nullptr;
+
+  /// Optional liveness counter, ticked once per processed input. The proc
+  /// backend's worker heartbeat thread samples it to decide whether the
+  /// task is advancing (beat) or hung (silence); local rounds leave it null.
+  std::atomic<uint64_t>* progress = nullptr;
 };
 
 /// Runs one map shard: maps each input of [begin, end), combines, and

@@ -41,6 +41,10 @@ ChainedDataflowOptions MakeChainedOptions(
   chained.spill_merge_fan_in = options.spill_merge_fan_in;
   chained.backend = options.backend;
   chained.proc_worker_timeout_ms = options.proc_worker_timeout_ms;
+  chained.proc_max_task_attempts = options.proc_max_task_attempts;
+  chained.proc_heartbeat_interval_ms = options.proc_heartbeat_interval_ms;
+  chained.proc_round_deadline_ms = options.proc_round_deadline_ms;
+  chained.proc_tail_park_bytes = options.proc_tail_park_bytes;
   return chained;
 }
 
@@ -120,8 +124,15 @@ ChainedDistributedResult RunRecountMining(const std::vector<Sequence>& db,
   ChainedDistributedResult result = MakeChainedResult(
       RunMiningRound(job, db.size(), map_fn, combiner_factory, reduce_fn),
       job);
-  result.input_storage_reads = cached_db.storage_reads();
-  result.input_cache_hits = cached_db.cache_hits();
+  // Local rounds bump the CachedDatabase instance counters in this process;
+  // proc-backend rounds run their maps in forked children, whose reads only
+  // come back as kMapDone-reported metrics. The instance counters and the
+  // aggregate metrics are disjoint by construction (a round is either local
+  // or proc), so their sum is the whole-job count either way.
+  result.input_storage_reads =
+      cached_db.storage_reads() + result.aggregate.input_storage_reads;
+  result.input_cache_hits =
+      cached_db.cache_hits() + result.aggregate.input_cache_hits;
   return result;
 }
 

@@ -87,8 +87,23 @@ struct DistributedRunOptions {
   DataflowBackend backend = DataflowBackend::kLocal;
   /// Proc backend only (DataflowOptions::proc_worker_timeout_ms): SIGKILL
   /// and reassign an in-flight worker with no progress for this long;
-  /// 0 disables.
+  /// 0 disables. Progress includes the worker's kPong heartbeats, so only
+  /// hung (not slow) tasks are killed.
   int proc_worker_timeout_ms = 0;
+  /// Proc backend only (DataflowOptions::proc_max_task_attempts): total
+  /// executions a task may consume before the round fails with
+  /// ProcTaskFailedError. Clamped to >= 1.
+  int proc_max_task_attempts = 3;
+  /// Proc backend only (DataflowOptions::proc_heartbeat_interval_ms):
+  /// explicit heartbeat cadence; 0 derives it from the worker timeout.
+  int proc_heartbeat_interval_ms = 0;
+  /// Proc backend only (DataflowOptions::proc_round_deadline_ms): wall-clock
+  /// cap per round; exceeding it throws ProcDeadlineError. 0 disables.
+  int proc_round_deadline_ms = 0;
+  /// Proc backend only (DataflowOptions::proc_tail_park_bytes): staged tail
+  /// segments at least this large are parked in spill files at the
+  /// coordinator (requires spill_dir); 0 keeps every tail resident.
+  uint64_t proc_tail_park_bytes = uint64_t{1} << 20;
 };
 
 /// Cross-round cache of database reads for chained drivers — the in-process
@@ -105,10 +120,16 @@ class CachedDatabase {
   }
 
   const Sequence& Read(size_t index) {
+    // Both the instance counters (summed by local drivers) and the
+    // process-global gauges are bumped: a proc-backend worker reports its
+    // global-gauge deltas through kMapDone, which is the only way reads
+    // performed inside a forked child become visible to the coordinator.
     if (cached_[index].exchange(1, std::memory_order_relaxed) != 0) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      GlobalInputCacheHits().fetch_add(1, std::memory_order_relaxed);
     } else {
       storage_reads_.fetch_add(1, std::memory_order_relaxed);
+      GlobalInputStorageReads().fetch_add(1, std::memory_order_relaxed);
     }
     return storage_[index];
   }

@@ -1,0 +1,142 @@
+// Deterministic fault injection for robustness testing.
+//
+// The production code is laced with named *injection sites* — one
+// `fault::Evaluate(site, detail)` call per place where the real world can
+// fail: socket reads/writes, whole-frame sends, spill-file I/O, and the
+// proc-backend worker lifecycle. A test installs a process-global, seeded
+// `FaultSchedule` describing which sites misbehave and how; the schedule is
+// inherited across `fork()`, so coordinator *and* workers replay the same
+// plan. `Reset()` restores clean behavior.
+//
+// Sites compile to zero-cost no-ops unless the build sets
+// `-DDSEQ_FAULT_INJECTION=ON` (which defines DSEQ_FAULT_INJECTION_ENABLED):
+// in default builds `Evaluate` is a constexpr inline returning "no fault",
+// so every call site folds away. Gate fault-dependent tests on
+// `fault::kFaultInjectionEnabled`.
+//
+// Determinism: probabilistic rules draw from an RNG seeded from
+// `FaultSchedule::seed` (workers re-seed with their ordinal mixed in via
+// `SetProcessScope`), and `nth`-triggered rules count per-process site hits.
+// Given the same schedule, the same process replays the same fault
+// decisions at the same site-hit sequence.
+
+#ifndef DSEQ_FAULT_FAULT_INJECTION_H_
+#define DSEQ_FAULT_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dseq {
+namespace fault {
+
+/// Named injection sites. Keep `SiteName`/`SiteFromName` in fault_injection.cc
+/// and the README registry in sync when adding one.
+enum class Site : int {
+  kSocketRead = 0,       ///< socket.read: byte-level reads (short read, errno, EINTR)
+  kSocketWrite = 1,      ///< socket.write: byte-level writes (short write, errno, EINTR)
+  kSocketSendFrame = 2,  ///< socket.send_frame: whole-frame sends (mid-frame disconnect)
+  kSpillWrite = 3,       ///< spill.write: SpillFile appends (ENOSPC, EIO, partial write)
+  kSpillRead = 4,        ///< spill.read: spill-run block reads (EIO)
+  kWorkerMessage = 5,    ///< worker.message: worker serve loop, detail = 1-based message count
+  kWorkerCommit = 6,     ///< worker.before_commit: just before kMapDone, detail = task index
+};
+inline constexpr int kNumSites = 7;
+
+/// What an injection site does when a rule fires.
+enum class Action : int {
+  kNone = 0,        ///< no fault
+  kShortIo = 1,     ///< clamp the transfer to a single byte (caller must loop)
+  kErrno = 2,       ///< fail with errno = param (ECONNRESET, ENOSPC, EIO, ...)
+  kEintr = 3,       ///< simulated interrupted syscall; retried by the wrapper
+  kDisconnect = 4,  ///< write half the frame, then close the connection
+  kKill = 5,        ///< raise(SIGKILL) — the process dies mid-protocol
+  kStall = 6,       ///< sleep param milliseconds without making progress
+};
+
+/// Result of evaluating a site: the action to take plus its parameter
+/// (errno value for kErrno, milliseconds for kStall).
+struct Fault {
+  Action action = Action::kNone;
+  int param = 0;
+};
+
+/// Matches any `detail` value passed to Evaluate.
+inline constexpr uint64_t kAnyDetail = ~uint64_t{0};
+/// `FaultRule::scope` wildcards: fire in any process, or only in the
+/// coordinator (workers set their ordinal >= 0 via SetProcessScope).
+inline constexpr int kAnyProcess = -2;
+inline constexpr int kCoordinator = -1;
+
+/// One rule: when `site` is evaluated (optionally only for a specific
+/// `detail` / process scope), fire `action` either on the `nth` per-process
+/// hit of the site (1-based) or with `probability` per hit, at most
+/// `max_fires` times per process (0 = unlimited).
+struct FaultRule {
+  Site site = Site::kSocketRead;
+  Action action = Action::kNone;
+  int param = 0;                   ///< errno for kErrno, ms for kStall
+  uint64_t detail = kAnyDetail;    ///< match Evaluate's detail argument
+  int scope = kAnyProcess;         ///< kAnyProcess, kCoordinator, or worker ordinal
+  uint64_t nth = 0;                ///< 1-based site-hit trigger; 0 = probabilistic
+  double probability = 0.0;        ///< used when nth == 0
+  uint64_t max_fires = 1;          ///< per-process fire budget; 0 = unlimited
+};
+
+/// A complete, seeded injection plan.
+struct FaultSchedule {
+  uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+};
+
+#ifdef DSEQ_FAULT_INJECTION_ENABLED
+
+inline constexpr bool kFaultInjectionEnabled = true;
+
+/// Installs `schedule` process-globally (replacing any previous one) and
+/// resets per-process hit/fire counters. Install before forking workers so
+/// children inherit the plan.
+void Configure(const FaultSchedule& schedule);
+
+/// Removes the installed schedule; every site goes back to "no fault".
+void Reset();
+
+/// Tags this process for `FaultRule::scope` matching and re-seeds the
+/// rule RNG from the schedule seed mixed with the scope, so sibling workers
+/// draw independent but reproducible streams. Workers pass their ordinal;
+/// the coordinator defaults to kCoordinator.
+void SetProcessScope(int scope);
+
+/// Evaluates one site hit. `detail` carries site-specific context (message
+/// count, task index) for rules that match on it.
+Fault Evaluate(Site site, uint64_t detail = 0);
+
+/// Per-process count of Evaluate() calls for `site` since Configure/Reset.
+uint64_t SiteHits(Site site);
+
+/// Per-process count of fired rules since Configure/Reset.
+uint64_t TotalFires();
+
+#else  // !DSEQ_FAULT_INJECTION_ENABLED
+
+inline constexpr bool kFaultInjectionEnabled = false;
+
+inline void Configure(const FaultSchedule&) {}
+inline void Reset() {}
+inline void SetProcessScope(int) {}
+constexpr Fault Evaluate(Site, uint64_t = 0) { return Fault{}; }
+constexpr uint64_t SiteHits(Site) { return 0; }
+constexpr uint64_t TotalFires() { return 0; }
+
+#endif  // DSEQ_FAULT_INJECTION_ENABLED
+
+/// Registry helpers (available in every build; used by docs and tests).
+/// SiteName returns the stable dotted name ("socket.read"); SiteFromName
+/// inverts it, returning false for unknown names.
+const char* SiteName(Site site);
+bool SiteFromName(const std::string& name, Site* site);
+
+}  // namespace fault
+}  // namespace dseq
+
+#endif  // DSEQ_FAULT_FAULT_INJECTION_H_

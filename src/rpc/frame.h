@@ -36,17 +36,24 @@ enum class MsgType : uint8_t {
   /// coordinator -> worker: varint(task) varint(begin) varint(end) — run the
   /// map shard over inputs [begin, end).
   kMapTask = 2,
-  /// One shuffle segment. worker -> coordinator after a map task (the
-  /// task's output for one reducer), coordinator -> worker inside a reduce
-  /// task (replayed in map-task order). Payload: varint(task)
-  /// varint(reducer) varint(kind: 0 = spill-run bytes, 1 = bucket tail)
-  /// varint(flags: bit 0 = block-compressed tail) varint(num_records)
-  /// followed by the segment bytes.
+  /// One shuffle segment, or one chunk of one. worker -> coordinator after
+  /// a map task (the task's output for one reducer), coordinator -> worker
+  /// inside a reduce task (replayed in map-task order). Payload:
+  /// varint(task) varint(reducer) varint(kind: 0 = spill-run bytes,
+  /// 1 = bucket tail, 2 = continuation chunk) varint(flags: bit 0 =
+  /// block-compressed tail) varint(num_records) followed by the segment
+  /// bytes. Segments larger than the chunk threshold (see
+  /// kMaxFramePayloadBytes) ship as zero or more kind-2 frames — raw byte
+  /// chunks with flags = num_records = 0 — terminated by one frame with the
+  /// real kind/flags/num_records carrying the final chunk; the receiver
+  /// concatenates. Chunks of one logical segment are never interleaved with
+  /// other segments on a connection.
   kSegment = 3,
   /// worker -> coordinator: map task finished and all its segments sent.
   /// Payload: varint(task) varint(map_output_records) varint(shuffle_records)
   /// varint(shuffle_bytes) varint(shuffle_compressed_bytes)
   /// varint(spill_files) varint(spill_bytes_written) varint(spill_merge_passes)
+  /// varint(input_storage_reads) varint(input_cache_hits)
   /// varint(num_reducers) num_reducers * varint(reducer_bytes[r]).
   kMapDone = 4,
   /// coordinator -> worker: varint(reducer) varint(num_segments) — reduce
@@ -64,12 +71,23 @@ enum class MsgType : uint8_t {
   kError = 7,
   /// coordinator -> worker: empty payload; the worker exits cleanly.
   kShutdown = 8,
+  /// coordinator -> worker: empty payload; liveness probe. A worker answers
+  /// kPong from its serve loop and from inside reduce-segment streaming.
+  kPing = 9,
+  /// worker -> coordinator: empty payload; heartbeat. Sent in reply to
+  /// kPing and spontaneously by the worker's progress-gated heartbeat
+  /// thread while a task is executing (only when the task's progress
+  /// counter advanced since the last beat, so a hung worker goes silent
+  /// and a slow-but-working one stays alive). The coordinator treats any
+  /// frame as progress and otherwise ignores kPong.
+  kPong = 10,
 };
 
-/// Upper bound accepted for a frame payload. Far above any real segment in
-/// the test workloads; its purpose is rejecting hostile length prefixes
-/// before they size an allocation. (Oversized *tails* on huge unbudgeted
-/// datasets would need segment chunking — a recorded leftover.)
+/// Upper bound accepted for a frame payload. Its purpose is rejecting
+/// hostile length prefixes before they size an allocation. Senders never
+/// hit it: logical shuffle segments larger than the chunk threshold (just
+/// under this cap; lowered in tests via DSEQ_PROC_TEST_CHUNK_BYTES) are
+/// split across continuation kSegment frames and reassembled on receive.
 inline constexpr uint64_t kMaxFramePayloadBytes = uint64_t{1} << 30;
 
 /// Appends one encoded frame to `out`.

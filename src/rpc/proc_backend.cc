@@ -10,19 +10,23 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/dataflow/map_shard.h"
 #include "src/dataflow/shuffle_buffer.h"
+#include "src/fault/fault_injection.h"
 #include "src/rpc/frame.h"
 #include "src/rpc/socket.h"
 #include "src/spill/external_merger.h"
@@ -51,7 +55,15 @@ enum ErrorKind : uint64_t {
 // Segment kinds (see MsgType::kSegment).
 constexpr uint64_t kSegmentRun = 0;
 constexpr uint64_t kSegmentTail = 1;
+constexpr uint64_t kSegmentPart = 2;  // continuation chunk of a large segment
 constexpr uint64_t kFlagCompressed = 1;
+
+// Respawn policy: exponential backoff per worker ordinal, bounded so a
+// deterministically-crashing pool converges to a typed error instead of
+// forking forever.
+constexpr int kRespawnInitialBackoffMs = 10;
+constexpr int kRespawnMaxBackoffMs = 1000;
+constexpr int kMaxRespawnsPerWorker = 5;
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -68,6 +80,19 @@ void RequireVarint(std::string_view payload, size_t* pos, uint64_t* value,
   if (!GetVarint(payload, pos, value)) {
     ProtocolError(std::string("truncated ") + what + " field");
   }
+}
+
+// Largest segment payload shipped in one kSegment frame; anything larger is
+// split into kSegmentPart chunks. Re-read from the environment on every call
+// because tests lower it per-case (DSEQ_PROC_TEST_CHUNK_BYTES) within one
+// process. The default leaves header room under the frame cap.
+size_t MaxSegmentChunkBytes() {
+  const char* env = std::getenv("DSEQ_PROC_TEST_CHUNK_BYTES");
+  if (env != nullptr) {
+    long long v = std::atoll(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return static_cast<size_t>(rpc::kMaxFramePayloadBytes) - 4096;
 }
 
 // Whole-file read used to ship spill-run bytes verbatim. EINTR-safe: a
@@ -100,18 +125,6 @@ std::string ReadFileBytes(const std::string& path) {
   return out;
 }
 
-// ---------------------------------------------------------------------------
-// Worker side. Everything below WorkerBody runs in a forked child: the
-// round's closures are valid via the fork's address-space copy, all results
-// leave through the connection, and the child never returns to the caller's
-// stack (it _exits).
-
-void SendOrThrow(MsgConn& conn, MsgType type, std::string_view payload) {
-  if (!conn.Send(type, payload)) {
-    throw std::runtime_error("proc worker: coordinator connection lost");
-  }
-}
-
 void AppendSegmentHeader(std::string* out, uint64_t task, uint64_t reducer,
                          uint64_t kind, uint64_t flags, uint64_t num_records) {
   PutVarint(out, task);
@@ -138,22 +151,151 @@ SegmentHeader ParseSegment(std::string_view payload) {
   RequireVarint(payload, &pos, &h.kind, "segment kind");
   RequireVarint(payload, &pos, &h.flags, "segment flags");
   RequireVarint(payload, &pos, &h.num_records, "segment record count");
-  if (h.kind != kSegmentRun && h.kind != kSegmentTail) {
+  if (h.kind != kSegmentRun && h.kind != kSegmentTail &&
+      h.kind != kSegmentPart) {
     ProtocolError("unknown segment kind " + std::to_string(h.kind));
   }
   h.bytes = payload.substr(pos);
   return h;
 }
 
+// Emits one logical segment as kSegment frames: zero or more kSegmentPart
+// continuation chunks followed by one frame carrying the real header and the
+// final chunk (see MsgType::kSegment). `emit` takes the encoded payload and
+// returns false when the connection died; `chunk_frames`, when set, counts
+// the continuation frames emitted.
+template <typename Emit>
+bool ForEachSegmentFrame(uint64_t task, uint64_t reducer, uint64_t kind,
+                         uint64_t flags, uint64_t num_records,
+                         std::string_view bytes, const Emit& emit,
+                         uint64_t* chunk_frames = nullptr) {
+  const size_t cap = std::max<size_t>(1, MaxSegmentChunkBytes());
+  std::string seg;
+  while (bytes.size() > cap) {
+    seg.clear();
+    AppendSegmentHeader(&seg, task, reducer, kSegmentPart, 0, 0);
+    seg.append(bytes.data(), cap);
+    bytes.remove_prefix(cap);
+    if (!emit(seg)) return false;
+    if (chunk_frames != nullptr) ++*chunk_frames;
+  }
+  seg.clear();
+  AppendSegmentHeader(&seg, task, reducer, kind, flags, num_records);
+  seg.append(bytes.data(), bytes.size());
+  return emit(seg);
+}
+
+// Heartbeat cadence: an explicit interval wins; otherwise derive a fraction
+// of the stall timeout so a slow-but-working task always beats well inside
+// the kill window. 0 disables heartbeats entirely.
+int HeartbeatIntervalMs(const DataflowOptions& options) {
+  if (options.proc_heartbeat_interval_ms > 0) {
+    return options.proc_heartbeat_interval_ms;
+  }
+  if (options.proc_worker_timeout_ms > 0) {
+    return std::clamp(options.proc_worker_timeout_ms / 4, 10, 1000);
+  }
+  return 0;
+}
+
+// Acts on a lifecycle fault drawn from worker.message / worker.before_commit
+// sites. A no-op (and fully folded away) in default builds, where Evaluate
+// is constexpr "no fault".
+void ApplyLifecycleFault(const fault::Fault& f) {
+  if (f.action == fault::Action::kKill) ::raise(SIGKILL);
+  if (f.action == fault::Action::kStall && f.param > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(f.param));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side. Everything below WorkerBody runs in a forked child: the
+// round's closures are valid via the fork's address-space copy, all results
+// leave through the connection, and the child never returns to the caller's
+// stack (it _exits).
+
+// The worker's connection to the coordinator. Sends are serialized with a
+// mutex because the heartbeat pump thread and the task thread both write
+// frames; receives stay single-threaded (task thread only).
+struct WorkerConn {
+  explicit WorkerConn(MsgConn c) : conn(std::move(c)) {}
+
+  bool Send(MsgType type, std::string_view payload) {
+    std::lock_guard<std::mutex> lock(send_mu);
+    return conn.Send(type, payload);
+  }
+
+  bool Recv(MsgType* type, std::string* payload) {
+    return conn.Recv(type, payload);
+  }
+
+  MsgConn conn;
+  std::mutex send_mu;
+};
+
+void SendOrThrow(WorkerConn& conn, MsgType type, std::string_view payload) {
+  if (!conn.Send(type, payload)) {
+    throw std::runtime_error("proc worker: coordinator connection lost");
+  }
+}
+
+// Progress-gated heartbeat: a thread that samples `progress` every
+// `interval_ms` and sends kPong only when it advanced since the last sample.
+// A hung task stops the beats (the coordinator's stall timeout then fires);
+// a slow-but-working one stays visibly alive indefinitely.
+class HeartbeatPump {
+ public:
+  HeartbeatPump(WorkerConn* conn, std::atomic<uint64_t>* progress,
+                int interval_ms)
+      : conn_(conn),
+        progress_(progress),
+        interval_(std::chrono::milliseconds(interval_ms)) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~HeartbeatPump() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    uint64_t last = progress_->load(std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, interval_);
+      if (stop_) break;
+      uint64_t cur = progress_->load(std::memory_order_relaxed);
+      if (cur == last) continue;  // no progress: stay silent
+      last = cur;
+      lock.unlock();
+      conn_->Send(MsgType::kPong, {});  // best effort; EOF surfaces elsewhere
+      lock.lock();
+    }
+  }
+
+  WorkerConn* conn_;
+  std::atomic<uint64_t>* progress_;
+  std::chrono::milliseconds interval_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 // Runs one map task: the shared RunMapShard body over [begin, end), then
 // ships each reducer's output (spilled runs verbatim, then the stored
-// bucket tail) and the task's raw metrics. `kill_before_commit` is the
-// fault-injection hook: die after the segments, before kMapDone, so the
-// coordinator must discard them and re-execute the task.
-void RunWorkerMapTask(MsgConn& conn, std::string_view payload,
+// bucket tail) and the task's raw metrics. The worker.before_commit fault
+// site sits between the segments and kMapDone — dying there forces the
+// coordinator to discard the staged segments and re-execute the task.
+void RunWorkerMapTask(WorkerConn& conn, std::string_view payload,
                       const MapFn& map_fn,
                       const CombinerFactory& combiner_factory,
-                      const DataflowOptions& options, bool kill_before_commit) {
+                      const DataflowOptions& options, int heartbeat_ms) {
   size_t pos = 0;
   uint64_t task = 0;
   uint64_t begin = 0;
@@ -188,6 +330,7 @@ void RunWorkerMapTask(MsgConn& conn, std::string_view payload,
   std::atomic<uint64_t> shuffle_records{0};
   std::atomic<uint64_t> map_output_records{0};
   std::atomic<uint64_t> shuffle_compressed_bytes{0};
+  std::atomic<uint64_t> progress{0};
 
   MapShardContext ctx;
   ctx.options = &options;
@@ -208,21 +351,40 @@ void RunWorkerMapTask(MsgConn& conn, std::string_view payload,
   ctx.shuffle_records = &shuffle_records;
   ctx.map_output_records = &map_output_records;
   ctx.shuffle_compressed_bytes = &shuffle_compressed_bytes;
-  RunMapShard(ctx);
+  ctx.progress = &progress;
+
+  // Input-cache counters travel as before/after deltas of the process-global
+  // gauges: the map closure reads the (cached) input database, and the
+  // coordinator folds the deltas into the round metrics via kMapDone.
+  uint64_t storage_before = GlobalInputStorageReads().load();
+  uint64_t hits_before = GlobalInputCacheHits().load();
+  {
+    std::unique_ptr<HeartbeatPump> pump;
+    if (heartbeat_ms > 0) {
+      pump = std::make_unique<HeartbeatPump>(&conn, &progress, heartbeat_ms);
+    }
+    RunMapShard(ctx);
+  }
+  uint64_t storage_reads = GlobalInputStorageReads().load() - storage_before;
+  uint64_t cache_hits = GlobalInputCacheHits().load() - hits_before;
 
   // Ship: per reducer, the spilled runs in chronological order, then the
   // bucket tail in stored form. This is exactly the source order the local
   // reduce phase uses per map worker, so the coordinator can replay
-  // segments into an identical stable merge.
-  std::string seg;
+  // segments into an identical stable merge. Oversized segments leave as
+  // continuation chunks (ForEachSegmentFrame).
+  auto emit = [&](const std::string& seg) {
+    return conn.Send(MsgType::kSegment, seg);
+  };
   for (int r = 0; r < reduce_workers; ++r) {
     if (budget.enabled()) {
       for (SpillFile& run : spill_runs[r]) {
-        seg.clear();
-        AppendSegmentHeader(&seg, task, r, kSegmentRun,
-                            options.compress_spill ? kFlagCompressed : 0, 0);
-        seg += ReadFileBytes(run.path());
-        SendOrThrow(conn, MsgType::kSegment, seg);
+        std::string run_bytes = ReadFileBytes(run.path());
+        if (!ForEachSegmentFrame(task, r, kSegmentRun,
+                                 options.compress_spill ? kFlagCompressed : 0,
+                                 0, run_bytes, emit)) {
+          throw std::runtime_error("proc worker: coordinator connection lost");
+        }
       }
       spill_runs[r].clear();  // shipped; delete the local files now
     }
@@ -230,14 +392,14 @@ void RunWorkerMapTask(MsgConn& conn, std::string_view payload,
     bool compressed = false;
     std::string stored = buckets[r].ReleaseStored(&compressed);
     if (stored.empty()) continue;  // nothing buffered for this reducer
-    seg.clear();
-    AppendSegmentHeader(&seg, task, r, kSegmentTail,
-                        compressed ? kFlagCompressed : 0, tail_records);
-    seg += stored;
-    SendOrThrow(conn, MsgType::kSegment, seg);
+    if (!ForEachSegmentFrame(task, r, kSegmentTail,
+                             compressed ? kFlagCompressed : 0, tail_records,
+                             stored, emit)) {
+      throw std::runtime_error("proc worker: coordinator connection lost");
+    }
   }
 
-  if (kill_before_commit) ::raise(SIGKILL);
+  ApplyLifecycleFault(fault::Evaluate(fault::Site::kWorkerCommit, task));
 
   std::string done;
   PutVarint(&done, task);
@@ -248,6 +410,8 @@ void RunWorkerMapTask(MsgConn& conn, std::string_view payload,
   PutVarint(&done, spill_stats.files.load());
   PutVarint(&done, spill_stats.bytes_written.load());
   PutVarint(&done, spill_stats.merge_passes.load());
+  PutVarint(&done, storage_reads);
+  PutVarint(&done, cache_hits);
   PutVarint(&done, reduce_workers);
   for (int r = 0; r < reduce_workers; ++r) PutVarint(&done, reducer_bytes[r]);
   SendOrThrow(conn, MsgType::kMapDone, done);
@@ -258,14 +422,20 @@ void RunWorkerMapTask(MsgConn& conn, std::string_view payload,
 // task). Reproduces the local reduce phase exactly: an external stable
 // merge when any run segment exists, the sort-based in-memory grouping
 // otherwise.
-void RunWorkerReduceTask(MsgConn& conn, std::string_view payload,
+void RunWorkerReduceTask(WorkerConn& conn, std::string_view payload,
                          const ChainReduceFn& reduce_fn,
-                         const DataflowOptions& options) {
+                         const DataflowOptions& options, int heartbeat_ms) {
   size_t pos = 0;
   uint64_t reducer = 0;
   uint64_t num_segments = 0;
   RequireVarint(payload, &pos, &reducer, "reduce task");
   RequireVarint(payload, &pos, &num_segments, "reduce segment count");
+
+  std::atomic<uint64_t> progress{0};
+  std::unique_ptr<HeartbeatPump> pump;
+  if (heartbeat_ms > 0) {
+    pump = std::make_unique<HeartbeatPump>(&conn, &progress, heartbeat_ms);
+  }
 
   struct Seg {
     uint64_t kind;
@@ -275,19 +445,40 @@ void RunWorkerReduceTask(MsgConn& conn, std::string_view payload,
   std::vector<Seg> segments;
   segments.reserve(num_segments);
   bool any_run = false;
-  for (uint64_t i = 0; i < num_segments; ++i) {
+  std::string parts;  // pending kSegmentPart chunks of the current segment
+  bool part_open = false;
+  for (uint64_t i = 0; i < num_segments;) {
     MsgType type;
     std::string frame;
     if (!conn.Recv(&type, &frame)) {
       throw std::runtime_error("proc worker: coordinator connection lost");
     }
+    if (type == MsgType::kPing) {
+      conn.Send(MsgType::kPong, {});
+      continue;
+    }
     if (type != MsgType::kSegment) ProtocolError("expected a segment frame");
     SegmentHeader h = ParseSegment(frame);
     if (h.reducer != reducer) ProtocolError("segment for the wrong reducer");
+    if (h.kind == kSegmentPart) {
+      part_open = true;
+      parts.append(h.bytes.data(), h.bytes.size());
+      continue;
+    }
+    std::string full;
+    if (part_open) {
+      full = std::move(parts);
+      parts = std::string();
+      part_open = false;
+    }
+    full.append(h.bytes.data(), h.bytes.size());
     any_run = any_run || h.kind == kSegmentRun;
-    segments.push_back(Seg{h.kind, (h.flags & kFlagCompressed) != 0,
-                           std::string(h.bytes)});
+    segments.push_back(
+        Seg{h.kind, (h.flags & kFlagCompressed) != 0, std::move(full)});
+    progress.fetch_add(1, std::memory_order_relaxed);
+    ++i;
   }
+  if (part_open) ProtocolError("unterminated segment chunk stream");
 
   MemoryBudget budget(options.memory_budget_bytes);
   SpillStats spill_stats;
@@ -303,6 +494,7 @@ void RunWorkerReduceTask(MsgConn& conn, std::string_view payload,
   auto handle_group = [&](std::string_view key,
                           std::vector<std::string_view>& values) {
     reduce_fn(static_cast<int>(reducer), key, values, emit);
+    progress.fetch_add(1, std::memory_order_relaxed);
   };
 
   // Decoded tail buffers must stay put while views into them live in the
@@ -386,14 +578,18 @@ void RunWorkerReduceTask(MsgConn& conn, std::string_view payload,
 
 // The worker loop: connect, announce the ordinal, then serve tasks until
 // shutdown. Returns the child's exit code; the caller _exits with it (all
-// RAII state lives inside this function's scopes).
+// RAII state lives inside this function's scopes). Lifecycle faults
+// (worker.message) are evaluated once per *task* message — kPing probes are
+// excluded so nth-message rules stay deterministic under timing-dependent
+// heartbeat traffic.
 int WorkerBody(int ordinal, uint16_t port, const MapFn& map_fn,
                const CombinerFactory& combiner_factory,
                const ChainReduceFn& reduce_fn, const DataflowOptions& options) {
   rpc::IgnoreSigPipe();
-  std::unique_ptr<MsgConn> conn;
+  fault::SetProcessScope(ordinal);
+  std::unique_ptr<WorkerConn> conn;
   try {
-    conn = std::make_unique<MsgConn>(rpc::ConnectLoopback(port));
+    conn = std::make_unique<WorkerConn>(MsgConn(rpc::ConnectLoopback(port)));
     std::string hello;
     PutVarint(&hello, ordinal);
     SendOrThrow(*conn, MsgType::kHello, hello);
@@ -401,22 +597,26 @@ int WorkerBody(int ordinal, uint16_t port, const MapFn& map_fn,
     return 1;  // no connection to report through
   }
 
-  const char* kill_env = std::getenv("DSEQ_PROC_TEST_KILL_WORKER");
-  bool kill_on_first_map =
-      kill_env != nullptr && std::atoi(kill_env) == ordinal;
-
+  const int heartbeat_ms = HeartbeatIntervalMs(options);
+  uint64_t task_messages = 0;
   try {
     for (;;) {
       MsgType type;
       std::string payload;
       if (!conn->Recv(&type, &payload)) return 1;  // coordinator gone
       if (type == MsgType::kShutdown) return 0;
+      if (type == MsgType::kPing) {
+        conn->Send(MsgType::kPong, {});
+        continue;
+      }
+      ++task_messages;
+      ApplyLifecycleFault(
+          fault::Evaluate(fault::Site::kWorkerMessage, task_messages));
       if (type == MsgType::kMapTask) {
         RunWorkerMapTask(*conn, payload, map_fn, combiner_factory, options,
-                         kill_on_first_map);
-        kill_on_first_map = false;  // unreachable when injected, but tidy
+                         heartbeat_ms);
       } else if (type == MsgType::kReduceTask) {
-        RunWorkerReduceTask(*conn, payload, reduce_fn, options);
+        RunWorkerReduceTask(*conn, payload, reduce_fn, options, heartbeat_ms);
       } else {
         ProtocolError("unexpected message from coordinator");
       }
@@ -446,7 +646,8 @@ int WorkerBody(int ordinal, uint16_t port, const MapFn& map_fn,
 // One committed shuffle segment held between the phases. Run segments are
 // parked in spill files (they only exist when a spill directory is
 // configured, and they can dominate the shuffle volume); tails stay in
-// memory, like the local backend's resident buckets.
+// memory like the local backend's resident buckets, unless they exceed
+// proc_tail_park_bytes — then they are parked on disk too.
 struct StoredSegment {
   uint64_t kind = 0;
   uint64_t flags = 0;
@@ -468,6 +669,8 @@ struct MapReport {
   uint64_t spill_files = 0;
   uint64_t spill_bytes_written = 0;
   uint64_t spill_merge_passes = 0;
+  uint64_t input_storage_reads = 0;
+  uint64_t input_cache_hits = 0;
   std::vector<uint64_t> reducer_bytes;
 };
 
@@ -482,7 +685,8 @@ class Coordinator {
         reduce_fn_(reduce_fn),
         options_(options),
         map_tasks_(ClampWorkers(options.num_map_workers)),
-        reduce_tasks_(ClampWorkers(options.num_reduce_workers)) {
+        reduce_tasks_(ClampWorkers(options.num_reduce_workers)),
+        max_attempts_(std::max(1, options.proc_max_task_attempts)) {
     // Sized here, not via a fill constructor: StoredSegment is move-only
     // (it owns its parked SpillFile), and vector's fill path copies.
     for (auto& per_task : store_) {
@@ -494,11 +698,17 @@ class Coordinator {
 
   ProcRoundResult Run() {
     rpc::IgnoreSigPipe();
+    if (options_.proc_round_deadline_ms > 0) {
+      has_deadline_ = true;
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options_.proc_round_deadline_ms);
+    }
     Spawn();
     ProcRoundResult result;
     {
       auto start = std::chrono::steady_clock::now();
-      RunTasks(map_tasks_, [this](Worker& w, int t) { return SendMapTask(w, t); },
+      RunTasks(map_tasks_, "map",
+               [this](Worker& w, int t) { return SendMapTask(w, t); },
                [this](Worker& w, MsgType type, std::string_view payload) {
                  return OnMapFrame(w, type, payload);
                });
@@ -506,7 +716,7 @@ class Coordinator {
     }
     {
       auto start = std::chrono::steady_clock::now();
-      RunTasks(reduce_tasks_,
+      RunTasks(reduce_tasks_, "reduce",
                [this](Worker& w, int t) { return SendReduceTask(w, t); },
                [this](Worker& w, MsgType type, std::string_view payload) {
                  return OnReduceFrame(w, type, payload);
@@ -525,6 +735,8 @@ class Coordinator {
       m.spill_files += report.spill_files;
       m.spill_bytes_written += report.spill_bytes_written;
       m.spill_merge_passes += report.spill_merge_passes;
+      m.input_storage_reads += report.input_storage_reads;
+      m.input_cache_hits += report.input_cache_hits;
       for (int r = 0; r < reduce_tasks_; ++r) {
         m.reducer_bytes[r] += report.reducer_bytes[r];
       }
@@ -532,6 +744,12 @@ class Coordinator {
     m.spill_files += reduce_spill_files_;
     m.spill_bytes_written += reduce_spill_bytes_;
     m.spill_merge_passes += reduce_merge_passes_;
+    m.proc_task_attempts = attempts_total_;
+    m.proc_task_retries = retries_total_;
+    m.proc_worker_kills = kills_;
+    m.proc_workers_respawned = respawns_;
+    m.proc_segment_chunks = segment_chunks_;
+    m.proc_parked_tails = parked_tails_;
     size_t total = 0;
     for (const auto& records : reduce_records_) total += records.size();
     result.records.reserve(total);
@@ -546,12 +764,28 @@ class Coordinator {
     pid_t pid = -1;
     int ordinal = -1;
     std::unique_ptr<MsgConn> conn;
-    bool exited = false;  // reaped by waitpid
-    int task = -1;        // in-flight task, -1 when idle
+    bool exited = false;    // reaped by waitpid
+    bool spawning = false;  // (re)forked but not yet connected
+    int task = -1;          // in-flight task, -1 when idle
+    int deaths = 0;         // lifetime deaths of this ordinal's slot
+    bool respawn_pending = false;
+    std::chrono::steady_clock::time_point respawn_at;
     std::chrono::steady_clock::time_point last_progress;
+    std::chrono::steady_clock::time_point last_ping;
     // Segments of the in-flight map task, discarded if the worker dies
     // before kMapDone commits them.
     std::vector<std::pair<int, StoredSegment>> staged;
+    // Reassembly buffer for kSegmentPart continuation chunks.
+    bool part_open = false;
+    uint64_t part_task = 0;
+    uint64_t part_reducer = 0;
+    std::string part_bytes;
+  };
+
+  // Per-task retry bookkeeping of the current phase.
+  struct TaskState {
+    int attempts = 0;
+    std::string last_failure;
   };
 
   bool Alive(const Worker& w) const { return w.conn != nullptr; }
@@ -562,80 +796,100 @@ class Coordinator {
     return n;
   }
 
+  bool AnyRespawnScheduled() const {
+    for (const Worker& w : workers_) {
+      if (w.respawn_pending || w.spawning) return true;
+    }
+    return false;
+  }
+
+  static void ResetPartBuffer(Worker& w) {
+    w.part_open = false;
+    std::string().swap(w.part_bytes);
+  }
+
   void Spawn() {
     int pool = std::max(map_tasks_, reduce_tasks_);
-    uint16_t port = 0;
-    int listen_fd = rpc::ListenLoopback(&port);
+    listen_fd_ = rpc::ListenLoopback(&port_);
     workers_.resize(pool);
     for (int w = 0; w < pool; ++w) {
       pid_t pid = ::fork();
       if (pid < 0) {
         int err = errno;
-        ::close(listen_fd);
-        throw std::runtime_error(std::string("proc backend: fork: ") +
-                                 std::strerror(err));
+        throw ProcBackendError(std::string("proc backend: fork: ") +
+                               std::strerror(err));
       }
       if (pid == 0) {
-        ::close(listen_fd);
+        ::close(listen_fd_);
         // The child serves the round and leaves through _exit — never
         // through the coordinator's stack (its RAII state all lives inside
         // WorkerBody's scopes).
-        ::_exit(WorkerBody(w, port, map_fn_, combiner_factory_, reduce_fn_,
+        ::_exit(WorkerBody(w, port_, map_fn_, combiner_factory_, reduce_fn_,
                            options_));
       }
       workers_[w].pid = pid;
       workers_[w].ordinal = w;
+      workers_[w].spawning = true;
+      all_pids_.push_back(pid);
     }
-    try {
-      AcceptWorkers(listen_fd);
-    } catch (...) {
-      ::close(listen_fd);
-      throw;
-    }
-    ::close(listen_fd);
+    AcceptWorkers();
   }
 
-  void AcceptWorkers(int listen_fd) {
+  // Accepts one pending connection on the listener and binds it to the
+  // worker slot named in its kHello. A connection that dies before the
+  // hello is dropped; its child shows up in Reap().
+  void AcceptOne() {
+    MsgConn conn(rpc::AcceptConn(listen_fd_));
+    MsgType type;
+    std::string payload;
+    if (!conn.Recv(&type, &payload) || type != MsgType::kHello) return;
+    size_t pos = 0;
+    uint64_t ordinal = 0;
+    RequireVarint(payload, &pos, &ordinal, "hello ordinal");
+    if (ordinal >= workers_.size() || Alive(workers_[ordinal])) {
+      ProtocolError("bad hello ordinal " + std::to_string(ordinal));
+    }
+    Worker& w = workers_[ordinal];
+    w.conn = std::make_unique<MsgConn>(std::move(conn));
+    w.spawning = false;
+    w.last_progress = w.last_ping = std::chrono::steady_clock::now();
+  }
+
+  void AcceptWorkers() {
     auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
     for (;;) {
       Reap();
       bool settled = true;
-      for (const Worker& w : workers_) {
+      for (Worker& w : workers_) {
         if (!Alive(w) && !w.exited) settled = false;
+        if (w.exited) w.spawning = false;
       }
       if (settled) {
-        if (AliveCount() == 0) {
-          throw std::runtime_error(
+        // Workers that died before connecting get the same respawn policy
+        // as mid-round deaths; the pool only counts as lost when nobody is
+        // alive and nobody is coming back.
+        for (Worker& w : workers_) {
+          if (!Alive(w) && !w.respawn_pending) ScheduleRespawn(w);
+        }
+        if (AliveCount() == 0 && !AnyRespawnScheduled()) {
+          throw ProcBackendError(
               "proc backend: every worker died before connecting");
         }
         return;
       }
       if (std::chrono::steady_clock::now() > deadline) {
-        throw std::runtime_error(
+        throw ProcBackendError(
             "proc backend: workers failed to connect within 30s");
       }
-      pollfd p{listen_fd, POLLIN, 0};
+      pollfd p{listen_fd_, POLLIN, 0};
       int n = ::poll(&p, 1, 100);
       if (n < 0) {
         if (errno == EINTR) continue;
-        throw std::runtime_error(std::string("proc backend: poll: ") +
-                                 std::strerror(errno));
+        throw ProcBackendError(std::string("proc backend: poll: ") +
+                               std::strerror(errno));
       }
       if (n == 0 || (p.revents & POLLIN) == 0) continue;
-      MsgConn conn(rpc::AcceptConn(listen_fd));
-      MsgType type;
-      std::string payload;
-      // The hello follows the connect immediately; a connection that dies
-      // first is dropped here and its child shows up in Reap().
-      if (!conn.Recv(&type, &payload) || type != MsgType::kHello) continue;
-      size_t pos = 0;
-      uint64_t ordinal = 0;
-      RequireVarint(payload, &pos, &ordinal, "hello ordinal");
-      if (ordinal >= workers_.size() || Alive(workers_[ordinal])) {
-        ProtocolError("bad hello ordinal " + std::to_string(ordinal));
-      }
-      workers_[ordinal].conn = std::make_unique<MsgConn>(std::move(conn));
-      workers_[ordinal].last_progress = std::chrono::steady_clock::now();
+      AcceptOne();
     }
   }
 
@@ -645,46 +899,148 @@ class Coordinator {
       int status = 0;
       if (::waitpid(w.pid, &status, WNOHANG) == w.pid) w.exited = true;
     }
+    for (auto& [pid, reaped] : graveyard_) {
+      if (reaped) continue;
+      int status = 0;
+      if (::waitpid(pid, &status, WNOHANG) == pid) reaped = true;
+    }
   }
 
-  // Declares a worker dead: its connection is dropped, its in-flight task
-  // goes back to the queue, and its uncommitted segments are discarded
-  // (committed output in store_ is untouched — that is the re-execution
-  // correctness contract).
-  void MarkDead(Worker& w, std::deque<int>* pending) {
-    if (w.task != -1) {
-      pending->push_back(w.task);
-      w.task = -1;
+  // Records a death of this ordinal's slot and, within the respawn budget,
+  // schedules a replacement fork after an exponential backoff.
+  void ScheduleRespawn(Worker& w) {
+    ++w.deaths;
+    if (w.deaths > kMaxRespawnsPerWorker) return;  // slot stays dead
+    int backoff = std::min(kRespawnInitialBackoffMs << (w.deaths - 1),
+                           kRespawnMaxBackoffMs);
+    w.respawn_pending = true;
+    w.respawn_at = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(backoff);
+  }
+
+  // Forks replacements whose backoff has elapsed. The child must drop every
+  // coordinator-side fd it inherited — other workers' connections and the
+  // listener — or a dead sibling would never read as EOF on the coordinator.
+  void MaybeRespawn() {
+    auto now = std::chrono::steady_clock::now();
+    for (Worker& w : workers_) {
+      if (!w.respawn_pending || now < w.respawn_at) continue;
+      pid_t pid = ::fork();
+      if (pid < 0) {
+        w.respawn_at = now + std::chrono::milliseconds(100);  // retry later
+        continue;
+      }
+      if (pid == 0) {
+        for (Worker& other : workers_) other.conn.reset();
+        ::close(listen_fd_);
+        ::_exit(WorkerBody(w.ordinal, port_, map_fn_, combiner_factory_,
+                           reduce_fn_, options_));
+      }
+      if (w.pid >= 0 && !w.exited) graveyard_.emplace_back(w.pid, false);
+      w.pid = pid;
+      w.exited = false;
+      w.spawning = true;
+      w.respawn_pending = false;
+      ++respawns_;
+      all_pids_.push_back(pid);
     }
-    w.staged.clear();
+  }
+
+  // Declares a worker dead: its connection is dropped, its uncommitted
+  // segments are discarded (committed output in store_ is untouched — that
+  // is the re-execution correctness contract), a replacement fork is
+  // scheduled, and its in-flight task goes back to the queue — unless the
+  // task has burned its whole attempt budget, which ends the round with a
+  // typed error naming the task and what kept killing it.
+  void MarkDead(Worker& w, std::deque<int>* pending, const std::string& reason) {
     w.conn.reset();
+    w.staged.clear();
+    ResetPartBuffer(w);
+    int task = w.task;
+    w.task = -1;
+    ScheduleRespawn(w);
+    if (task == -1) return;
+    TaskState& ts = task_state_[task];
+    ts.last_failure = reason;
+    if (ts.attempts >= max_attempts_) {
+      throw ProcTaskFailedError(phase_, task, ts.attempts, reason);
+    }
+    pending->push_back(task);
+  }
+
+  void CheckDeadline(int done, int num_tasks) {
+    if (!has_deadline_ || std::chrono::steady_clock::now() <= deadline_) return;
+    throw ProcDeadlineError(
+        "proc backend: round " + std::to_string(options_.round_index) +
+        " exceeded its deadline (" +
+        std::to_string(options_.proc_round_deadline_ms) + " ms) in the " +
+        phase_ + " phase (" + std::to_string(done) + "/" +
+        std::to_string(num_tasks) + " tasks done)");
   }
 
   // Generic phase driver: schedules tasks 0..num_tasks-1 onto idle workers,
-  // pumps their connections, reassigns tasks of dead (or timed-out) workers.
-  // `send_task` returns false when the worker died mid-send; `on_frame`
-  // returns true when the worker's in-flight task completed (and throws to
-  // abort the round, e.g. on kError).
-  void RunTasks(int num_tasks,
+  // pumps their connections, reassigns tasks of dead (or stalled) workers
+  // within the per-task attempt budget, pings for liveness, respawns
+  // replacements, and enforces the round deadline. `send_task` returns
+  // false when the worker died mid-send; `on_frame` returns true when the
+  // worker's in-flight task completed (and throws to abort the round, e.g.
+  // on kError).
+  void RunTasks(int num_tasks, const char* phase,
                 const std::function<bool(Worker&, int)>& send_task,
                 const std::function<bool(Worker&, MsgType, std::string_view)>&
                     on_frame) {
+    phase_ = phase;
+    task_state_.assign(static_cast<size_t>(num_tasks), TaskState{});
+    const int hb_ms = HeartbeatIntervalMs(options_);
     std::deque<int> pending;
     for (int t = 0; t < num_tasks; ++t) pending.push_back(t);
     int done = 0;
     while (done < num_tasks) {
-      if (AliveCount() == 0) {
-        throw std::runtime_error(
+      CheckDeadline(done, num_tasks);
+      Reap();
+      // A replacement that died before connecting counts as another death
+      // of its slot (it never reaches MarkDead — it has no connection).
+      for (Worker& w : workers_) {
+        if (w.spawning && w.exited) {
+          w.spawning = false;
+          ScheduleRespawn(w);
+        }
+      }
+      MaybeRespawn();
+      if (AliveCount() == 0 && !AnyRespawnScheduled()) {
+        throw ProcBackendError(
             "proc backend: every worker died with tasks outstanding");
       }
+      auto now = std::chrono::steady_clock::now();
       for (Worker& w : workers_) {
         if (pending.empty()) break;
         if (!Alive(w) || w.task != -1) continue;
         w.task = pending.front();
         pending.pop_front();
         w.staged.clear();
-        w.last_progress = std::chrono::steady_clock::now();
-        if (!send_task(w, w.task)) MarkDead(w, &pending);
+        ResetPartBuffer(w);
+        TaskState& ts = task_state_[w.task];
+        ++ts.attempts;
+        ++attempts_total_;
+        if (ts.attempts > 1) ++retries_total_;
+        w.last_progress = w.last_ping = now;
+        if (!send_task(w, w.task)) {
+          MarkDead(w, &pending, "worker " + std::to_string(w.ordinal) +
+                                    " connection lost sending the task");
+        }
+      }
+
+      if (hb_ms > 0) {
+        now = std::chrono::steady_clock::now();
+        for (Worker& w : workers_) {
+          if (!Alive(w)) continue;
+          if (now - w.last_ping < std::chrono::milliseconds(hb_ms)) continue;
+          w.last_ping = now;
+          if (!w.conn->Send(MsgType::kPing, {})) {
+            MarkDead(w, &pending, "worker " + std::to_string(w.ordinal) +
+                                      " connection lost sending a ping");
+          }
+        }
       }
 
       std::vector<pollfd> pfds;
@@ -694,14 +1050,19 @@ class Coordinator {
         pfds.push_back(pollfd{w.conn->fd(), POLLIN, 0});
         order.push_back(&w);
       }
+      pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
       int timeout_ms = options_.proc_worker_timeout_ms > 0 ? 50 : 200;
+      if (hb_ms > 0) timeout_ms = std::min(timeout_ms, hb_ms);
+      for (const Worker& w : workers_) {
+        if (w.respawn_pending) timeout_ms = std::min(timeout_ms, 10);
+      }
       int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
       if (n < 0 && errno != EINTR) {
-        throw std::runtime_error(std::string("proc backend: poll: ") +
-                                 std::strerror(errno));
+        throw ProcBackendError(std::string("proc backend: poll: ") +
+                               std::strerror(errno));
       }
       if (n > 0) {
-        for (size_t i = 0; i < pfds.size(); ++i) {
+        for (size_t i = 0; i + 1 < pfds.size(); ++i) {
           if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
           Worker& w = *order[i];
           if (!Alive(w)) continue;
@@ -715,25 +1076,38 @@ class Coordinator {
               ProtocolError("malformed frame from worker " +
                             std::to_string(w.ordinal));
             }
+            // Every frame counts as progress; kPong exists only for that.
             w.last_progress = std::chrono::steady_clock::now();
+            if (type == MsgType::kPong) continue;
             if (on_frame(w, type, payload)) {
               ++done;
               w.task = -1;
               w.staged.clear();
+              ResetPartBuffer(w);
             }
           }
-          if (!io_ok) MarkDead(w, &pending);
+          if (!io_ok) {
+            MarkDead(w, &pending, "worker " + std::to_string(w.ordinal) +
+                                      " connection lost (process death or "
+                                      "mid-frame disconnect)");
+          }
         }
+        if ((pfds.back().revents & POLLIN) != 0) AcceptOne();
       }
 
       if (options_.proc_worker_timeout_ms > 0) {
-        auto now = std::chrono::steady_clock::now();
+        now = std::chrono::steady_clock::now();
         auto limit = std::chrono::milliseconds(options_.proc_worker_timeout_ms);
         for (Worker& w : workers_) {
           if (!Alive(w) || w.task == -1) continue;
           if (now - w.last_progress <= limit) continue;
-          ::kill(w.pid, SIGKILL);  // stuck: reclaim the task forcibly
-          MarkDead(w, &pending);
+          ::kill(w.pid, SIGKILL);  // hung (not merely slow): reclaim forcibly
+          ++kills_;
+          MarkDead(w, &pending,
+                   "worker " + std::to_string(w.ordinal) +
+                       " made no progress for " +
+                       std::to_string(options_.proc_worker_timeout_ms) +
+                       " ms and was killed");
         }
       }
       Reap();
@@ -759,6 +1133,27 @@ class Coordinator {
           h.reducer >= static_cast<uint64_t>(reduce_tasks_)) {
         ProtocolError("segment outside the worker's in-flight task");
       }
+      if (h.kind == kSegmentPart) {
+        if (w.part_open &&
+            (w.part_task != h.task || w.part_reducer != h.reducer)) {
+          ProtocolError("interleaved segment chunks");
+        }
+        w.part_open = true;
+        w.part_task = h.task;
+        w.part_reducer = h.reducer;
+        w.part_bytes.append(h.bytes.data(), h.bytes.size());
+        ++segment_chunks_;
+        return false;
+      }
+      std::string full;
+      if (w.part_open) {
+        if (w.part_task != h.task || w.part_reducer != h.reducer) {
+          ProtocolError("segment chunk terminator mismatch");
+        }
+        full = std::move(w.part_bytes);
+        ResetPartBuffer(w);
+      }
+      full.append(h.bytes.data(), h.bytes.size());
       StoredSegment seg;
       seg.kind = h.kind;
       seg.flags = h.flags;
@@ -771,10 +1166,20 @@ class Coordinator {
         // segment store, and a discarded stage cleans itself up via RAII.
         seg.file = std::make_unique<SpillFile>(
             SpillFile::Create(options_.spill_dir));
-        seg.file->Append(h.bytes.data(), h.bytes.size());
+        seg.file->Append(full.data(), full.size());
         seg.file->FinishWrite();
+      } else if (!options_.spill_dir.empty() &&
+                 options_.proc_tail_park_bytes > 0 &&
+                 full.size() >= options_.proc_tail_park_bytes) {
+        // Large staged tail: park it on disk instead of holding the bytes
+        // resident until the reduce phase replays them.
+        seg.file = std::make_unique<SpillFile>(
+            SpillFile::Create(options_.spill_dir));
+        seg.file->Append(full.data(), full.size());
+        seg.file->FinishWrite();
+        ++parked_tails_;
       } else {
-        seg.bytes.assign(h.bytes);
+        seg.bytes = std::move(full);
       }
       w.staged.emplace_back(static_cast<int>(h.reducer), std::move(seg));
       return false;
@@ -795,6 +1200,8 @@ class Coordinator {
       RequireVarint(payload, &pos, &report.spill_files, "map-done");
       RequireVarint(payload, &pos, &report.spill_bytes_written, "map-done");
       RequireVarint(payload, &pos, &report.spill_merge_passes, "map-done");
+      RequireVarint(payload, &pos, &report.input_storage_reads, "map-done");
+      RequireVarint(payload, &pos, &report.input_cache_hits, "map-done");
       uint64_t num_reducers = 0;
       RequireVarint(payload, &pos, &num_reducers, "map-done reducer count");
       if (num_reducers != static_cast<uint64_t>(reduce_tasks_)) {
@@ -809,6 +1216,7 @@ class Coordinator {
       // metrics enter the round totals, and the global shuffle budget is
       // enforced on the committed sum (each worker already enforced the
       // per-task share inside RunMapShard).
+      for (auto& per_reducer : store_[w.task]) per_reducer.clear();
       for (auto& [reducer, seg] : w.staged) {
         store_[w.task][reducer].push_back(std::move(seg));
       }
@@ -840,14 +1248,18 @@ class Coordinator {
     if (!w.conn->Send(MsgType::kReduceTask, payload)) return false;
     // Replay in map-task order — the stability contract of the reduce merge
     // (identical to the local engine's source order), regardless of the
-    // order map tasks happened to finish in.
-    std::string seg;
+    // order map tasks happened to finish in. Oversized segments re-chunk on
+    // the way out exactly as they arrived.
+    auto emit = [&](const std::string& seg) {
+      return w.conn->Send(MsgType::kSegment, seg);
+    };
     for (int t = 0; t < map_tasks_; ++t) {
       for (const StoredSegment& s : store_[t][reducer]) {
-        seg.clear();
-        AppendSegmentHeader(&seg, t, reducer, s.kind, s.flags, s.num_records);
-        seg += s.Bytes();
-        if (!w.conn->Send(MsgType::kSegment, seg)) return false;
+        std::string bytes = s.Bytes();
+        if (!ForEachSegmentFrame(t, reducer, s.kind, s.flags, s.num_records,
+                                 bytes, emit, &segment_chunks_)) {
+          return false;
+        }
       }
     }
     return true;
@@ -917,10 +1329,11 @@ class Coordinator {
   }
 
   // Ends the worker pool: graceful shutdown first, SIGKILL for stragglers,
-  // then reap everything and sweep orphaned spill files of workers that
-  // died uncleanly (spill file names embed the owning pid, so a SIGKILLed
-  // worker's leftovers are identifiable). Idempotent; called from the
-  // success path and the destructor.
+  // then reap everything — current workers and the graveyard of replaced
+  // pids — and sweep orphaned spill files of every pid the round ever
+  // forked (spill file names embed the owning pid, so a SIGKILLed worker's
+  // leftovers are identifiable). Idempotent; called from the success path
+  // and the destructor.
   void Cleanup() {
     for (Worker& w : workers_) {
       if (Alive(w)) {
@@ -935,10 +1348,16 @@ class Coordinator {
       for (const Worker& w : workers_) {
         if (w.pid >= 0 && !w.exited) all_exited = false;
       }
+      for (const auto& [pid, reaped] : graveyard_) {
+        if (!reaped) all_exited = false;
+      }
       if (all_exited) break;
       if (std::chrono::steady_clock::now() > deadline) {
         for (Worker& w : workers_) {
           if (w.pid >= 0 && !w.exited) ::kill(w.pid, SIGKILL);
+        }
+        for (auto& [pid, reaped] : graveyard_) {
+          if (!reaped) ::kill(pid, SIGKILL);
         }
         for (Worker& w : workers_) {
           if (w.pid < 0 || w.exited) continue;
@@ -947,23 +1366,32 @@ class Coordinator {
           }
           w.exited = true;
         }
+        for (auto& [pid, reaped] : graveyard_) {
+          if (reaped) continue;
+          int status = 0;
+          while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+          }
+          reaped = true;
+        }
         break;
       }
       ::usleep(2000);
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
     }
     RemoveOrphanSpillFiles();
   }
 
   void RemoveOrphanSpillFiles() {
-    if (options_.spill_dir.empty() || workers_.empty()) return;
+    if (options_.spill_dir.empty() || all_pids_.empty()) return;
     DIR* dir = ::opendir(options_.spill_dir.c_str());
     if (dir == nullptr) return;
     std::vector<std::string> prefixes;
-    prefixes.reserve(workers_.size());
-    for (const Worker& w : workers_) {
-      if (w.pid >= 0) {
-        prefixes.push_back("spill-" + std::to_string(w.pid) + "-");
-      }
+    prefixes.reserve(all_pids_.size());
+    for (pid_t pid : all_pids_) {
+      prefixes.push_back("spill-" + std::to_string(pid) + "-");
     }
     std::vector<std::string> doomed;
     while (dirent* entry = ::readdir(dir)) {
@@ -987,8 +1415,11 @@ class Coordinator {
   const DataflowOptions& options_;
   const int map_tasks_;
   const int reduce_tasks_;
+  const int max_attempts_;
 
   std::vector<Worker> workers_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
   // store_[map task][reducer] -> committed segments, runs-then-tail per task.
   std::vector<std::vector<std::vector<StoredSegment>>> store_{
       static_cast<size_t>(map_tasks_)};
@@ -999,6 +1430,22 @@ class Coordinator {
   uint64_t reduce_spill_files_ = 0;
   uint64_t reduce_spill_bytes_ = 0;
   uint64_t reduce_merge_passes_ = 0;
+
+  // Failure-policy state.
+  const char* phase_ = "map";
+  std::vector<TaskState> task_state_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+  uint64_t attempts_total_ = 0;
+  uint64_t retries_total_ = 0;
+  uint64_t kills_ = 0;
+  uint64_t respawns_ = 0;
+  uint64_t segment_chunks_ = 0;
+  uint64_t parked_tails_ = 0;
+  // Every pid the round ever forked (for the orphan spill sweep) and
+  // replaced-but-unreaped pids awaiting waitpid.
+  std::vector<pid_t> all_pids_;
+  std::vector<std::pair<pid_t, bool>> graveyard_;
 };
 
 }  // namespace

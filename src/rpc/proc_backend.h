@@ -22,14 +22,39 @@
 //      byte-identical groups and within-key value order. Boundary records
 //      come back in kReduceDone.
 //
-// Fault tolerance: a worker that dies (connection EOF, or no progress for
-// DataflowOptions::proc_worker_timeout_ms, which gets it SIGKILLed) has its
-// in-flight task's uncommitted segments discarded and the task re-executed
-// on another worker; committed map output persists on the coordinator, so
-// lost reduce tasks replay without re-running the map phase. Results are
-// identical because task output is deterministic and only committed once.
-// Orphaned spill files of killed workers are removed by the coordinator
-// (spill file names embed the owning pid).
+// Failure policy (see README "Failure model & fault injection"):
+//
+//   - Detection. A worker that dies surfaces as connection EOF; one that
+//     makes no observable progress for proc_worker_timeout_ms is SIGKILLed.
+//     "Progress" counts any frame, including kPong heartbeats a worker's
+//     progress-gated pump sends while its task advances — so a slow task
+//     outlives any timeout while a hung one goes silent and dies.
+//   - Retries. The dead worker's in-flight task has its uncommitted
+//     segments discarded and is reassigned, at most
+//     proc_max_task_attempts times total; exhausting the budget throws
+//     ProcTaskFailedError naming the phase, task, attempt count, and last
+//     failure. Worker exceptions (kError frames) are deterministic and
+//     rethrown immediately, never retried. Committed map output persists on
+//     the coordinator, so lost reduce tasks replay without re-running maps.
+//   - Respawn. Each death schedules a replacement worker fork after an
+//     exponential backoff (10ms doubling, capped at 1s, at most 5 respawns
+//     per ordinal), so a transiently crashing pool heals instead of
+//     shrinking to zero; the round fails with ProcBackendError only when no
+//     live or respawnable worker remains.
+//   - Deadline. proc_round_deadline_ms caps the round's wall clock;
+//     exceeding it throws ProcDeadlineError.
+//
+// Results are identical across retries because task output is deterministic
+// and only committed once. Orphaned spill files of killed workers are
+// removed by the coordinator (spill file names embed the owning pid).
+// Attempt/retry/kill/respawn counts surface in DataflowMetrics::proc_* and
+// `dseq_cli --stats`.
+//
+// Failures are *injected* deterministically in chaos builds via
+// src/fault/fault_injection.h: sites in the socket layer, spill I/O, and
+// the worker lifecycle (worker.message kills/stalls by message count,
+// worker.before_commit just before kMapDone) replace the former
+// DSEQ_PROC_TEST_KILL_WORKER env hook.
 //
 // Determinism contract with the local backend: identical result records
 // (values in the same within-key order), identical raw shuffle metrics
@@ -40,12 +65,56 @@
 #define DSEQ_RPC_PROC_BACKEND_H_
 
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/dataflow/chained.h"
 #include "src/dataflow/engine.h"
 
 namespace dseq {
+
+/// Base of every proc-backend infrastructure failure (as opposed to typed
+/// exceptions a worker's task itself threw, which are rethrown as-is).
+class ProcBackendError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A task exhausted its retry budget: every one of `attempts` executions
+/// (== DataflowOptions::proc_max_task_attempts) ended in a worker death or
+/// stall. The message and accessors name the phase ("map"/"reduce"), the
+/// task index, the attempt count, and the last observed failure.
+class ProcTaskFailedError : public ProcBackendError {
+ public:
+  ProcTaskFailedError(std::string phase, int task, int attempts,
+                      std::string last_failure)
+      : ProcBackendError("proc backend: " + phase + " task " +
+                         std::to_string(task) + " failed after " +
+                         std::to_string(attempts) + " attempts (last failure: " +
+                         last_failure + ")"),
+        phase_(std::move(phase)),
+        task_(task),
+        attempts_(attempts),
+        last_failure_(std::move(last_failure)) {}
+
+  const std::string& phase() const { return phase_; }
+  int task() const { return task_; }
+  int attempts() const { return attempts_; }
+  const std::string& last_failure() const { return last_failure_; }
+
+ private:
+  std::string phase_;
+  int task_;
+  int attempts_;
+  std::string last_failure_;
+};
+
+/// The round exceeded DataflowOptions::proc_round_deadline_ms.
+class ProcDeadlineError : public ProcBackendError {
+ public:
+  using ProcBackendError::ProcBackendError;
+};
 
 /// Output of one proc-backend round.
 struct ProcRoundResult {
@@ -57,14 +126,11 @@ struct ProcRoundResult {
 
 /// Runs one round on forked worker processes. `options` is honored like
 /// RunMapReduce honors it (workers, budgets, compression, partitioner,
-/// round_index), plus proc_worker_timeout_ms; Execution::kSimulated is
-/// ignored — processes are always real. Throws the worker's typed exception
-/// (ShuffleOverflowError etc.) on task failure, std::runtime_error when the
-/// worker pool dies entirely.
-///
-/// Test hook: DSEQ_PROC_TEST_KILL_WORKER=<ordinal> makes that worker
-/// SIGKILL itself at the end of its first map task, before the commit —
-/// exercising segment discard and task re-execution.
+/// round_index), plus the proc_* failure-policy knobs; Execution::kSimulated
+/// is ignored — processes are always real. Throws the worker's typed
+/// exception (ShuffleOverflowError etc.) on a task exception,
+/// ProcTaskFailedError / ProcDeadlineError / ProcBackendError on policy
+/// failures (see the header comment).
 ProcRoundResult RunProcRound(size_t num_inputs, const MapFn& map_fn,
                              const CombinerFactory& combiner_factory,
                              const ChainReduceFn& reduce_fn,

@@ -1,5 +1,6 @@
 #include "src/rpc/socket.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
 #include <csignal>
@@ -11,6 +12,8 @@
 #include <unistd.h>
 #include <utility>
 
+#include "src/fault/fault_injection.h"
+
 namespace dseq {
 namespace rpc {
 namespace {
@@ -20,9 +23,20 @@ namespace {
 }
 
 // One read() that retries EINTR; returns the usual read() result otherwise.
+// Injection site socket.read: kErrno fails the call, kEintr replays the
+// interrupted-syscall loop, kShortIo clamps the transfer to one byte (every
+// caller already loops over short reads).
 ssize_t ReadSome(int fd, void* data, size_t size) {
   for (;;) {
-    ssize_t n = ::read(fd, data, size);
+    fault::Fault f = fault::Evaluate(fault::Site::kSocketRead);
+    if (f.action == fault::Action::kErrno) {
+      errno = f.param;
+      return -1;
+    }
+    if (f.action == fault::Action::kEintr) continue;
+    size_t want = f.action == fault::Action::kShortIo ? std::min<size_t>(size, 1)
+                                                      : size;
+    ssize_t n = ::read(fd, data, want);
     if (n >= 0 || errno != EINTR) return n;
   }
 }
@@ -98,7 +112,15 @@ int AcceptConn(int listen_fd) {
 bool WriteFull(int fd, const void* data, size_t size) {
   const char* p = static_cast<const char*>(data);
   while (size > 0) {
-    ssize_t n = ::write(fd, p, size);
+    // Injection site socket.write: mirrors socket.read above.
+    fault::Fault f = fault::Evaluate(fault::Site::kSocketWrite);
+    if (f.action == fault::Action::kErrno) {
+      errno = f.param;
+      return false;
+    }
+    if (f.action == fault::Action::kEintr) continue;
+    size_t want = f.action == fault::Action::kShortIo ? 1 : size;
+    ssize_t n = ::write(fd, p, want);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -148,6 +170,16 @@ bool MsgConn::Send(MsgType type, std::string_view payload) {
   std::string frame;
   frame.reserve(payload.size() + 16);
   AppendFrame(&frame, type, payload);
+  // Injection site socket.send_frame: kDisconnect ships half the encoded
+  // frame and drops the connection — the peer's decoder must park the
+  // partial frame as kNeedMore and surface EOF, never a phantom frame.
+  fault::Fault f = fault::Evaluate(fault::Site::kSocketSendFrame,
+                                   static_cast<uint64_t>(type));
+  if (f.action == fault::Action::kDisconnect) {
+    WriteFull(fd_, frame.data(), frame.size() / 2);
+    Close();
+    return false;
+  }
   return WriteFull(fd_, frame.data(), frame.size());
 }
 

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/fault/fault_injection.h"
 #include "src/spill/memory_budget.h"
 #include "src/util/block_codec.h"
 #include "src/util/check.h"
@@ -109,6 +110,21 @@ void SpillFile::Append(const void* data, size_t size) {
   if (write_handle_ == nullptr) {
     throw std::runtime_error("spill file " + path_ + " is closed for writing");
   }
+  // Injection site spill.write: kErrno models ENOSPC/EIO on a full or
+  // failing disk; kShortIo lands half the buffer first, so the partially
+  // written run is on disk when the error surfaces (RAII must still reclaim
+  // it). Both take the same short-write error path as the real thing.
+  fault::Fault f = fault::Evaluate(fault::Site::kSpillWrite, size);
+  if (f.action == fault::Action::kErrno ||
+      f.action == fault::Action::kShortIo) {
+    int err = f.action == fault::Action::kErrno ? f.param : EIO;
+    if (f.action == fault::Action::kShortIo) {
+      FWriteFully(write_handle_, static_cast<const char*>(data), size / 2);
+    }
+    errno = err;
+    throw std::runtime_error("short write to spill file " + path_ + ": " +
+                             std::strerror(err));
+  }
   if (!FWriteFully(write_handle_, static_cast<const char*>(data), size)) {
     throw std::runtime_error("short write to spill file " + path_ + ": " +
                              std::strerror(errno));
@@ -198,6 +214,13 @@ void SpillRunReader::ChargeBuffers() {
 }
 
 bool SpillRunReader::ReadBlock() {
+  // Injection site spill.read: a failing disk surfaces as a read error on
+  // the next block, taking the same typed error path as a real EIO.
+  fault::Fault f = fault::Evaluate(fault::Site::kSpillRead);
+  if (f.action == fault::Action::kErrno) {
+    errno = f.param;
+    throw std::runtime_error("read error on spill run " + path_);
+  }
   // Block length varint, byte by byte (at most 10 bytes).
   uint64_t stored_size = 0;
   int shift = 0;

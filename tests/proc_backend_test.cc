@@ -3,12 +3,19 @@
 // byte-identical to the local backend and the brute-force oracle, with
 // identical raw shuffle metrics), the out-of-core and compressed configs,
 // and fault tolerance (a worker killed mid-round must not change results).
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/baselines/prefix_span.h"
@@ -19,6 +26,7 @@
 #include "src/dist/naive.h"
 #include "src/fst/compiler.h"
 #include "src/rpc/frame.h"
+#include "src/rpc/proc_backend.h"
 #include "src/util/varint.h"
 #include "tests/test_util.h"
 
@@ -211,26 +219,221 @@ TEST(ProcBackendTest, BudgetWithoutSpillDirThrowsAcrossTheWire) {
                ShuffleOverflowError);
 }
 
-TEST(ProcBackendTest, KilledWorkerIsReExecutedWithIdenticalResults) {
-  SequenceDatabase db = testing::RandomDatabase(4600, 7, 60, 8);
-  Fst fst = CompileFst(".*(.)[.*(.)]{0,2}.*", db.dict);
-  DSeqOptions options;
-  options.sigma = 2;
-  options.num_map_workers = 4;
-  options.num_reduce_workers = 4;
-  DistributedResult local = MineDSeq(db.sequences, fst, db.dict, options);
+// --- Failure policy ---------------------------------------------------------
 
-  // Worker 1 SIGKILLs itself after shipping its first map task's segments
-  // but before committing them (kMapDone): the coordinator must discard the
-  // staged segments and re-execute the task on a surviving worker, with
-  // byte-identical results and metrics — re-executed output commits once.
-  ASSERT_EQ(::setenv("DSEQ_PROC_TEST_KILL_WORKER", "1", 1), 0);
+// Word-count harness for the failure-policy tests. The map closure is under
+// test control, and fork copies it into the worker process — so a closure
+// that kills, sleeps, or races on a lock file runs inside the child with no
+// build-time hooks, in default (non-fault-injection) builds.
+const std::vector<std::vector<std::string>>& PolicyInputs() {
+  static const std::vector<std::vector<std::string>> inputs = {
+      {"b", "a", "b"}, {"c", "c", "a"}, {"a"},      {"b", "d"},
+      {"d", "a", "c"}, {"e"},           {"a", "e"}, {"b", "c"},
+  };
+  return inputs;
+}
+
+// Runs one word-count round under `options`, calling `before(i)` (if set)
+// inside the map before input i is processed. Returns the boundary records
+// and the round's metrics.
+std::pair<std::vector<Record>, DataflowMetrics> RunPolicyRound(
+    const ChainedDataflowOptions& options,
+    std::function<void(size_t)> before = nullptr) {
+  DataflowJob job(options);
+  MapFn map_fn = [before](size_t i, const EmitFn& emit) {
+    if (before) before(i);
+    std::string one;
+    PutVarint(&one, 1);
+    for (const std::string& word : PolicyInputs()[i]) emit(word, one);
+  };
+  ChainReduceFn count = [](int, std::string_view key,
+                           std::vector<std::string_view>& values,
+                           const EmitFn& emit) {
+    std::string value;
+    PutVarint(&value, values.size());
+    emit(key, value);
+  };
+  job.RunRound(PolicyInputs().size(), map_fn, nullptr, count);
+  return {job.TakeRecords(), job.round_metrics().front()};
+}
+
+TEST(ProcFailurePolicyTest, KilledWorkerIsReExecutedWithIdenticalResults) {
+  // A pool of exactly one worker, so the kill leaves it empty: the round
+  // can only finish if the coordinator respawns a replacement (with
+  // backoff) and re-executes the task on it.
+  ChainedDataflowOptions options;
+  options.num_map_workers = 1;
+  options.num_reduce_workers = 1;
+  auto [local_records, local_metrics] = RunPolicyRound(options);
+
+  // The first process to claim the lock file SIGKILLs itself mid-map,
+  // before anything is committed; the re-executed attempt finds the file
+  // and proceeds. The coordinator must discard the dead worker's staged
+  // segments and deliver byte-identical results and raw metrics.
+  testing::ScopedTempDir dir;
+  std::string lock = dir.path() + "/killed-once";
   options.backend = DataflowBackend::kProc;
-  DistributedResult proc = MineDSeq(db.sequences, fst, db.dict, options);
-  ::unsetenv("DSEQ_PROC_TEST_KILL_WORKER");
+  auto kill_once = [lock](size_t i) {
+    if (i != 0) return;
+    int fd = ::open(lock.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      ::close(fd);
+      ::raise(SIGKILL);
+    }
+  };
+  auto [proc_records, proc_metrics] = RunPolicyRound(options, kill_once);
+  // The kill must actually have fired (and the temp dir must end up empty).
+  ASSERT_EQ(::unlink(lock.c_str()), 0);
+
+  EXPECT_EQ(local_records, proc_records);
+  ExpectSameRawMetrics(local_metrics, proc_metrics);
+  EXPECT_GE(proc_metrics.proc_task_retries, 1u);
+  EXPECT_GE(proc_metrics.proc_workers_respawned, 1u);
+}
+
+TEST(ProcFailurePolicyTest, CrashingTaskFailsAfterExactlyMaxAttempts) {
+  ChainedDataflowOptions options;
+  options.num_map_workers = 2;
+  options.num_reduce_workers = 2;
+  options.backend = DataflowBackend::kProc;
+  options.proc_max_task_attempts = 2;
+  // Map task 0 (the shard owning input 0) dies on every attempt: the round
+  // must fail with the typed error naming the phase, task, and the exact
+  // attempt count — no infinite retry, no generic failure.
+  auto crash = [](size_t i) {
+    if (i == 0) ::raise(SIGKILL);
+  };
+  try {
+    RunPolicyRound(options, crash);
+    FAIL() << "expected ProcTaskFailedError";
+  } catch (const ProcTaskFailedError& e) {
+    EXPECT_EQ(e.phase(), "map");
+    EXPECT_EQ(e.task(), 0);
+    EXPECT_EQ(e.attempts(), 2);
+    EXPECT_NE(std::string(e.what()).find("map task 0 failed after 2 attempts"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ProcFailurePolicyTest, HeartbeatsKeepSlowWorkersAlive) {
+  ChainedDataflowOptions options;
+  options.num_map_workers = 1;
+  options.num_reduce_workers = 1;
+  auto [local_records, local_metrics] = RunPolicyRound(options);
+
+  // Every input takes ~40 ms, so the whole map task (8 inputs) far exceeds
+  // the 150 ms stall timeout — but per-input progress drives kPong
+  // heartbeats, so the coordinator must classify the worker as slow, not
+  // hung: zero kills, zero retries, identical results.
+  options.backend = DataflowBackend::kProc;
+  options.proc_worker_timeout_ms = 150;
+  auto slow = [](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  };
+  auto [proc_records, proc_metrics] = RunPolicyRound(options, slow);
+
+  EXPECT_EQ(local_records, proc_records);
+  ExpectSameRawMetrics(local_metrics, proc_metrics);
+  EXPECT_EQ(proc_metrics.proc_worker_kills, 0u);
+  EXPECT_EQ(proc_metrics.proc_task_retries, 0u);
+}
+
+TEST(ProcFailurePolicyTest, HungTaskIsKilledAndExhaustsItsAttempts) {
+  ChainedDataflowOptions options;
+  options.num_map_workers = 2;
+  options.num_reduce_workers = 1;
+  options.backend = DataflowBackend::kProc;
+  options.proc_worker_timeout_ms = 120;
+  options.proc_max_task_attempts = 2;
+  // Input 0 hangs without ever completing an input, so its worker's
+  // progress-gated heartbeat stays silent: the coordinator must SIGKILL it
+  // as hung (not wait out the sleep), retry, and fail typed after the
+  // second stall.
+  auto hang = [](size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::seconds(30));
+  };
+  try {
+    RunPolicyRound(options, hang);
+    FAIL() << "expected ProcTaskFailedError";
+  } catch (const ProcTaskFailedError& e) {
+    EXPECT_EQ(e.phase(), "map");
+    EXPECT_EQ(e.task(), 0);
+    EXPECT_EQ(e.attempts(), 2);
+    EXPECT_NE(e.last_failure().find("no progress"), std::string::npos)
+        << e.last_failure();
+  }
+}
+
+TEST(ProcBackendTest, SegmentChunkingRoundTripsWithLoweredCap) {
+  ChainedDataflowOptions options;
+  options.num_map_workers = 2;
+  options.num_reduce_workers = 2;
+  auto [local_records, local_metrics] = RunPolicyRound(options);
+
+  // Lower the chunk threshold (normally just under the 1 GiB frame cap) to
+  // 16 bytes so ordinary word-count segments must be split into kSegmentPart
+  // continuation frames — in both directions: map→coordinator shipping and
+  // coordinator→reducer replay.
+  ASSERT_EQ(::setenv("DSEQ_PROC_TEST_CHUNK_BYTES", "16", 1), 0);
+  options.backend = DataflowBackend::kProc;
+  auto [proc_records, proc_metrics] = RunPolicyRound(options);
+  ::unsetenv("DSEQ_PROC_TEST_CHUNK_BYTES");
+
+  EXPECT_EQ(local_records, proc_records);
+  ExpectSameRawMetrics(local_metrics, proc_metrics);
+  EXPECT_GT(proc_metrics.proc_segment_chunks, 0u);
+}
+
+TEST(ProcBackendTest, LargeTailsAreParkedInSpillFilesAtTheCoordinator) {
+  ChainedDataflowOptions options;
+  options.num_map_workers = 2;
+  options.num_reduce_workers = 2;
+  auto [local_records, local_metrics] = RunPolicyRound(options);
+
+  // With the parking threshold floored at one byte, every staged tail goes
+  // to a coordinator-side spill file instead of resident memory. Results
+  // and raw metrics are unchanged, and the temp dir must be empty again by
+  // destruction (ScopedTempDir asserts it).
+  testing::ScopedTempDir dir;
+  options.backend = DataflowBackend::kProc;
+  options.spill_dir = dir.path();
+  options.proc_tail_park_bytes = 1;
+  auto [proc_records, proc_metrics] = RunPolicyRound(options);
+
+  EXPECT_EQ(local_records, proc_records);
+  ExpectSameRawMetrics(local_metrics, proc_metrics);
+  EXPECT_GT(proc_metrics.proc_parked_tails, 0u);
+}
+
+TEST(ProcBackendTest, RecountCacheCountersMatchAcrossBackends) {
+  SequenceDatabase db = testing::RandomDatabase(4800, 7, 50, 8);
+  Fst fst = CompileFst(".*(.)[.*(.)]{0,2}.*", db.dict);
+  DSeqRecountOptions options;
+  options.sigma = 2;
+  options.num_map_workers = 2;
+  options.num_reduce_workers = 2;
+  ChainedDistributedResult local =
+      MineDSeqRecount(db.sequences, fst, db.dict, options);
+  options.backend = DataflowBackend::kProc;
+  ChainedDistributedResult proc =
+      MineDSeqRecount(db.sequences, fst, db.dict, options);
 
   EXPECT_EQ(local.patterns, proc.patterns);
-  ExpectSameRawMetrics(local.metrics, proc.metrics);
+  // Every database read happens exactly once per (round, index) regardless
+  // of backend, so the total touch count matches — even though the round-1
+  // cache does not survive the fork boundary, which only shifts reads from
+  // the hit column to the storage column.
+  EXPECT_GT(local.input_cache_hits, 0u);
+  EXPECT_EQ(local.input_storage_reads + local.input_cache_hits,
+            proc.input_storage_reads + proc.input_cache_hits);
+  // Proc-side reads happen inside forked children and are only visible via
+  // the kMapDone report: a nonzero aggregate pins the wire path, while the
+  // local backend counts on the CachedDatabase instance alone.
+  EXPECT_GT(proc.aggregate.input_storage_reads, 0u);
+  EXPECT_EQ(local.aggregate.input_storage_reads +
+                local.aggregate.input_cache_hits,
+            0u);
 }
 
 TEST(ProcBackendTest, ChainedMinersMatchAcrossBackends) {

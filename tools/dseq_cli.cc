@@ -62,6 +62,7 @@
 #include "src/dist/naive.h"
 #include "src/fst/compiler.h"
 #include "src/io/dataset_io.h"
+#include "src/rpc/proc_backend.h"
 #include "src/util/thread_pool.h"
 
 namespace {
@@ -86,6 +87,12 @@ struct Args {
   uint64_t memory_budget = 0;  // 0 = no budget
   std::string spill_dir;
   std::string backend = "local";
+  int proc_timeout_ms = 0;  // 0 = no stall detection
+  bool proc_timeout_set = false;
+  int proc_max_attempts = 3;
+  bool proc_max_attempts_set = false;
+  int proc_deadline_ms = 0;  // 0 = no round deadline
+  bool proc_deadline_set = false;
 };
 
 [[noreturn]] void Usage(const char* message) {
@@ -122,7 +129,15 @@ struct Args {
       "                     (created if missing; requires --memory-budget)\n"
       "  --backend B        local (threads, default) | proc (forked worker\n"
       "                     processes over a socket shuffle; distributed\n"
-      "                     algorithms only, identical output)\n");
+      "                     algorithms only, identical output)\n"
+      "  --proc-timeout MS  proc backend: SIGKILL and retry a worker that\n"
+      "                     makes no progress (frames or heartbeats) for MS\n"
+      "                     milliseconds (default 0 = off)\n"
+      "  --proc-max-attempts N\n"
+      "                     proc backend: fail a task after N executions end\n"
+      "                     in worker deaths (default 3)\n"
+      "  --proc-deadline MS proc backend: fail any round that runs longer\n"
+      "                     than MS milliseconds (default 0 = off)\n");
   std::exit(2);
 }
 
@@ -215,6 +230,22 @@ Args ParseArgs(int argc, char** argv) {
                "' is not a backend (local | proc)")
                   .c_str());
       }
+    } else if (std::strcmp(argv[i], "--proc-timeout") == 0) {
+      args.proc_timeout_ms = static_cast<int>(ParseUnsigned(
+          "--proc-timeout", need_value("--proc-timeout"), INT32_MAX));
+      args.proc_timeout_set = true;
+    } else if (std::strcmp(argv[i], "--proc-max-attempts") == 0) {
+      args.proc_max_attempts = static_cast<int>(
+          ParseUnsigned("--proc-max-attempts",
+                        need_value("--proc-max-attempts"), INT32_MAX));
+      if (args.proc_max_attempts == 0) {
+        Usage("--proc-max-attempts must be positive");
+      }
+      args.proc_max_attempts_set = true;
+    } else if (std::strcmp(argv[i], "--proc-deadline") == 0) {
+      args.proc_deadline_ms = static_cast<int>(ParseUnsigned(
+          "--proc-deadline", need_value("--proc-deadline"), INT32_MAX));
+      args.proc_deadline_set = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage(nullptr);
     } else {
@@ -270,6 +301,15 @@ Args ParseArgs(int argc, char** argv) {
       (args.algorithm == "desq-dfs" || args.algorithm == "desq-count")) {
     Usage("--backend proc requires a distributed (shuffling) algorithm");
   }
+  if (args.backend != "proc") {
+    if (args.proc_timeout_set) Usage("--proc-timeout requires --backend proc");
+    if (args.proc_max_attempts_set) {
+      Usage("--proc-max-attempts requires --backend proc");
+    }
+    if (args.proc_deadline_set) {
+      Usage("--proc-deadline requires --backend proc");
+    }
+  }
   return args;
 }
 
@@ -281,6 +321,22 @@ void PrintSpillCounters(const dseq::DataflowMetrics& m) {
                static_cast<unsigned long long>(m.spill_files),
                static_cast<unsigned long long>(m.spill_bytes_written),
                static_cast<unsigned long long>(m.spill_merge_passes));
+}
+
+// "proc: ..." — the proc backend's failure-policy counters (silent for
+// local runs and for uneventful proc runs beyond the attempt baseline).
+void PrintProcCounters(const dseq::DataflowMetrics& m) {
+  if (m.proc_task_attempts == 0) return;
+  std::fprintf(stderr,
+               "proc: %llu task attempts (%llu retries), %llu stall kills, "
+               "%llu workers respawned, %llu segment chunks, %llu parked "
+               "tails\n",
+               static_cast<unsigned long long>(m.proc_task_attempts),
+               static_cast<unsigned long long>(m.proc_task_retries),
+               static_cast<unsigned long long>(m.proc_worker_kills),
+               static_cast<unsigned long long>(m.proc_workers_respawned),
+               static_cast<unsigned long long>(m.proc_segment_chunks),
+               static_cast<unsigned long long>(m.proc_parked_tails));
 }
 
 // ", reducer max/mean X.XX" — the measured balance of one round's shuffle
@@ -339,6 +395,7 @@ void PrintRoundStats(const dseq::ChainedDistributedResult& result) {
   }
   PrintSpillCounters(result.aggregate);
   std::fprintf(stderr, "\n");
+  PrintProcCounters(result.aggregate);
   if (result.input_storage_reads > 0 || result.input_cache_hits > 0) {
     std::fprintf(stderr,
                  "input reads: %llu from storage, %llu from the round-1 "
@@ -362,6 +419,7 @@ void PrintRunStats(const dseq::DataflowMetrics& m) {
   PrintSpillCounters(m);
   PrintReducerBalance(m);
   std::fprintf(stderr, "\n");
+  PrintProcCounters(m);
 }
 
 // Copies the out-of-core and backend flags onto a miner's options (every
@@ -374,6 +432,9 @@ void ApplySpillOptions(const Args& args, dseq::DistributedRunOptions* options) {
   options->compress_spill = args.compress;
   options->backend = args.backend == "proc" ? dseq::DataflowBackend::kProc
                                             : dseq::DataflowBackend::kLocal;
+  options->proc_worker_timeout_ms = args.proc_timeout_ms;
+  options->proc_max_task_attempts = args.proc_max_attempts;
+  options->proc_round_deadline_ms = args.proc_deadline_ms;
 }
 
 // Validates --spill-dir before any mining starts: creates the directory if
@@ -555,6 +616,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "hint: raise --memory-budget, or add --spill-dir DIR to "
                  "spill overflowing shuffle state to disk\n");
+    return 1;
+  } catch (const ProcTaskFailedError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr,
+                 "hint: every execution of this task killed its worker; if "
+                 "the failures are transient, raise --proc-max-attempts or "
+                 "--proc-timeout\n");
+    return 1;
+  } catch (const ProcDeadlineError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr,
+                 "hint: raise --proc-deadline (or drop it) if the round is "
+                 "legitimately slow\n");
     return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
