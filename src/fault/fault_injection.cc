@@ -3,8 +3,9 @@
 #ifdef DSEQ_FAULT_INJECTION_ENABLED
 #include <array>
 #include <atomic>
-#include <mutex>
 #include <random>
+
+#include "src/util/sync.h"
 #endif
 
 namespace dseq {
@@ -59,16 +60,16 @@ struct RuleState {
 
 // All mutable state lives behind one mutex; Evaluate is called from worker
 // heartbeat threads as well as the main thread. The atomic fast-path flag
-// keeps unconfigured enabled builds to a single relaxed load per site hit.
+// keeps unconfigured enabled builds to a single load per site hit.
 struct GlobalState {
-  std::mutex mu;
-  bool configured = false;
-  uint64_t seed = 0;
-  int scope = kCoordinator;
-  std::vector<RuleState> rules;
-  std::array<uint64_t, kNumSites> hits{};
-  uint64_t total_fires = 0;
-  std::mt19937_64 rng;
+  Mutex mu;
+  bool configured DSEQ_GUARDED_BY(mu) = false;
+  uint64_t seed DSEQ_GUARDED_BY(mu) = 0;
+  int scope DSEQ_GUARDED_BY(mu) = kCoordinator;
+  std::vector<RuleState> rules DSEQ_GUARDED_BY(mu);
+  std::array<uint64_t, kNumSites> hits DSEQ_GUARDED_BY(mu) = {};
+  uint64_t total_fires DSEQ_GUARDED_BY(mu) = 0;
+  std::mt19937_64 rng DSEQ_GUARDED_BY(mu);
 };
 
 GlobalState& State() {
@@ -76,6 +77,11 @@ GlobalState& State() {
   return *state;
 }
 
+// Fast-path flag checked before taking GlobalState::mu. The release store in
+// Configure/Reset pairs with the acquire load in Evaluate so a thread that
+// observes `armed == true` also observes the configuration made before the
+// store; the mutex then orders everything else. A thread that misses a
+// just-set flag harmlessly skips one evaluation.
 std::atomic<bool>& Armed() {
   static std::atomic<bool> armed{false};
   return armed;
@@ -94,7 +100,7 @@ uint64_t MixSeed(uint64_t seed, int scope) {
 
 void Configure(const FaultSchedule& schedule) {
   GlobalState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   state.configured = true;
   state.seed = schedule.seed;
   state.rules.clear();
@@ -108,7 +114,7 @@ void Configure(const FaultSchedule& schedule) {
 
 void Reset() {
   GlobalState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   state.configured = false;
   state.rules.clear();
   state.hits.fill(0);
@@ -118,7 +124,7 @@ void Reset() {
 
 void SetProcessScope(int scope) {
   GlobalState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   state.scope = scope;
   if (state.configured) state.rng.seed(MixSeed(state.seed, scope));
 }
@@ -126,7 +132,7 @@ void SetProcessScope(int scope) {
 Fault Evaluate(Site site, uint64_t detail) {
   if (!Armed().load(std::memory_order_acquire)) return Fault{};
   GlobalState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   if (!state.configured) return Fault{};
   const uint64_t hit = ++state.hits[static_cast<int>(site)];
   for (RuleState& rs : state.rules) {
@@ -152,13 +158,13 @@ Fault Evaluate(Site site, uint64_t detail) {
 
 uint64_t SiteHits(Site site) {
   GlobalState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   return state.hits[static_cast<int>(site)];
 }
 
 uint64_t TotalFires() {
   GlobalState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   return state.total_fires;
 }
 

@@ -10,14 +10,12 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -34,6 +32,7 @@
 #include "src/spill/spill_context.h"
 #include "src/spill/spill_file.h"
 #include "src/util/block_codec.h"
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 #include "src/util/varint.h"
 
@@ -217,11 +216,19 @@ void ApplyLifecycleFault(const fault::Fault& f) {
 // The worker's connection to the coordinator. Sends are serialized with a
 // mutex because the heartbeat pump thread and the task thread both write
 // frames; receives stay single-threaded (task thread only).
+//
+// `conn` is deliberately NOT DSEQ_GUARDED_BY(send_mu): the connection is
+// shared under a split contract rather than a single lock. Its send path
+// (MsgConn::Send) is stateless beyond the fd and is serialized by send_mu;
+// its receive path owns the frame-decoder state and is confined to the task
+// thread, which must not take send_mu to read. Guarding the whole object
+// would force Recv under the lock and deadlock a task blocked on the
+// coordinator against the pump's next beat.
 struct WorkerConn {
   explicit WorkerConn(MsgConn c) : conn(std::move(c)) {}
 
-  bool Send(MsgType type, std::string_view payload) {
-    std::lock_guard<std::mutex> lock(send_mu);
+  bool Send(MsgType type, std::string_view payload) DSEQ_EXCLUDES(send_mu) {
+    MutexLock lock(send_mu);
     return conn.Send(type, payload);
   }
 
@@ -230,7 +237,7 @@ struct WorkerConn {
   }
 
   MsgConn conn;
-  std::mutex send_mu;
+  Mutex send_mu;
 };
 
 void SendOrThrow(WorkerConn& conn, MsgType type, std::string_view payload) {
@@ -253,37 +260,44 @@ class HeartbeatPump {
     thread_ = std::thread([this] { Loop(); });
   }
 
-  ~HeartbeatPump() {
+  ~HeartbeatPump() DSEQ_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     thread_.join();
   }
 
  private:
-  void Loop() {
+  void Loop() DSEQ_EXCLUDES(mu_) {
     uint64_t last = progress_->load(std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!stop_) {
-      cv_.wait_for(lock, interval_);
-      if (stop_) break;
+    for (;;) {
+      {
+        MutexLock lock(mu_);
+        if (stop_) return;
+        cv_.WaitFor(mu_, interval_);
+        if (stop_) return;
+      }
+      // Sample and send outside mu_: Send takes send_mu and can block on a
+      // slow socket, and holding mu_ across it would stall the destructor.
       uint64_t cur = progress_->load(std::memory_order_relaxed);
       if (cur == last) continue;  // no progress: stay silent
       last = cur;
-      lock.unlock();
       conn_->Send(MsgType::kPong, {});  // best effort; EOF surfaces elsewhere
-      lock.lock();
     }
   }
 
-  WorkerConn* conn_;
-  std::atomic<uint64_t>* progress_;
-  std::chrono::milliseconds interval_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  // conn_/progress_/interval_ are immutable after construction and safe to
+  // read from the pump thread without mu_. The progress counter is a pure
+  // liveness gauge: relaxed loads suffice because no other memory is
+  // published through it — only "did the number change since last sample".
+  WorkerConn* const conn_;
+  std::atomic<uint64_t>* const progress_;
+  const std::chrono::milliseconds interval_;
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ DSEQ_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 
@@ -356,8 +370,11 @@ void RunWorkerMapTask(WorkerConn& conn, std::string_view payload,
   // Input-cache counters travel as before/after deltas of the process-global
   // gauges: the map closure reads the (cached) input database, and the
   // coordinator folds the deltas into the round metrics via kMapDone.
-  uint64_t storage_before = GlobalInputStorageReads().load();
-  uint64_t hits_before = GlobalInputCacheHits().load();
+  // Relaxed: the gauges are only bumped by this task thread (the worker runs
+  // the shard inline), so the before/after deltas are same-thread reads.
+  uint64_t storage_before =
+      GlobalInputStorageReads().load(std::memory_order_relaxed);
+  uint64_t hits_before = GlobalInputCacheHits().load(std::memory_order_relaxed);
   {
     std::unique_ptr<HeartbeatPump> pump;
     if (heartbeat_ms > 0) {
@@ -365,8 +382,11 @@ void RunWorkerMapTask(WorkerConn& conn, std::string_view payload,
     }
     RunMapShard(ctx);
   }
-  uint64_t storage_reads = GlobalInputStorageReads().load() - storage_before;
-  uint64_t cache_hits = GlobalInputCacheHits().load() - hits_before;
+  uint64_t storage_reads =
+      GlobalInputStorageReads().load(std::memory_order_relaxed) -
+      storage_before;
+  uint64_t cache_hits =
+      GlobalInputCacheHits().load(std::memory_order_relaxed) - hits_before;
 
   // Ship: per reducer, the spilled runs in chronological order, then the
   // bucket tail in stored form. This is exactly the source order the local
@@ -401,15 +421,17 @@ void RunWorkerMapTask(WorkerConn& conn, std::string_view payload,
 
   ApplyLifecycleFault(fault::Evaluate(fault::Site::kWorkerCommit, task));
 
+  // Relaxed: all counters were written by this thread during RunMapShard
+  // (the only other thread, the heartbeat pump, just joined in ~pump).
   std::string done;
   PutVarint(&done, task);
-  PutVarint(&done, map_output_records.load());
-  PutVarint(&done, shuffle_records.load());
-  PutVarint(&done, shuffle_bytes.load());
-  PutVarint(&done, shuffle_compressed_bytes.load());
-  PutVarint(&done, spill_stats.files.load());
-  PutVarint(&done, spill_stats.bytes_written.load());
-  PutVarint(&done, spill_stats.merge_passes.load());
+  PutVarint(&done, map_output_records.load(std::memory_order_relaxed));
+  PutVarint(&done, shuffle_records.load(std::memory_order_relaxed));
+  PutVarint(&done, shuffle_bytes.load(std::memory_order_relaxed));
+  PutVarint(&done, shuffle_compressed_bytes.load(std::memory_order_relaxed));
+  PutVarint(&done, spill_stats.files.load(std::memory_order_relaxed));
+  PutVarint(&done, spill_stats.bytes_written.load(std::memory_order_relaxed));
+  PutVarint(&done, spill_stats.merge_passes.load(std::memory_order_relaxed));
   PutVarint(&done, storage_reads);
   PutVarint(&done, cache_hits);
   PutVarint(&done, reduce_workers);
@@ -566,11 +588,12 @@ void RunWorkerReduceTask(WorkerConn& conn, std::string_view payload,
     }
   }
 
+  // Relaxed: spill stats were written by this task thread only.
   std::string done;
   PutVarint(&done, reducer);
-  PutVarint(&done, spill_stats.files.load());
-  PutVarint(&done, spill_stats.bytes_written.load());
-  PutVarint(&done, spill_stats.merge_passes.load());
+  PutVarint(&done, spill_stats.files.load(std::memory_order_relaxed));
+  PutVarint(&done, spill_stats.bytes_written.load(std::memory_order_relaxed));
+  PutVarint(&done, spill_stats.merge_passes.load(std::memory_order_relaxed));
   PutVarint(&done, num_records);
   done += record_bytes;
   SendOrThrow(conn, MsgType::kReduceDone, done);

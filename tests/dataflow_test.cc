@@ -4,9 +4,9 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 
 #include "src/dataflow/shuffle_buffer.h"
+#include "src/util/sync.h"
 #include "src/util/varint.h"
 
 namespace dseq {
@@ -20,7 +20,7 @@ std::map<std::string, uint64_t> WordCount(const std::vector<std::string>& docs,
                                           bool compress = false,
                                           uint64_t budget = 0) {
   std::map<std::string, uint64_t> counts;
-  std::mutex mu;
+  dseq::Mutex mu;
   MapFn map_fn = [&](size_t i, const EmitFn& emit) {
     std::string word;
     std::string one;
@@ -43,7 +43,7 @@ std::map<std::string, uint64_t> WordCount(const std::vector<std::string>& docs,
       GetVarint(v, &pos, &c);
       total += c;
     }
-    std::lock_guard<std::mutex> lock(mu);
+    dseq::MutexLock lock(mu);
     counts[std::string(key)] += total;
   };
   DataflowOptions options;
@@ -123,7 +123,7 @@ TEST(DataflowTest, ReducerBytesSumToShuffleBytes) {
 TEST(DataflowTest, CustomPartitionerRoutesKeysAndMatchesMetrics) {
   std::vector<std::string> docs = {"a b c", "d e", "f"};
   std::map<std::string, uint64_t> counts;
-  std::mutex mu;
+  dseq::Mutex mu;
   std::atomic<int> nonzero_worker_calls{0};
   MapFn map_fn = [&](size_t i, const EmitFn& emit) {
     std::string one;
@@ -135,7 +135,7 @@ TEST(DataflowTest, CustomPartitionerRoutesKeysAndMatchesMetrics) {
   ReduceFn reduce_fn = [&](int worker, std::string_view key,
                            std::vector<std::string_view>& values) {
     if (worker != 0) nonzero_worker_calls.fetch_add(1);
-    std::lock_guard<std::mutex> lock(mu);
+    dseq::MutexLock lock(mu);
     counts[std::string(key)] += values.size();
   };
   DataflowOptions options;
@@ -174,7 +174,7 @@ TEST(DataflowTest, DefaultPartitionerMatchesShuffleReducerForKey) {
   // and balance summaries would project a different layout than runs use.
   std::vector<std::string> docs = {"alpha beta gamma delta epsilon"};
   std::map<std::string, uint64_t> seen_worker;
-  std::mutex mu;
+  dseq::Mutex mu;
   MapFn map_fn = [&](size_t i, const EmitFn& emit) {
     std::string word;
     for (char c : docs[i] + " ") {
@@ -188,7 +188,7 @@ TEST(DataflowTest, DefaultPartitionerMatchesShuffleReducerForKey) {
   };
   ReduceFn reduce_fn = [&](int worker, std::string_view key,
                            std::vector<std::string_view>&) {
-    std::lock_guard<std::mutex> lock(mu);
+    dseq::MutexLock lock(mu);
     seen_worker[std::string(key)] = worker;
   };
   DataflowOptions options;
@@ -299,7 +299,7 @@ TEST(DataflowTest, SimulatedExecutionProducesSameResults) {
 
   // Same run under cluster simulation.
   std::map<std::string, uint64_t> counts;
-  std::mutex mu;
+  dseq::Mutex mu;
   MapFn map_fn = [&](size_t i, const EmitFn& emit) {
     std::string word;
     std::string one;
@@ -322,7 +322,7 @@ TEST(DataflowTest, SimulatedExecutionProducesSameResults) {
       GetVarint(v, &pos, &c);
       total += c;
     }
-    std::lock_guard<std::mutex> lock(mu);
+    dseq::MutexLock lock(mu);
     counts[std::string(key)] += total;
   };
   DataflowOptions options;

@@ -1,0 +1,13 @@
+// NEGATIVE snippet: acquires the same mutex twice (dseq::Mutex is
+// non-recursive — this deadlocks at runtime). Must draw "acquiring mutex
+// ... that is already held" under -Werror=thread-safety.
+#include "src/util/sync.h"
+
+int main() {
+  dseq::Mutex mu;
+  mu.lock();
+  mu.lock();  // BUG: already held by this thread
+  mu.unlock();
+  mu.unlock();
+  return 0;
+}

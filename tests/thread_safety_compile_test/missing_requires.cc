@@ -1,0 +1,29 @@
+// NEGATIVE snippet: calls a DSEQ_REQUIRES helper without holding the mutex
+// it names. Must draw "calling function ... requires holding mutex" under
+// -Werror=thread-safety.
+#include <cstdint>
+
+#include "src/util/sync.h"
+
+namespace {
+
+class Broken {
+ public:
+  void Increment() {
+    IncrementLocked();  // BUG: caller never acquired mu_
+  }
+
+ private:
+  void IncrementLocked() DSEQ_REQUIRES(mu_) { ++value_; }
+
+  dseq::Mutex mu_;
+  uint64_t value_ DSEQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Broken b;
+  b.Increment();
+  return 0;
+}

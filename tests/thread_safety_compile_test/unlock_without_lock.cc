@@ -1,0 +1,10 @@
+// NEGATIVE snippet: releases a mutex the thread never acquired (undefined
+// behavior on std::mutex). Must draw "releasing mutex ... that was not
+// held" under -Werror=thread-safety.
+#include "src/util/sync.h"
+
+int main() {
+  dseq::Mutex mu;
+  mu.unlock();  // BUG: never locked
+  return 0;
+}

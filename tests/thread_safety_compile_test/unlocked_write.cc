@@ -1,0 +1,28 @@
+// NEGATIVE snippet: writes a DSEQ_GUARDED_BY member without holding its
+// mutex. Must draw "writing variable ... requires holding mutex" under
+// -Werror=thread-safety; the ctest entry passes only when that diagnostic
+// appears.
+#include <cstdint>
+
+#include "src/util/sync.h"
+
+namespace {
+
+class Broken {
+ public:
+  void Increment() {
+    ++value_;  // BUG: mu_ not held
+  }
+
+ private:
+  dseq::Mutex mu_;
+  uint64_t value_ DSEQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Broken b;
+  b.Increment();
+  return 0;
+}
