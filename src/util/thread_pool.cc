@@ -2,11 +2,44 @@
 
 #include <algorithm>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/util/sync.h"
+
 namespace dseq {
+namespace {
+
+// First-error capture shared by the worker threads. The annotation pass
+// surfaced that the old inline version read the exception slot without the
+// mutex after the joins — correct only through the join's happens-before,
+// and invisible to the analysis. Funneling both sides through one annotated
+// type makes the contract compiler-checked (and trivially safe if a future
+// caller rethrows before joining).
+class ErrorSlot {
+ public:
+  // Keeps the first error; later ones are dropped (the contract pinned by
+  // thread_pool_test: exactly one exception surfaces per pool run).
+  void Capture(std::exception_ptr error) DSEQ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (!error_) error_ = std::move(error);
+  }
+
+  void RethrowIfSet() DSEQ_EXCLUDES(mu_) {
+    std::exception_ptr error;
+    {
+      MutexLock lock(mu_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  Mutex mu_;
+  std::exception_ptr error_ DSEQ_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 int DefaultWorkers() {
   unsigned hc = std::thread::hardware_concurrency();
@@ -20,20 +53,18 @@ void ParallelWorkers(int num_workers, const std::function<void(int)>& fn) {
   }
   std::vector<std::thread> threads;
   threads.reserve(num_workers);
-  std::exception_ptr first_error = nullptr;
-  std::mutex error_mutex;
+  ErrorSlot first_error;
   for (int w = 0; w < num_workers; ++w) {
     threads.emplace_back([&, w]() {
       try {
         fn(w);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        first_error.Capture(std::current_exception());
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  first_error.RethrowIfSet();
 }
 
 void ParallelShards(size_t num_items, int num_workers,

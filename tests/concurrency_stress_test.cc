@@ -14,7 +14,6 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <random>
 #include <stdexcept>
 #include <string>
@@ -24,6 +23,7 @@
 #include "src/dataflow/engine.h"
 #include "src/dataflow/shuffle_buffer.h"
 #include "src/spill/memory_budget.h"
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 #include "src/util/varint.h"
 #include "tests/test_util.h"
@@ -90,6 +90,43 @@ TEST(ThreadPoolStressTest, ConcurrentThrowersDoNotRaceTheErrorSlot) {
     }
     // Every worker still ran: a throwing shard must not cancel the others.
     ASSERT_EQ(ran.load(), 8);
+  }
+}
+
+TEST(ThreadPoolStressTest, RethrownErrorIsIntactUnderContention) {
+  // Regression test for the thread-safety-annotation finding: the pool used
+  // to read its first-error slot without the mutex when rethrowing, relying
+  // on the joins alone for ordering. The slot is now an annotated
+  // mutex-guarded type whose read path locks too. Here every worker throws
+  // nearly simultaneously (rendezvous barrier) so captures contend as hard
+  // as possible, and the surfaced exception must be one of the thrown ones,
+  // with its message untorn — under TSan this also proves the locked read.
+  const int rounds = StressIterations(50);
+  const int workers = 8;
+  for (int round = 0; round < rounds; ++round) {
+    std::atomic<int> arrivals{0};
+    std::string surfaced;
+    try {
+      ParallelWorkers(workers, [&](int w) {
+        arrivals.fetch_add(1, std::memory_order_relaxed);
+        while (arrivals.load(std::memory_order_relaxed) < workers) {
+        }
+        throw std::runtime_error("thrower-" + std::to_string(w) + "-round-" +
+                                 std::to_string(round));
+      });
+      FAIL() << "expected ParallelWorkers to rethrow";
+    } catch (const std::runtime_error& e) {
+      surfaced = e.what();
+    }
+    // Exactly one of this round's exceptions, byte-for-byte.
+    bool matches_a_thrower = false;
+    for (int w = 0; w < workers; ++w) {
+      if (surfaced == "thrower-" + std::to_string(w) + "-round-" +
+                          std::to_string(round)) {
+        matches_a_thrower = true;
+      }
+    }
+    ASSERT_TRUE(matches_a_thrower) << "got: " << surfaced;
   }
 }
 
@@ -166,7 +203,7 @@ TEST(MemoryBudgetStressTest, ContendedChargeReleaseStaysSymmetric) {
 GroupMap RunCountingRound(int workers, const DataflowOptions& options) {
   const size_t num_inputs = 256;
   GroupMap groups;
-  std::mutex mu;
+  dseq::Mutex mu;
   RunMapReduce(
       num_inputs,
       [](size_t i, const EmitFn& emit) {
@@ -181,7 +218,7 @@ GroupMap RunCountingRound(int workers, const DataflowOptions& options) {
       MakeSumCombiner,
       [&](int /*worker*/, std::string_view key,
           std::vector<std::string_view>& values) {
-        std::lock_guard<std::mutex> lock(mu);
+        dseq::MutexLock lock(mu);
         auto& column = groups[std::string(key)];
         for (std::string_view v : values) column.emplace_back(v);
       },
