@@ -534,6 +534,11 @@ int ShuffleReducerForKey(std::string_view key, int num_reduce_workers) {
                           static_cast<size_t>(ClampWorkers(num_reduce_workers)));
 }
 
+// Process-global monotonic gauges, bumped with relaxed RMWs from map worker
+// threads. Readers take before/after deltas around a phase whose worker
+// threads have been joined (or, under proc, run inline in the same thread),
+// so the join provides the happens-before and the counters themselves never
+// publish other memory — relaxed ordering throughout is sufficient.
 std::atomic<uint64_t>& GlobalInputStorageReads() {
   static std::atomic<uint64_t> reads{0};
   return reads;
@@ -653,10 +658,14 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
     ctx.shuffle_compressed_bytes = &shuffle_compressed_bytes;
     RunMapShard(ctx);
   });
-  metrics.shuffle_bytes = shuffle_bytes.load();
-  metrics.shuffle_compressed_bytes = shuffle_compressed_bytes.load();
-  metrics.shuffle_records = shuffle_records.load();
-  metrics.map_output_records = map_output_records.load();
+  // Relaxed: the map workers that bumped these counters were joined inside
+  // RunPhase, which is the actual happens-before edge for the final values.
+  metrics.shuffle_bytes = shuffle_bytes.load(std::memory_order_relaxed);
+  metrics.shuffle_compressed_bytes =
+      shuffle_compressed_bytes.load(std::memory_order_relaxed);
+  metrics.shuffle_records = shuffle_records.load(std::memory_order_relaxed);
+  metrics.map_output_records =
+      map_output_records.load(std::memory_order_relaxed);
   metrics.reducer_bytes.assign(reduce_workers, 0);
   for (const std::vector<uint64_t>& row : worker_reducer_bytes) {
     for (int r = 0; r < reduce_workers; ++r) {
@@ -754,9 +763,12 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
           i = j;
         }
       });
-  metrics.spill_files = spill_stats.files.load();
-  metrics.spill_bytes_written = spill_stats.bytes_written.load();
-  metrics.spill_merge_passes = spill_stats.merge_passes.load();
+  // Relaxed: both phases' workers are joined by the time the stats are read.
+  metrics.spill_files = spill_stats.files.load(std::memory_order_relaxed);
+  metrics.spill_bytes_written =
+      spill_stats.bytes_written.load(std::memory_order_relaxed);
+  metrics.spill_merge_passes =
+      spill_stats.merge_passes.load(std::memory_order_relaxed);
   // Round teardown: every bucket must have been drained by its reduce
   // worker (its live-gauge contribution is then zero — the per-round form
   // of the ShuffleBufferLiveBytes()==0 contract the RAII tests assert), its

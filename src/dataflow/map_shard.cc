@@ -60,7 +60,11 @@ void RunMapShard(const MapShardContext& ctx) {
                               std::to_string(r) + " for " +
                               std::to_string(reduce_workers) + " workers");
     }
-    uint64_t total = ctx.shuffle_bytes->fetch_add(bytes) + bytes;
+    // Relaxed is enough for the budget check: RMWs on one atomic are
+    // totally ordered regardless of memory order, so `total` is an exact
+    // running sum; no other memory is published through the counter.
+    uint64_t total =
+        ctx.shuffle_bytes->fetch_add(bytes, std::memory_order_relaxed) + bytes;
     ctx.shuffle_records->fetch_add(1, std::memory_order_relaxed);
     if (options.shuffle_budget_bytes > 0 &&
         total > options.shuffle_budget_bytes) {

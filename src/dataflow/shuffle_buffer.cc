@@ -10,6 +10,12 @@
 namespace dseq {
 namespace {
 
+// Process-global diagnostic gauge of bytes resident in shuffle arenas.
+// Relaxed everywhere: each buffer is single-writer (one map worker fills it,
+// one reduce worker drains it, with a phase join between), so the adds and
+// subs for one buffer are already ordered by the engine; the gauge itself
+// publishes nothing. Cross-thread readers (teardown CHECKs, the RAII tests)
+// run after the joins that make the final value exact.
 std::atomic<uint64_t> g_live_bytes{0};
 
 }  // namespace

@@ -116,7 +116,11 @@ class CachedDatabase {
   explicit CachedDatabase(const std::vector<Sequence>& storage)
       : storage_(storage),
         cached_(std::make_unique<std::atomic<uint8_t>[]>(storage.size())) {
-    for (size_t i = 0; i < storage.size(); ++i) cached_[i] = 0;
+    // Relaxed: the object is published to worker threads only after
+    // construction (thread creation orders these stores before any Read).
+    for (size_t i = 0; i < storage.size(); ++i) {
+      cached_[i].store(0, std::memory_order_relaxed);
+    }
   }
 
   const Sequence& Read(size_t index) {
@@ -135,11 +139,20 @@ class CachedDatabase {
   }
 
   size_t size() const { return storage_.size(); }
-  uint64_t storage_reads() const { return storage_reads_.load(); }
-  uint64_t cache_hits() const { return cache_hits_.load(); }
+  // Relaxed: drivers sum the counters between rounds, after the round's
+  // workers are joined — the join is the ordering edge, not the load.
+  uint64_t storage_reads() const {
+    return storage_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   const std::vector<Sequence>& storage_;
+  // cached_[i] is a once-only latch, not a data-publication flag: the data
+  // (storage_) is immutable, so the relaxed exchange in Read only needs the
+  // RMW's atomicity to pick exactly one "first" reader per index.
   std::unique_ptr<std::atomic<uint8_t>[]> cached_;
   std::atomic<uint64_t> storage_reads_{0};
   std::atomic<uint64_t> cache_hits_{0};

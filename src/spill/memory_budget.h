@@ -17,6 +17,20 @@
 // it is holding (other workers' residents may fill the budget, and a worker
 // can only ever free its own state). The overshoot is bounded by roughly
 // one record per map worker.
+//
+// Memory ordering: every operation on `used_` is relaxed, deliberately. The
+// balance is pure accounting — no worker's data is published through it.
+// What each operation needs:
+//   - TryCharge's CAS loop needs only the RMW's atomicity so two workers
+//     cannot both claim the last bytes;
+//   - Release's underflow CHECK needs only the RMW's returned value, which
+//     is exact under any ordering (RMWs on one object are totally ordered);
+//   - used_bytes() feeds heuristics (spill-worthiness, error messages) that
+//     tolerate a stale-by-one-record view.
+// The actual payload (arena contents, spill files) travels between threads
+// through joins and the per-worker ownership discipline, never through this
+// counter. A lock-free budget cannot be DSEQ_GUARDED_BY; this comment is
+// its ordering contract instead.
 #ifndef DSEQ_SPILL_MEMORY_BUDGET_H_
 #define DSEQ_SPILL_MEMORY_BUDGET_H_
 

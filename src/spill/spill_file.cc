@@ -66,8 +66,12 @@ int FGetcRetry(std::FILE* f) {
 }  // namespace
 
 SpillFile SpillFile::Create(const std::string& dir) {
-  std::string path = dir + "/spill-" + std::to_string(::getpid()) + "-" +
-                     std::to_string(g_spill_file_seq.fetch_add(1)) + ".run";
+  // Relaxed: the sequence number only needs uniqueness (RMW atomicity);
+  // nothing is published through it.
+  std::string path =
+      dir + "/spill-" + std::to_string(::getpid()) + "-" +
+      std::to_string(g_spill_file_seq.fetch_add(1, std::memory_order_relaxed)) +
+      ".run";
   // "wx": exclusive creation, so a stale file from another job is an error
   // instead of silently shared.
   std::FILE* handle = std::fopen(path.c_str(), "wbx");
