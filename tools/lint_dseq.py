@@ -21,11 +21,24 @@ the offending line or the line above it):
                        file must be owned by RAII so a dead run cannot leak
                        droppings (SpillWriter's borrowed pointer lives in
                        the exempt header).
+  raw-sync-primitive   bare std synchronization primitives (std::mutex,
+                       std::lock_guard, std::condition_variable, and their
+                       relatives) outside src/util/sync.h — all locking goes
+                       through the annotated dseq::Mutex/MutexLock/CondVar
+                       wrappers so Clang Thread Safety Analysis sees it.
+  detached-thread      std::thread::detach() anywhere — detached threads
+                       outlive round teardown, dodge the error contract, and
+                       are invisible to TSan's end-of-test checks; join.
   header-guard         src/ and tests/ headers must use the canonical
                        DSEQ_<PATH>_H_ include guard.
   header-self-contained (--check-headers) every header must compile on its
                        own: g++ -fsyntax-only over a TU that includes just
                        the header — headers include what they use.
+
+--selftest feeds synthetic snippets through every text rule and verifies the
+exact findings (including that `dseq-lint: allow(...)` escapes and comment/
+string stripping are honored); it is registered as the `lint_selftest` ctest
+entry.
 
 Exit status: 0 clean, 1 findings, 2 usage/setup error.
 """
@@ -163,6 +176,35 @@ class Linter:
                             "raw SpillFile pointer outside spill_file.{h,cc} "
                             "— pass SpillFile& or move the value", raw_lines)
 
+    # The annotated wrappers themselves are the one sanctioned home for the
+    # std primitives; everything else must lock through them so the locking
+    # contract stays visible to Clang Thread Safety Analysis.
+    SYNC_EXEMPT = {"src/util/sync.h"}
+    SYNC_RE = re.compile(
+        r"\bstd::(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+        r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+        r"shared_lock|condition_variable(?:_any)?)\b")
+
+    def check_raw_sync_primitive(self, path, raw_lines, code_lines):
+        if path in self.SYNC_EXEMPT:
+            return
+        for i, line in enumerate(code_lines, start=1):
+            if self.SYNC_RE.search(line):
+                self.report(path, i, "raw-sync-primitive",
+                            "bare std synchronization primitive — use the "
+                            "annotated dseq::Mutex/MutexLock/CondVar "
+                            "(src/util/sync.h)", raw_lines)
+
+    DETACH_RE = re.compile(r"(?:\.|->)\s*detach\s*\(\s*\)")
+
+    def check_detached_thread(self, path, raw_lines, code_lines):
+        for i, line in enumerate(code_lines, start=1):
+            if self.DETACH_RE.search(line):
+                self.report(path, i, "detached-thread",
+                            "detached thread — join it: detached threads "
+                            "outlive teardown and dodge the error contract",
+                            raw_lines)
+
     def check_header_guard(self, path, raw_lines, code_lines):
         expected = "DSEQ_" + re.sub(r"[/.]", "_", path.upper()
                                     .removeprefix("SRC/")).rstrip("_") + "_"
@@ -177,22 +219,31 @@ class Linter:
 
     # --- driver -------------------------------------------------------------
 
+    def lint_text(self, path, raw):
+        """Applies every text rule to one file's contents with the same
+        scoping as the tree walk (shared by run() and the self-test)."""
+        raw_lines = raw.splitlines()
+        code_lines = strip_code(raw).splitlines()
+        if path.startswith("src/"):
+            self.check_naked_new(path, raw_lines, code_lines)
+        self.check_unseeded_rng(path, raw_lines, code_lines)
+        self.check_hot_path_string_copy(path, raw_lines, code_lines)
+        self.check_spill_file_raii(path, raw_lines, code_lines)
+        self.check_raw_sync_primitive(path, raw_lines, code_lines)
+        self.check_detached_thread(path, raw_lines, code_lines)
+        if path.endswith(".h") and (path.startswith("src/") or
+                                    path.startswith("tests/")):
+            self.check_header_guard(path, raw_lines, code_lines)
+            return True
+        return False
+
     def run(self, check_headers):
         headers = []
         for path in sorted(set(source_files(["src", "tests", "tools", "fuzz",
                                              "bench"], {".h", ".cc"}))):
             with open(os.path.join(REPO, path), encoding="utf-8") as f:
                 raw = f.read()
-            raw_lines = raw.splitlines()
-            code_lines = strip_code(raw).splitlines()
-            if path.startswith("src/"):
-                self.check_naked_new(path, raw_lines, code_lines)
-            self.check_unseeded_rng(path, raw_lines, code_lines)
-            self.check_hot_path_string_copy(path, raw_lines, code_lines)
-            self.check_spill_file_raii(path, raw_lines, code_lines)
-            if path.endswith(".h") and (path.startswith("src/") or
-                                        path.startswith("tests/")):
-                self.check_header_guard(path, raw_lines, code_lines)
+            if self.lint_text(path, raw):
                 headers.append(path)
         if check_headers:
             self.check_self_contained(headers)
@@ -221,11 +272,95 @@ class Linter:
                 os.unlink(tu_path)
 
 
+# Self-test corpus: (case name, virtual path, snippet, rule, expected count
+# of findings for that rule). Paths are virtual — nothing is written to disk;
+# each snippet runs through lint_text() exactly as a real file would.
+SELFTEST_CASES = [
+    # raw-sync-primitive: the sync wrappers are the only sanctioned home.
+    ("sync: std::mutex member in src", "src/foo/bar.h",
+     "dseq::Mutex ok;\nstd::mutex mu;\n", "raw-sync-primitive", 1),
+    # One finding per offending line, however many primitives it names.
+    ("sync: std::lock_guard in tests", "tests/foo_test.cc",
+     "std::lock_guard<std::mutex> lock(mu);\n", "raw-sync-primitive", 1),
+    ("sync: std::condition_variable in src", "src/foo/bar.cc",
+     "std::condition_variable cv;\n", "raw-sync-primitive", 1),
+    ("sync: exempt inside src/util/sync.h", "src/util/sync.h",
+     "std::mutex mu_;\nstd::condition_variable cv_;\n",
+     "raw-sync-primitive", 0),
+    ("sync: allow() on the line", "src/foo/bar.cc",
+     "std::mutex mu;  // dseq-lint: allow(raw-sync-primitive)\n",
+     "raw-sync-primitive", 0),
+    ("sync: allow() on the line above", "src/foo/bar.cc",
+     "// dseq-lint: allow(raw-sync-primitive)\nstd::mutex mu;\n",
+     "raw-sync-primitive", 0),
+    ("sync: mention in a comment is not a use", "src/foo/bar.cc",
+     "// replaces std::mutex with dseq::Mutex\ndseq::Mutex mu;\n",
+     "raw-sync-primitive", 0),
+    ("sync: mention in a string is not a use", "src/foo/bar.cc",
+     'const char* kMsg = "std::mutex is banned";\n',
+     "raw-sync-primitive", 0),
+    # detached-thread: no fire-and-forget threads anywhere.
+    ("detach: direct call", "src/foo/bar.cc",
+     "std::thread t([]{});\nt.detach();\n", "detached-thread", 1),
+    ("detach: through a pointer", "tests/foo_test.cc",
+     "worker->detach();\n", "detached-thread", 1),
+    ("detach: allow() escape", "src/foo/bar.cc",
+     "t.detach();  // dseq-lint: allow(detached-thread)\n",
+     "detached-thread", 0),
+    ("detach: comment is not a use", "src/foo/bar.cc",
+     "// never t.detach() here\nt.join();\n", "detached-thread", 0),
+    # Regression cases for the pre-existing rules.
+    ("naked-new fires in src", "src/foo/bar.cc",
+     "int* p = new int(3);\n", "naked-new", 1),
+    ("naked-new ignores deleted functions", "src/foo/bar.cc",
+     "Foo(const Foo&) = delete;\n", "naked-new", 0),
+    ("naked-new scoped to src/", "tests/foo_test.cc",
+     "int* p = new int(3);\n", "naked-new", 0),
+    ("unseeded-rng fires", "src/foo/bar.cc",
+     "int r = rand();\n", "unseeded-rng", 1),
+    ("unseeded-rng exempt in datagen", "src/datagen/gen.cc",
+     "int r = rand();\n", "unseeded-rng", 0),
+    ("hot-path-string-copy fires in dataflow", "src/dataflow/foo.cc",
+     "void Emit(const std::string& key);\n", "hot-path-string-copy", 1),
+    ("spill-file-raii fires on heap SpillFile", "src/foo/bar.cc",
+     "auto* f = new SpillFile(path);\n", "spill-file-raii", 1),
+    ("header-guard fires on a wrong guard", "src/foo/bar.h",
+     "#ifndef WRONG_H\n#define WRONG_H\n#endif\n", "header-guard", 1),
+    ("header-guard accepts the canonical guard", "src/foo/bar.h",
+     "#ifndef DSEQ_FOO_BAR_H_\n#define DSEQ_FOO_BAR_H_\n#endif\n",
+     "header-guard", 0),
+]
+
+
+def run_selftest():
+    failures = []
+    for name, path, snippet, rule, expected in SELFTEST_CASES:
+        linter = Linter()
+        linter.lint_text(path, snippet)
+        got = sum(1 for f in linter.findings if f"[{rule}]" in f)
+        status = "ok" if got == expected else "FAIL"
+        print(f"{status:4} {name}: expected {expected} [{rule}], got {got}")
+        if got != expected:
+            failures.append(name)
+            for f in linter.findings:
+                print(f"       {f}")
+    if failures:
+        print(f"\n{len(failures)} self-test case(s) failed", file=sys.stderr)
+        return 1
+    print(f"\nall {len(SELFTEST_CASES)} lint self-test cases passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--check-headers", action="store_true",
                         help="also compile every header standalone (slow)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the rule self-tests instead of linting")
     args = parser.parse_args()
+
+    if args.selftest:
+        return run_selftest()
 
     findings = Linter().run(args.check_headers)
     for finding in findings:
