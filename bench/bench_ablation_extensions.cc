@@ -15,6 +15,7 @@
 #include "src/core/desq_count.h"
 #include "src/core/desq_dfs.h"
 #include "src/dist/partition_stats.h"
+#include "src/obs/trace.h"
 
 namespace {
 
@@ -83,7 +84,7 @@ int main() {
     size_t count_patterns = 0;
     bool count_oom = false;
     {
-      auto start = std::chrono::steady_clock::now();
+      auto start = obs::Now();
       try {
         DesqCountOptions options;
         options.sigma = c.sigma;
@@ -94,9 +95,7 @@ int main() {
       } catch (const MiningBudgetError&) {
         count_oom = true;
       }
-      count_s = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
+      count_s = obs::SecondsSince(start);
     }
     RunRow dfs = RunDesqDfsSequential(*c.db, fst, c.sigma);
     if (!count_oom && count_patterns != dfs.num_patterns) {

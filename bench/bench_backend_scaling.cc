@@ -23,6 +23,7 @@
 #include "src/datagen/skewed_zipf.h"
 #include "src/datagen/text_corpus.h"
 #include "src/dist/dseq_miner.h"
+#include "src/obs/trace.h"
 #include "src/fst/compiler.h"
 
 namespace dseq {
@@ -49,9 +50,7 @@ struct BackendRow {
 std::vector<BackendRow> g_rows;
 
 double Now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  return std::chrono::duration<double>(obs::Now().time_since_epoch()).count();
 }
 
 void RunCase(const std::string& name, const SequenceDatabase& db,

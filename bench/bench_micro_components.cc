@@ -37,6 +37,8 @@
 #include "src/dist/dseq_miner.h"
 #include "src/fst/compiler.h"
 #include "src/nfa/output_nfa.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/nfa/serializer.h"
 #include "src/spill/external_merger.h"
 #include "src/spill/spill_file.h"
@@ -63,9 +65,7 @@ struct BenchRow {
 std::vector<BenchRow> g_rows;
 
 double Now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  return std::chrono::duration<double>(obs::Now().time_since_epoch()).count();
 }
 
 // `items_per_op` > 0 reports throughput (an op processes that many items).
@@ -408,6 +408,37 @@ void BenchDesqDfsSmall() {
   });
 }
 
+void BenchTraceOverhead() {
+  // The disabled-run cost of the instrumentation pattern (trace.h's
+  // overhead doctrine): the same ~1µs workload measured bare and wrapped
+  // in a DSEQ_TRACE_SPAN plus an Enabled()-gated histogram observation,
+  // with tracing *off*. The CI trace job asserts the instrumented row
+  // stays within 2% of the baseline.
+  obs::SetEnabled(false);
+  Sequence seq;
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 96; ++i) {
+    seq.push_back(static_cast<ItemId>(rng() % 100'000 + 1));
+  }
+  auto workload = [&] {
+    std::string buf;
+    PutSequence(&buf, seq);
+    Sequence decoded;
+    size_t pos = 0;
+    GetSequence(buf, &pos, &decoded);
+    volatile size_t sink = decoded.size();
+    (void)sink;
+    return buf.size();
+  };
+  RunBench("trace_overhead_baseline", 0, [&] { workload(); });
+  RunBench("trace_overhead_traced_off", 0, [&] {
+    DSEQ_TRACE_SPAN("bench", "overhead_probe");
+    size_t bytes = workload();
+    static obs::Histogram& h = obs::GetHistogram("bench.overhead_bytes");
+    if (obs::Enabled()) h.Observe(bytes);
+  });
+}
+
 void PrintJson() {
   std::printf("{\n  \"benchmarks\": [\n");
   for (size_t i = 0; i < g_rows.size(); ++i) {
@@ -450,6 +481,7 @@ int main(int argc, char** argv) {
   BenchBlockCodec();
   BenchExternalMerge();
   BenchDesqDfsSmall();
+  BenchTraceOverhead();
   if (g_config.json) PrintJson();
   return 0;
 }

@@ -27,6 +27,7 @@
 #include "src/dist/dseq_miner.h"
 #include "src/dist/partition_plan.h"
 #include "src/dist/partition_stats.h"
+#include "src/obs/trace.h"
 #include "src/fst/compiler.h"
 
 namespace dseq {
@@ -57,9 +58,7 @@ struct BalanceRow {
 std::vector<BalanceRow> g_rows;
 
 double Now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  return std::chrono::duration<double>(obs::Now().time_since_epoch()).count();
 }
 
 void RunCase(const std::string& name, const SkewedZipfOptions& gen,

@@ -26,6 +26,7 @@
 #include "src/datagen/skewed_zipf.h"
 #include "src/datagen/text_corpus.h"
 #include "src/dist/dseq_miner.h"
+#include "src/obs/trace.h"
 #include "src/fst/compiler.h"
 
 namespace dseq {
@@ -56,9 +57,7 @@ std::vector<SpillRow> g_rows;
 std::string g_spill_dir;
 
 double Now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  return std::chrono::duration<double>(obs::Now().time_since_epoch()).count();
 }
 
 // Budget denominators: how far below the shuffle volume the budgeted runs

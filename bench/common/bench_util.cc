@@ -10,6 +10,7 @@
 #include "src/datagen/market_baskets.h"
 #include "src/datagen/text_corpus.h"
 #include "src/datagen/web_text.h"
+#include "src/obs/trace.h"
 
 namespace dseq {
 namespace bench {
@@ -227,13 +228,11 @@ RunRow RunDesqDfsSequential(const SequenceDatabase& db, const Fst& fst,
     DesqDfsOptions options;
     options.sigma = sigma;
     options.max_total_grid_edges = max_grid_edges;
-    auto start = std::chrono::steady_clock::now();
+    auto start = obs::Now();
     MiningResult patterns = MineDesqDfs(db.sequences, fst, db.dict, options);
     DistributedResult result;
     result.patterns = std::move(patterns);
-    result.metrics.map_seconds = std::chrono::duration<double>(
-                                     std::chrono::steady_clock::now() - start)
-                                     .count();
+    result.metrics.map_seconds = obs::SecondsSince(start);
     return result;
   });
 }

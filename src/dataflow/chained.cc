@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 
+#include "src/obs/trace.h"
 #include "src/rpc/proc_backend.h"
 #include "src/util/thread_pool.h"
 
@@ -15,6 +16,8 @@ const DataflowMetrics& DataflowJob::Run(size_t num_inputs, const MapFn& map_fn,
   // Stamp the 0-based round index so budget-overflow errors (and spill
   // diagnostics) can name the round that tripped.
   round_options.round_index = static_cast<int>(round_metrics_.size());
+  obs::SetCurrentRound(round_options.round_index);
+  DSEQ_TRACE_SPAN("driver", "round");
   if (options_.cumulative_shuffle_budget_bytes > 0) {
     // The engine throws once a round shuffles more than its per-round budget,
     // so the cumulative budget becomes a per-round budget of whatever is left

@@ -9,6 +9,7 @@
 
 #include "src/dataflow/map_shard.h"
 #include "src/dataflow/shuffle_buffer.h"
+#include "src/obs/trace.h"
 #include "src/spill/external_merger.h"
 #include "src/spill/memory_budget.h"
 #include "src/spill/spill_context.h"
@@ -20,12 +21,6 @@
 
 namespace dseq {
 namespace {
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
 
 // The combiners aggregate into open-addressing tables (power-of-two
 // capacity, linear probing, growth at 7/8 load) whose string keys are views
@@ -567,15 +562,15 @@ double RunPhase(int num_workers, Execution execution,
   if (execution == Execution::kSimulated) {
     double critical_path = 0.0;
     for (int w = 0; w < num_workers; ++w) {
-      auto start = std::chrono::steady_clock::now();
+      auto start = obs::Now();
       fn(w);
-      critical_path = std::max(critical_path, SecondsSince(start));
+      critical_path = std::max(critical_path, obs::SecondsSince(start));
     }
     return critical_path;
   }
-  auto start = std::chrono::steady_clock::now();
+  auto start = obs::Now();
   ParallelWorkers(num_workers, fn);
-  return SecondsSince(start);
+  return obs::SecondsSince(start);
 }
 
 }  // namespace
@@ -633,7 +628,9 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
   }
 
   size_t shard = (num_inputs + map_workers - 1) / map_workers;
+  obs::SetCurrentRound(options.round_index);
   metrics.map_seconds = RunPhase(map_workers, options.execution, [&](int w) {
+    DSEQ_TRACE_SPAN("engine", "map_shard");
     // The shard body lives in map_shard.cc, shared verbatim with the proc
     // backend's worker processes — that sharing is the byte-identity
     // contract between the two backends.
@@ -683,6 +680,7 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
   // in-memory path.
   metrics.reduce_seconds =
       RunPhase(reduce_workers, options.execution, [&](int r) {
+        DSEQ_TRACE_SPAN("engine", "reduce_shard");
         // The column's residency now belongs to this worker and dies with
         // it; hand the charges back to the budget up front.
         if (budget.enabled()) {
@@ -698,6 +696,7 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
           }
         }
         if (column_spilled) {
+          DSEQ_TRACE_SPAN("engine", "external_merge");
           // Source order is the stability contract: per map worker, the
           // spilled runs (chronological) and then the resident tail.
           ExternalMergePlan plan(options.spill_dir, options.compress_spill,
@@ -724,6 +723,7 @@ DataflowMetrics RunMapReduce(size_t num_inputs, const MapFn& map_fn,
           return;
         }
 
+        DSEQ_TRACE_SPAN("engine", "group_sweep");
         size_t total_records = 0;
         for (int w = 0; w < map_workers; ++w) {
           total_records += buckets[w][r].num_records();

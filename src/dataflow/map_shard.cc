@@ -6,6 +6,9 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace dseq {
 
 std::vector<BucketEntry> SortedBucketEntries(std::string_view raw) {
@@ -32,8 +35,12 @@ void RunMapShard(const MapShardContext& ctx) {
   // returning the freed bytes to the budget. A worker can only ever free
   // its own state, so this is the whole spill action of the emit path.
   auto spill_worker_buckets = [&]() {
+    DSEQ_TRACE_SPAN("engine", "spill_run_write");
+    static obs::Histogram& run_bytes_hist =
+        obs::GetHistogram("spill.run_bytes");
     for (int r = 0; r < reduce_workers; ++r) {
       if (ctx.buckets[r].num_records() == 0) continue;
+      if (obs::Enabled()) run_bytes_hist.Observe(ctx.buckets[r].data_bytes());
       std::string raw = ctx.buckets[r].ReleaseRaw();
       SpillFile run = SpillFile::Create(options.spill_dir);
       SpillWriter writer(&run, options.compress_spill, ctx.spill_stats);
@@ -48,8 +55,15 @@ void RunMapShard(const MapShardContext& ctx) {
   };
 
   // Emits a post-combine record into this worker's shuffle buckets.
+  // Hot-path observability: registry lookups happen once (static locals);
+  // each record then costs one relaxed flag load — nothing when disabled.
+  static obs::Histogram& record_bytes_hist =
+      obs::GetHistogram("shuffle.record_bytes");
+  static obs::Histogram& budget_charge_hist =
+      obs::GetHistogram("budget.charge_bytes");
   EmitFn shuffle_emit = [&](std::string_view key, std::string_view value) {
     uint64_t bytes = key.size() + value.size() + kShuffleRecordOverheadBytes;
+    if (obs::Enabled()) record_bytes_hist.Observe(bytes);
     // The reducer is resolved before the budget checks so overflow errors
     // can name the offending bucket.
     int r = options.partitioner
@@ -109,7 +123,14 @@ void RunMapShard(const MapShardContext& ctx) {
         budget.ForceCharge(bytes);
       }
     }
-    if (budget.enabled()) ctx.bucket_charged[r] += bytes;
+    if (budget.enabled()) {
+      ctx.bucket_charged[r] += bytes;
+      // Budget pressure: how full the budget is per charge, in percent.
+      if (obs::Enabled()) {
+        budget_charge_hist.Observe(budget.used_bytes() * 100 /
+                                   budget.budget_bytes());
+      }
+    }
     ctx.reducer_bytes[r] += bytes;
     ctx.buckets[r].Append(key, value);
   };
@@ -134,7 +155,10 @@ void RunMapShard(const MapShardContext& ctx) {
       ctx.progress->fetch_add(1, std::memory_order_relaxed);
     }
   }
-  if (combiner != nullptr) combiner->Flush(shuffle_emit);
+  if (combiner != nullptr) {
+    DSEQ_TRACE_SPAN("engine", "combine_flush");
+    combiner->Flush(shuffle_emit);
+  }
   if (options.compress_shuffle) {
     uint64_t compressed = 0;
     for (int r = 0; r < reduce_workers; ++r) {

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/obs/trace.h"
 #include "src/util/thread_pool.h"
 
 namespace dseq {
@@ -52,6 +53,9 @@ MiningResult RunMiningRound(DataflowJob& job, size_t num_inputs,
                             const MapFn& map_fn,
                             const CombinerFactory& combiner_factory,
                             const PartitionReduceFn& reduce_fn) {
+  // Covers the round plus the driver-side decode of the mined boundary
+  // records (the part a per-round engine span cannot see).
+  DSEQ_TRACE_SPAN("driver", "mining_round");
   // The reduce side runs in threads locally but in forked *processes* under
   // the proc backend, where appends to captured parent state are lost with
   // the child. Every mined pattern therefore leaves the reduce as a

@@ -32,7 +32,7 @@ int ParseVarint(std::string_view data, size_t* pos, uint64_t* value) {
 
 bool ValidType(uint64_t type) {
   return type >= static_cast<uint64_t>(MsgType::kHello) &&
-         type <= static_cast<uint64_t>(MsgType::kPong);
+         type <= static_cast<uint64_t>(MsgType::kTrace);
 }
 
 }  // namespace

@@ -81,6 +81,15 @@ enum class MsgType : uint8_t {
   /// and a slow-but-working one stays alive). The coordinator treats any
   /// frame as progress and otherwise ignores kPong.
   kPong = 10,
+  /// worker -> coordinator: one observability snapshot (src/obs/trace.h
+  /// wire codec — spans drained from the worker's buffers plus metric
+  /// registry deltas since the previous snapshot). Sent immediately before
+  /// kMapDone / kReduceDone, and only when tracing was enabled in the
+  /// coordinator before the fork. The coordinator merges the spans into
+  /// its timeline (stamped with the worker's ordinal) and folds the metric
+  /// deltas into its registry; a malformed snapshot is dropped, never
+  /// fatal — observability must not fail a round.
+  kTrace = 11,
 };
 
 /// Upper bound accepted for a frame payload. Its purpose is rejecting

@@ -25,6 +25,8 @@
 #include "src/dataflow/map_shard.h"
 #include "src/dataflow/shuffle_buffer.h"
 #include "src/fault/fault_injection.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rpc/frame.h"
 #include "src/rpc/socket.h"
 #include "src/spill/external_merger.h"
@@ -63,12 +65,6 @@ constexpr uint64_t kFlagCompressed = 1;
 constexpr int kRespawnInitialBackoffMs = 10;
 constexpr int kRespawnMaxBackoffMs = 1000;
 constexpr int kMaxRespawnsPerWorker = 5;
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
 
 [[noreturn]] void ProtocolError(const std::string& what) {
   throw std::runtime_error("proc backend: " + what);
@@ -228,6 +224,20 @@ struct WorkerConn {
   explicit WorkerConn(MsgConn c) : conn(std::move(c)) {}
 
   bool Send(MsgType type, std::string_view payload) DSEQ_EXCLUDES(send_mu) {
+    // Frame send latency (lock wait + encode + socket write). The registry
+    // lookup runs once; a disabled run pays only the relaxed flag load.
+    static obs::Histogram& send_ns_hist =
+        obs::GetHistogram("rpc.frame_send_ns");
+    if (obs::Enabled()) {
+      const int64_t t0 = obs::NowNs();
+      bool ok;
+      {
+        MutexLock lock(send_mu);
+        ok = conn.Send(type, payload);
+      }
+      send_ns_hist.Observe(obs::NowNs() - t0);
+      return ok;
+    }
     MutexLock lock(send_mu);
     return conn.Send(type, payload);
   }
@@ -310,6 +320,8 @@ void RunWorkerMapTask(WorkerConn& conn, std::string_view payload,
                       const MapFn& map_fn,
                       const CombinerFactory& combiner_factory,
                       const DataflowOptions& options, int heartbeat_ms) {
+  obs::SetCurrentRound(options.round_index);
+  const int64_t task_start_ns = obs::NowNs();
   size_t pos = 0;
   uint64_t task = 0;
   uint64_t begin = 0;
@@ -436,6 +448,11 @@ void RunWorkerMapTask(WorkerConn& conn, std::string_view payload,
   PutVarint(&done, cache_hits);
   PutVarint(&done, reduce_workers);
   for (int r = 0; r < reduce_workers; ++r) PutVarint(&done, reducer_bytes[r]);
+  // Close the task span, then ship the observability snapshot ahead of the
+  // done frame so the coordinator ingests it before committing the task.
+  // Best effort: a lost connection surfaces on the kMapDone send below.
+  obs::EmitSpan("worker", "map_task", task_start_ns, obs::NowNs());
+  if (obs::Enabled()) conn.Send(MsgType::kTrace, obs::EncodeWireSnapshot());
   SendOrThrow(conn, MsgType::kMapDone, done);
 }
 
@@ -447,6 +464,8 @@ void RunWorkerMapTask(WorkerConn& conn, std::string_view payload,
 void RunWorkerReduceTask(WorkerConn& conn, std::string_view payload,
                          const ChainReduceFn& reduce_fn,
                          const DataflowOptions& options, int heartbeat_ms) {
+  obs::SetCurrentRound(options.round_index);
+  const int64_t task_start_ns = obs::NowNs();
   size_t pos = 0;
   uint64_t reducer = 0;
   uint64_t num_segments = 0;
@@ -469,6 +488,7 @@ void RunWorkerReduceTask(WorkerConn& conn, std::string_view payload,
   bool any_run = false;
   std::string parts;  // pending kSegmentPart chunks of the current segment
   bool part_open = false;
+  const int64_t stream_start_ns = obs::NowNs();
   for (uint64_t i = 0; i < num_segments;) {
     MsgType type;
     std::string frame;
@@ -501,6 +521,7 @@ void RunWorkerReduceTask(WorkerConn& conn, std::string_view payload,
     ++i;
   }
   if (part_open) ProtocolError("unterminated segment chunk stream");
+  obs::EmitSpan("worker", "segment_stream", stream_start_ns, obs::NowNs());
 
   MemoryBudget budget(options.memory_budget_bytes);
   SpillStats spill_stats;
@@ -596,6 +617,10 @@ void RunWorkerReduceTask(WorkerConn& conn, std::string_view payload,
   PutVarint(&done, spill_stats.merge_passes.load(std::memory_order_relaxed));
   PutVarint(&done, num_records);
   done += record_bytes;
+  // Same snapshot ordering as the map task: span closed, snapshot shipped,
+  // then the done frame that commits the task on the coordinator.
+  obs::EmitSpan("worker", "reduce_task", task_start_ns, obs::NowNs());
+  if (obs::Enabled()) conn.Send(MsgType::kTrace, obs::EncodeWireSnapshot());
   SendOrThrow(conn, MsgType::kReduceDone, done);
 }
 
@@ -610,6 +635,10 @@ int WorkerBody(int ordinal, uint16_t port, const MapFn& map_fn,
                const ChainReduceFn& reduce_fn, const DataflowOptions& options) {
   rpc::IgnoreSigPipe();
   fault::SetProcessScope(ordinal);
+  // Discard span/metric state inherited through fork and stamp this
+  // process's ordinal: wire snapshots must carry only the worker's own
+  // activity, never a copy of the coordinator's.
+  obs::BeginForkedProcess(ordinal);
   std::unique_ptr<WorkerConn> conn;
   try {
     conn = std::make_unique<WorkerConn>(MsgConn(rpc::ConnectLoopback(port)));
@@ -721,30 +750,33 @@ class Coordinator {
 
   ProcRoundResult Run() {
     rpc::IgnoreSigPipe();
+    // Stamped here too (not only in DataflowJob::Run) so direct RunProcRound
+    // callers — tests, benches — get correctly-tagged spans.
+    obs::SetCurrentRound(options_.round_index);
     if (options_.proc_round_deadline_ms > 0) {
       has_deadline_ = true;
-      deadline_ = std::chrono::steady_clock::now() +
+      deadline_ = obs::Now() +
                   std::chrono::milliseconds(options_.proc_round_deadline_ms);
     }
     Spawn();
     ProcRoundResult result;
     {
-      auto start = std::chrono::steady_clock::now();
+      auto start = obs::Now();
       RunTasks(map_tasks_, "map",
                [this](Worker& w, int t) { return SendMapTask(w, t); },
                [this](Worker& w, MsgType type, std::string_view payload) {
                  return OnMapFrame(w, type, payload);
                });
-      result.metrics.map_seconds = SecondsSince(start);
+      result.metrics.map_seconds = obs::SecondsSince(start);
     }
     {
-      auto start = std::chrono::steady_clock::now();
+      auto start = obs::Now();
       RunTasks(reduce_tasks_, "reduce",
                [this](Worker& w, int t) { return SendReduceTask(w, t); },
                [this](Worker& w, MsgType type, std::string_view payload) {
                  return OnReduceFrame(w, type, payload);
                });
-      result.metrics.reduce_seconds = SecondsSince(start);
+      result.metrics.reduce_seconds = obs::SecondsSince(start);
     }
     Cleanup();  // graceful shutdown while results are assembled below
 
@@ -795,6 +827,11 @@ class Coordinator {
     std::chrono::steady_clock::time_point respawn_at;
     std::chrono::steady_clock::time_point last_progress;
     std::chrono::steady_clock::time_point last_ping;
+    // Observability endpoints: when the in-flight task was dispatched, and
+    // when the last kPing left (-1 = no ping outstanding) — closed into
+    // retrospective spans when the done frame / kPong arrives.
+    int64_t dispatch_ns = 0;
+    int64_t ping_sent_ns = -1;
     // Segments of the in-flight map task, discarded if the worker dies
     // before kMapDone commits them.
     std::vector<std::pair<int, StoredSegment>> staged;
@@ -832,6 +869,9 @@ class Coordinator {
   }
 
   void Spawn() {
+    // Covers fork + the connect/hello handshake of the whole pool. The
+    // children never run this destructor — they leave through _exit.
+    DSEQ_TRACE_SPAN("proc", "fork_workers");
     int pool = std::max(map_tasks_, reduce_tasks_);
     listen_fd_ = rpc::ListenLoopback(&port_);
     workers_.resize(pool);
@@ -875,11 +915,11 @@ class Coordinator {
     Worker& w = workers_[ordinal];
     w.conn = std::make_unique<MsgConn>(std::move(conn));
     w.spawning = false;
-    w.last_progress = w.last_ping = std::chrono::steady_clock::now();
+    w.last_progress = w.last_ping = obs::Now();
   }
 
   void AcceptWorkers() {
-    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    auto deadline = obs::Now() + std::chrono::seconds(30);
     for (;;) {
       Reap();
       bool settled = true;
@@ -900,7 +940,7 @@ class Coordinator {
         }
         return;
       }
-      if (std::chrono::steady_clock::now() > deadline) {
+      if (obs::Now() > deadline) {
         throw ProcBackendError(
             "proc backend: workers failed to connect within 30s");
       }
@@ -937,17 +977,17 @@ class Coordinator {
     int backoff = std::min(kRespawnInitialBackoffMs << (w.deaths - 1),
                            kRespawnMaxBackoffMs);
     w.respawn_pending = true;
-    w.respawn_at = std::chrono::steady_clock::now() +
-                   std::chrono::milliseconds(backoff);
+    w.respawn_at = obs::Now() + std::chrono::milliseconds(backoff);
   }
 
   // Forks replacements whose backoff has elapsed. The child must drop every
   // coordinator-side fd it inherited — other workers' connections and the
   // listener — or a dead sibling would never read as EOF on the coordinator.
   void MaybeRespawn() {
-    auto now = std::chrono::steady_clock::now();
+    auto now = obs::Now();
     for (Worker& w : workers_) {
       if (!w.respawn_pending || now < w.respawn_at) continue;
+      const int64_t respawn_start_ns = obs::NowNs();
       pid_t pid = ::fork();
       if (pid < 0) {
         w.respawn_at = now + std::chrono::milliseconds(100);  // retry later
@@ -966,6 +1006,7 @@ class Coordinator {
       w.respawn_pending = false;
       ++respawns_;
       all_pids_.push_back(pid);
+      obs::EmitSpan("proc", "worker_respawn", respawn_start_ns, obs::NowNs());
     }
   }
 
@@ -992,7 +1033,7 @@ class Coordinator {
   }
 
   void CheckDeadline(int done, int num_tasks) {
-    if (!has_deadline_ || std::chrono::steady_clock::now() <= deadline_) return;
+    if (!has_deadline_ || obs::Now() <= deadline_) return;
     throw ProcDeadlineError(
         "proc backend: round " + std::to_string(options_.round_index) +
         " exceeded its deadline (" +
@@ -1013,6 +1054,10 @@ class Coordinator {
                 const std::function<bool(Worker&, MsgType, std::string_view)>&
                     on_frame) {
     phase_ = phase;
+    // Span names must be literals with process lifetime (EmitSpan stores
+    // the pointer), so the per-phase dispatch name is picked, not built.
+    const char* dispatch_span =
+        std::strcmp(phase, "map") == 0 ? "map_dispatch" : "reduce_dispatch";
     task_state_.assign(static_cast<size_t>(num_tasks), TaskState{});
     const int hb_ms = HeartbeatIntervalMs(options_);
     std::deque<int> pending;
@@ -1034,7 +1079,7 @@ class Coordinator {
         throw ProcBackendError(
             "proc backend: every worker died with tasks outstanding");
       }
-      auto now = std::chrono::steady_clock::now();
+      auto now = obs::Now();
       for (Worker& w : workers_) {
         if (pending.empty()) break;
         if (!Alive(w) || w.task != -1) continue;
@@ -1047,6 +1092,7 @@ class Coordinator {
         ++attempts_total_;
         if (ts.attempts > 1) ++retries_total_;
         w.last_progress = w.last_ping = now;
+        w.dispatch_ns = obs::ToNs(now);
         if (!send_task(w, w.task)) {
           MarkDead(w, &pending, "worker " + std::to_string(w.ordinal) +
                                     " connection lost sending the task");
@@ -1054,11 +1100,12 @@ class Coordinator {
       }
 
       if (hb_ms > 0) {
-        now = std::chrono::steady_clock::now();
+        now = obs::Now();
         for (Worker& w : workers_) {
           if (!Alive(w)) continue;
           if (now - w.last_ping < std::chrono::milliseconds(hb_ms)) continue;
           w.last_ping = now;
+          w.ping_sent_ns = obs::ToNs(now);
           if (!w.conn->Send(MsgType::kPing, {})) {
             MarkDead(w, &pending, "worker " + std::to_string(w.ordinal) +
                                       " connection lost sending a ping");
@@ -1100,9 +1147,33 @@ class Coordinator {
                             std::to_string(w.ordinal));
             }
             // Every frame counts as progress; kPong exists only for that.
-            w.last_progress = std::chrono::steady_clock::now();
-            if (type == MsgType::kPong) continue;
+            w.last_progress = obs::Now();
+            if (type == MsgType::kPong) {
+              // Ping→first-pong RTT. Approximate under load: a spontaneous
+              // progress beat landing between ping and reply closes the
+              // span early — good enough for a liveness-latency signal.
+              if (w.ping_sent_ns >= 0) {
+                const int64_t now_ns = obs::NowNs();
+                obs::EmitSpan("proc", "heartbeat_rtt", w.ping_sent_ns, now_ns);
+                if (obs::Enabled()) {
+                  static obs::Histogram& rtt_hist =
+                      obs::GetHistogram("proc.heartbeat_rtt_ns");
+                  rtt_hist.Observe(now_ns - w.ping_sent_ns);
+                }
+                w.ping_sent_ns = -1;
+              }
+              continue;
+            }
+            if (type == MsgType::kTrace) {
+              // Worker observability snapshot: merge spans (stamped with
+              // the sender's ordinal) and fold metric deltas into the
+              // registry. Malformed payloads are dropped, never fatal.
+              obs::IngestWireSnapshot(payload, w.ordinal);
+              continue;
+            }
             if (on_frame(w, type, payload)) {
+              obs::EmitSpan("proc", dispatch_span, w.dispatch_ns,
+                            obs::NowNs());
               ++done;
               w.task = -1;
               w.staged.clear();
@@ -1119,13 +1190,16 @@ class Coordinator {
       }
 
       if (options_.proc_worker_timeout_ms > 0) {
-        now = std::chrono::steady_clock::now();
+        now = obs::Now();
         auto limit = std::chrono::milliseconds(options_.proc_worker_timeout_ms);
         for (Worker& w : workers_) {
           if (!Alive(w) || w.task == -1) continue;
           if (now - w.last_progress <= limit) continue;
           ::kill(w.pid, SIGKILL);  // hung (not merely slow): reclaim forcibly
           ++kills_;
+          // The stall is the span: last observed progress → the kill.
+          obs::EmitSpan("proc", "worker_stall_kill",
+                        obs::ToNs(w.last_progress), obs::ToNs(now));
           MarkDead(w, &pending,
                    "worker " + std::to_string(w.ordinal) +
                        " made no progress for " +
@@ -1151,6 +1225,8 @@ class Coordinator {
   bool OnMapFrame(Worker& w, MsgType type, std::string_view payload) {
     if (type == MsgType::kError) ThrowWorkerError(payload);
     if (type == MsgType::kSegment) {
+      // Per-frame, so a chunked transfer shows as a burst of receive spans.
+      DSEQ_TRACE_SPAN("proc", "segment_receive");
       SegmentHeader h = ParseSegment(payload);
       if (w.task < 0 || h.task != static_cast<uint64_t>(w.task) ||
           h.reducer >= static_cast<uint64_t>(reduce_tasks_)) {
@@ -1177,6 +1253,9 @@ class Coordinator {
         ResetPartBuffer(w);
       }
       full.append(h.bytes.data(), h.bytes.size());
+      static obs::Histogram& seg_bytes_hist =
+          obs::GetHistogram("proc.segment_bytes");
+      if (obs::Enabled()) seg_bytes_hist.Observe(full.size());
       StoredSegment seg;
       seg.kind = h.kind;
       seg.flags = h.flags;
@@ -1239,11 +1318,14 @@ class Coordinator {
       // metrics enter the round totals, and the global shuffle budget is
       // enforced on the committed sum (each worker already enforced the
       // per-task share inside RunMapShard).
-      for (auto& per_reducer : store_[w.task]) per_reducer.clear();
-      for (auto& [reducer, seg] : w.staged) {
-        store_[w.task][reducer].push_back(std::move(seg));
+      {
+        DSEQ_TRACE_SPAN("proc", "segment_commit");
+        for (auto& per_reducer : store_[w.task]) per_reducer.clear();
+        for (auto& [reducer, seg] : w.staged) {
+          store_[w.task][reducer].push_back(std::move(seg));
+        }
+        w.staged.clear();
       }
-      w.staged.clear();
       map_reports_[w.task] = std::move(report);
       committed_shuffle_bytes_ += map_reports_[w.task].shuffle_bytes;
       if (options_.shuffle_budget_bytes > 0 &&
@@ -1261,6 +1343,8 @@ class Coordinator {
   }
 
   bool SendReduceTask(Worker& w, int reducer) {
+    // Covers the replay of every committed segment to the reduce worker.
+    DSEQ_TRACE_SPAN("proc", "segment_replay");
     uint64_t num_segments = 0;
     for (int t = 0; t < map_tasks_; ++t) {
       num_segments += store_[t][reducer].size();
@@ -1364,7 +1448,7 @@ class Coordinator {
         w.conn.reset();
       }
     }
-    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    auto deadline = obs::Now() + std::chrono::seconds(5);
     for (;;) {
       Reap();
       bool all_exited = true;
@@ -1375,7 +1459,7 @@ class Coordinator {
         if (!reaped) all_exited = false;
       }
       if (all_exited) break;
-      if (std::chrono::steady_clock::now() > deadline) {
+      if (obs::Now() > deadline) {
         for (Worker& w : workers_) {
           if (w.pid >= 0 && !w.exited) ::kill(w.pid, SIGKILL);
         }

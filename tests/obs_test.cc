@@ -1,0 +1,301 @@
+// Observability layer tests: the trace clock, span emission and flushing,
+// the wire snapshot codec, the Chrome trace-event JSON export, the metrics
+// registry (log2 histogram math, JSON, cross-process delta merge), and the
+// fixed-schema stats renderers that back `dseq_cli --stats`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/dataflow/engine.h"
+#include "src/obs/metrics.h"
+#include "src/obs/stats.h"
+#include "src/obs/trace.h"
+
+namespace dseq {
+namespace {
+
+// Every test runs with tracing enabled against freshly reset state; the
+// trace sink and registry are process-global, so tests must not assume a
+// particular *absolute* count of anything other spans could bump.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::ResetTraceForTest();
+    obs::ResetMetricsForTest();
+    obs::SetEnabled(true);
+  }
+  void TearDown() override {
+    obs::SetEnabled(false);
+    obs::ResetTraceForTest();
+    obs::ResetMetricsForTest();
+  }
+};
+
+// --- Clock ------------------------------------------------------------------
+
+TEST_F(ObsTest, ClockIsMonotonicAndConsistentAcrossAccessors) {
+  auto tp = obs::Now();
+  int64_t a = obs::NowNs();
+  int64_t b = obs::NowNs();
+  EXPECT_LE(a, b);
+  // ToNs(tp) and NowNs() read the same clock: a point taken before must not
+  // land after.
+  EXPECT_LE(obs::ToNs(tp), a);
+  EXPECT_GE(obs::SecondsSince(tp), 0.0);
+}
+
+// --- Span emission and flushing ---------------------------------------------
+
+TEST_F(ObsTest, ScopedSpanLandsInTheSnapshotWithStamps) {
+  obs::SetCurrentRound(3);
+  {
+    DSEQ_TRACE_SPAN("test", "scoped_span");
+  }
+  std::vector<obs::TraceEvent> events = obs::SnapshotTrace();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "scoped_span");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_EQ(events[0].round, 3);
+  EXPECT_EQ(events[0].process_ordinal, -1);  // coordinator default
+  EXPECT_GE(events[0].dur_ns, 0);
+  EXPECT_GT(events[0].start_ns, 0);
+}
+
+TEST_F(ObsTest, DisabledEmissionRecordsNothing) {
+  obs::SetEnabled(false);
+  {
+    DSEQ_TRACE_SPAN("test", "invisible");
+  }
+  obs::EmitSpan("test", "also_invisible", 1, 2);
+  EXPECT_TRUE(obs::SnapshotTrace().empty());
+}
+
+TEST_F(ObsTest, EachSpanIsCollectedExactlyOnceAcrossFlushes) {
+  obs::EmitSpan("test", "first", 10, 20);
+  EXPECT_EQ(obs::TakeTrace().size(), 1u);
+  // The span was moved out; a second flush must not resurrect it.
+  EXPECT_TRUE(obs::TakeTrace().empty());
+  obs::EmitSpan("test", "second", 30, 40);
+  std::vector<obs::TraceEvent> events = obs::TakeTrace();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "second");
+}
+
+TEST_F(ObsTest, RetrospectiveSpanClampsInvertedIntervals) {
+  obs::EmitSpan("test", "inverted", 100, 50);
+  std::vector<obs::TraceEvent> events = obs::SnapshotTrace();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].dur_ns, 0);
+}
+
+// --- Wire snapshot codec ----------------------------------------------------
+
+TEST_F(ObsTest, WireSnapshotRoundTripsSpansAndMetricDeltas) {
+  obs::SetCurrentRound(2);
+  obs::EmitSpan("worker", "map_task", 1000, 5000);
+  obs::GetCounter("test.round_trip").Add(7);
+  obs::GetHistogram("test.rt_bytes").Observe(300);
+  std::string payload = obs::EncodeWireSnapshot();
+  // Encoding drained this process's spans and shipped the metric deltas;
+  // zero the registry so the ingest below is what restores it.
+  EXPECT_TRUE(obs::SnapshotTrace().empty());
+  obs::ResetMetricsForTest();
+
+  ASSERT_TRUE(obs::IngestWireSnapshot(payload, /*fallback=*/4));
+  std::vector<obs::TraceEvent> events = obs::SnapshotTrace();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "map_task");
+  EXPECT_EQ(events[0].category, "worker");
+  EXPECT_EQ(events[0].start_ns, 1000);
+  EXPECT_EQ(events[0].dur_ns, 4000);
+  EXPECT_EQ(events[0].round, 2);
+  // The span carried ordinal -1 (emitted by a coordinator-ordinal process),
+  // so ingest stamps the fallback — the frame's worker slot.
+  EXPECT_EQ(events[0].process_ordinal, 4);
+  EXPECT_EQ(obs::GetCounter("test.round_trip").Value(), 7u);
+  EXPECT_EQ(obs::GetHistogram("test.rt_bytes").TotalCount(), 1u);
+  EXPECT_EQ(obs::GetHistogram("test.rt_bytes").Sum(), 300u);
+}
+
+TEST_F(ObsTest, RepeatedSnapshotsShipOnlyIncrements) {
+  obs::GetCounter("test.inc").Add(5);
+  std::string first = obs::EncodeWireSnapshot();
+  obs::GetCounter("test.inc").Add(2);
+  std::string second = obs::EncodeWireSnapshot();
+
+  obs::ResetMetricsForTest();
+  ASSERT_TRUE(obs::IngestWireSnapshot(first, 0));
+  ASSERT_TRUE(obs::IngestWireSnapshot(second, 0));
+  // 5 then +2, not 5 then 7: the second snapshot is a delta.
+  EXPECT_EQ(obs::GetCounter("test.inc").Value(), 7u);
+}
+
+TEST_F(ObsTest, IngestedDeltasAreNotReShipped) {
+  obs::GetCounter("test.noecho").Add(3);
+  std::string payload = obs::EncodeWireSnapshot();
+  obs::ResetMetricsForTest();
+  ASSERT_TRUE(obs::IngestWireSnapshot(payload, 0));
+  // The coordinator's own next snapshot must not echo the worker's data
+  // back — foreign deltas count as already shipped.
+  std::string next = obs::EncodeWireSnapshot();
+  obs::ResetMetricsForTest();
+  ASSERT_TRUE(obs::IngestWireSnapshot(next, 0));
+  EXPECT_EQ(obs::GetCounter("test.noecho").Value(), 0u);
+}
+
+TEST_F(ObsTest, MalformedWirePayloadIsRejected) {
+  EXPECT_FALSE(obs::IngestWireSnapshot("", 0));
+  EXPECT_FALSE(obs::IngestWireSnapshot("\x7f", 0));  // wrong version
+  obs::EmitSpan("test", "span", 1, 2);
+  std::string payload = obs::EncodeWireSnapshot();
+  EXPECT_FALSE(
+      obs::IngestWireSnapshot(payload.substr(0, payload.size() / 2), 0));
+}
+
+// --- Chrome trace-event JSON ------------------------------------------------
+
+TEST_F(ObsTest, ChromeTraceJsonCarriesTheSchemaFields) {
+  obs::SetCurrentRound(1);
+  obs::EmitSpan("engine", "map_shard", 2'500, 7'500);
+  std::string json = obs::ChromeTraceJson();
+  // Envelope + coordinator metadata.
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"coordinator\""), std::string::npos);
+  // The span: microsecond timestamps with the nanosecond remainder kept as
+  // a fractional part, coordinator pid 0.
+  EXPECT_NE(json.find("\"ph\":\"X\",\"name\":\"map_shard\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"engine\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5.000"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"round\":1}"), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonMapsWorkerOrdinalsToDistinctPids) {
+  obs::SetProcessOrdinal(1);
+  obs::EmitSpan("worker", "map_task", 1000, 2000);
+  std::string worker1 = obs::EncodeWireSnapshot();
+  obs::SetProcessOrdinal(0);
+  obs::EmitSpan("worker", "map_task", 1500, 2500);
+  std::string worker0 = obs::EncodeWireSnapshot();
+  obs::SetProcessOrdinal(-1);
+  ASSERT_TRUE(obs::IngestWireSnapshot(worker0, 0));
+  ASSERT_TRUE(obs::IngestWireSnapshot(worker1, 1));
+  std::string json = obs::ChromeTraceJson();
+  // pid k+1 = worker ordinal k, each with its own metadata record.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"worker 0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"worker 1\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2,"), std::string::npos);
+}
+
+// --- Metrics registry -------------------------------------------------------
+
+TEST(HistogramTest, BucketIndexIsLog2WithZeroAndSaturation) {
+  EXPECT_EQ(obs::Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1), 1);   // [1,2)
+  EXPECT_EQ(obs::Histogram::BucketIndex(2), 2);   // [2,4)
+  EXPECT_EQ(obs::Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(obs::Histogram::BucketIndex(4), 3);   // [4,8)
+  EXPECT_EQ(obs::Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1024), 11);
+  // The top bucket saturates.
+  EXPECT_EQ(obs::Histogram::BucketIndex(~uint64_t{0}),
+            obs::Histogram::kBuckets - 1);
+}
+
+TEST_F(ObsTest, RegistryJsonListsEveryKindWithSparseBuckets) {
+  obs::GetCounter("test.json_counter").Add(11);
+  obs::GetGauge("test.json_gauge").Set(-4);
+  obs::Histogram& h = obs::GetHistogram("test.json_hist");
+  h.Observe(0);
+  h.Observe(5);
+  h.Observe(6);
+  std::string json = obs::RegistryJson();
+  EXPECT_NE(json.find("\"test.json_counter\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\":-4"), std::string::npos);
+  // Bucket keys are exclusive upper bounds: zeros under "0", [4,8) under
+  // "8"; untouched buckets are omitted.
+  EXPECT_NE(json.find("\"test.json_hist\":{\"count\":3,\"sum\":11,"
+                      "\"buckets\":{\"0\":1,\"8\":2}}"),
+            std::string::npos);
+}
+
+// --- Stats renderers --------------------------------------------------------
+
+DataflowMetrics SampleMetrics() {
+  DataflowMetrics m;
+  m.map_seconds = 1.5;
+  m.reduce_seconds = 0.5;
+  m.shuffle_bytes = 4096;
+  m.shuffle_records = 100;
+  m.reducer_bytes = {1024, 3072};
+  m.spill_files = 2;
+  m.spill_bytes_written = 2048;
+  m.spill_merge_passes = 1;
+  return m;
+}
+
+TEST(StatsRenderTest, LocalAndProcRenderTheSameFieldSet) {
+  DataflowMetrics m = SampleMetrics();
+  std::string local = obs::RenderStats("run", m, /*proc_backend=*/false);
+  std::string proc = obs::RenderStats("run", m, /*proc_backend=*/true);
+  // The schema is fixed: both backends render the same three lines with
+  // the same field labels, differing only in the proc line's values.
+  auto lines = [](const std::string& s) {
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos < s.size()) {
+      size_t nl = s.find('\n', pos);
+      if (nl == std::string::npos) nl = s.size();
+      out.push_back(s.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    return out;
+  };
+  std::vector<std::string> local_lines = lines(local);
+  std::vector<std::string> proc_lines = lines(proc);
+  ASSERT_EQ(local_lines.size(), 3u);
+  ASSERT_EQ(proc_lines.size(), 3u);
+  // Run and spill lines are backend-independent.
+  EXPECT_EQ(local_lines[0], proc_lines[0]);
+  EXPECT_EQ(local_lines[1], proc_lines[1]);
+  // The proc line never vanishes — it renders an explicit marker locally.
+  EXPECT_NE(local_lines[2].find("run proc: n/a (local backend)"),
+            std::string::npos);
+  EXPECT_NE(proc_lines[2].find("run proc:"), std::string::npos);
+  EXPECT_NE(proc_lines[2].find("task attempts"), std::string::npos);
+}
+
+TEST(StatsRenderTest, ChainedReportRendersPerRoundAndAggregateBlocks) {
+  DataflowMetrics m = SampleMetrics();
+  std::string report = obs::RenderChainedStats(
+      {m, m}, m, /*input_storage_reads=*/10, /*input_cache_hits=*/5,
+      /*proc_backend=*/false);
+  EXPECT_NE(report.find("round 1:"), std::string::npos);
+  EXPECT_NE(report.find("round 2:"), std::string::npos);
+  EXPECT_NE(report.find("total:"), std::string::npos);
+  EXPECT_NE(
+      report.find("input reads: 10 from storage, 5 from the round-1 cache"),
+      std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsReportJsonEmbedsDataflowAndRegistry) {
+  DataflowMetrics m = SampleMetrics();
+  obs::GetCounter("test.report").Add(1);
+  std::string with = obs::MetricsReportJson(&m, /*proc_backend=*/true);
+  EXPECT_NE(with.find("\"dataflow\":{"), std::string::npos);
+  EXPECT_NE(with.find("\"backend\":\"proc\""), std::string::npos);
+  EXPECT_NE(with.find("\"registry\":{"), std::string::npos);
+  EXPECT_NE(with.find("\"test.report\":1"), std::string::npos);
+  // Algorithms without dataflow metrics report an explicit null, not a
+  // missing key.
+  std::string without = obs::MetricsReportJson(nullptr, false);
+  EXPECT_NE(without.find("\"dataflow\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dseq

@@ -1,0 +1,107 @@
+// Cross-process timeline merge: a proc-backend round run with tracing on
+// must surface spans from the coordinator *and* from at least two distinct
+// forked worker ordinals in one merged trace, ship worker-side metric
+// observations through kTrace frames, and leave the mined results
+// byte-identical to an untraced local run.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/dist/dseq_miner.h"
+#include "src/fst/compiler.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "tests/test_util.h"
+
+namespace dseq {
+namespace {
+
+class TraceProcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::ResetTraceForTest();
+    obs::ResetMetricsForTest();
+    obs::SetEnabled(true);
+  }
+  void TearDown() override {
+    obs::SetEnabled(false);
+    obs::ResetTraceForTest();
+    obs::ResetMetricsForTest();
+  }
+};
+
+TEST_F(TraceProcTest, ProcRoundMergesCoordinatorAndWorkerSpans) {
+  SequenceDatabase db = testing::RandomDatabase(4200, 7, 50, 8);
+  Fst fst = CompileFst(".*(.)[.*(.)]{0,2}.*", db.dict);
+
+  DSeqOptions options;
+  options.sigma = 2;
+  options.num_map_workers = 3;
+  options.num_reduce_workers = 3;
+
+  options.backend = DataflowBackend::kLocal;
+  obs::SetEnabled(false);  // reference run: untraced local
+  DistributedResult local = MineDSeq(db.sequences, fst, db.dict, options);
+  obs::SetEnabled(true);
+
+  options.backend = DataflowBackend::kProc;
+  DistributedResult proc = MineDSeq(db.sequences, fst, db.dict, options);
+
+  // Tracing must observe, never perturb: traced proc == untraced local.
+  EXPECT_EQ(proc.patterns, local.patterns);
+
+  std::vector<obs::TraceEvent> events = obs::SnapshotTrace();
+  ASSERT_FALSE(events.empty());
+  std::set<int> worker_ordinals;
+  bool saw_coordinator_span = false;
+  bool saw_worker_map_task = false;
+  for (const obs::TraceEvent& ev : events) {
+    if (ev.process_ordinal >= 0) worker_ordinals.insert(ev.process_ordinal);
+    if (ev.process_ordinal < 0 && ev.category == "proc") {
+      saw_coordinator_span = true;
+    }
+    if (ev.category == "worker" && ev.name == "map_task") {
+      saw_worker_map_task = true;
+    }
+  }
+  // The merged timeline carries the coordinator's orchestration spans plus
+  // task spans shipped back by at least two distinct forked workers.
+  EXPECT_TRUE(saw_coordinator_span);
+  EXPECT_TRUE(saw_worker_map_task);
+  EXPECT_GE(worker_ordinals.size(), 2u)
+      << "expected spans from >=2 distinct worker ordinals";
+
+  // Worker-side hot-path observations crossed the process boundary: the
+  // shuffle-record histogram (observed only inside map shards, which run in
+  // the forked workers under kProc) matches the round's record count.
+  EXPECT_EQ(obs::GetHistogram("shuffle.record_bytes").TotalCount(),
+            proc.metrics.shuffle_records);
+
+  // The Chrome export gives each seen worker its own pid lane.
+  std::string json = obs::ChromeTraceJson();
+  EXPECT_NE(json.find("\"name\":\"coordinator\""), std::string::npos);
+  for (int ordinal : worker_ordinals) {
+    std::string name = "\"name\":\"worker " + std::to_string(ordinal) + "\"";
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(TraceProcTest, DisabledTracingLeavesProcRoundSilent) {
+  obs::SetEnabled(false);
+  SequenceDatabase db = testing::RandomDatabase(600, 6, 30, 8);
+  Fst fst = CompileFst(".*(.).*", db.dict);
+  DSeqOptions options;
+  options.sigma = 2;
+  options.num_map_workers = 2;
+  options.num_reduce_workers = 2;
+  options.backend = DataflowBackend::kProc;
+  DistributedResult result = MineDSeq(db.sequences, fst, db.dict, options);
+  EXPECT_FALSE(result.patterns.empty());
+  EXPECT_TRUE(obs::SnapshotTrace().empty());
+  EXPECT_EQ(obs::GetHistogram("shuffle.record_bytes").TotalCount(), 0u);
+}
+
+}  // namespace
+}  // namespace dseq

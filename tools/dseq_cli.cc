@@ -62,6 +62,8 @@
 #include "src/dist/naive.h"
 #include "src/fst/compiler.h"
 #include "src/io/dataset_io.h"
+#include "src/obs/stats.h"
+#include "src/obs/trace.h"
 #include "src/rpc/proc_backend.h"
 #include "src/util/thread_pool.h"
 
@@ -93,6 +95,8 @@ struct Args {
   bool proc_max_attempts_set = false;
   int proc_deadline_ms = 0;  // 0 = no round deadline
   bool proc_deadline_set = false;
+  std::string trace_out;     // Chrome trace-event JSON output path
+  std::string metrics_json;  // metrics registry + dataflow counters path
 };
 
 [[noreturn]] void Usage(const char* message) {
@@ -137,7 +141,13 @@ struct Args {
       "                     proc backend: fail a task after N executions end\n"
       "                     in worker deaths (default 3)\n"
       "  --proc-deadline MS proc backend: fail any round that runs longer\n"
-      "                     than MS milliseconds (default 0 = off)\n");
+      "                     than MS milliseconds (default 0 = off)\n"
+      "  --trace-out FILE   record spans and write the run's timeline as\n"
+      "                     Chrome trace-event JSON (open in Perfetto; under\n"
+      "                     --backend proc the workers' spans are merged in)\n"
+      "  --metrics-json FILE\n"
+      "                     write the run's metrics — dataflow counters plus\n"
+      "                     the histogram/counter registry — as JSON\n");
   std::exit(2);
 }
 
@@ -246,6 +256,14 @@ Args ParseArgs(int argc, char** argv) {
       args.proc_deadline_ms = static_cast<int>(ParseUnsigned(
           "--proc-deadline", need_value("--proc-deadline"), INT32_MAX));
       args.proc_deadline_set = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      args.trace_out = need_value("--trace-out");
+      if (args.trace_out.empty()) Usage("--trace-out requires a file path");
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      args.metrics_json = need_value("--metrics-json");
+      if (args.metrics_json.empty()) {
+        Usage("--metrics-json requires a file path");
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage(nullptr);
     } else {
@@ -313,42 +331,6 @@ Args ParseArgs(int argc, char** argv) {
   return args;
 }
 
-// ", spilled N runs (...)" — the out-of-core volume of one round (silent
-// when the round never spilled).
-void PrintSpillCounters(const dseq::DataflowMetrics& m) {
-  if (m.spill_files == 0) return;
-  std::fprintf(stderr, ", spilled %llu runs (%llu bytes, %llu merge passes)",
-               static_cast<unsigned long long>(m.spill_files),
-               static_cast<unsigned long long>(m.spill_bytes_written),
-               static_cast<unsigned long long>(m.spill_merge_passes));
-}
-
-// "proc: ..." — the proc backend's failure-policy counters (silent for
-// local runs and for uneventful proc runs beyond the attempt baseline).
-void PrintProcCounters(const dseq::DataflowMetrics& m) {
-  if (m.proc_task_attempts == 0) return;
-  std::fprintf(stderr,
-               "proc: %llu task attempts (%llu retries), %llu stall kills, "
-               "%llu workers respawned, %llu segment chunks, %llu parked "
-               "tails\n",
-               static_cast<unsigned long long>(m.proc_task_attempts),
-               static_cast<unsigned long long>(m.proc_task_retries),
-               static_cast<unsigned long long>(m.proc_worker_kills),
-               static_cast<unsigned long long>(m.proc_workers_respawned),
-               static_cast<unsigned long long>(m.proc_segment_chunks),
-               static_cast<unsigned long long>(m.proc_parked_tails));
-}
-
-// ", reducer max/mean X.XX" — the measured balance of one round's shuffle
-// across its reduce workers (empty reducers included).
-void PrintReducerBalance(const dseq::DataflowMetrics& m) {
-  if (m.reducer_bytes.empty()) return;
-  dseq::BalanceSummary balance = dseq::SummarizeReducerBytes(m.reducer_bytes);
-  if (balance.total_bytes == 0) return;
-  std::fprintf(stderr, ", reducer max/mean %.2f",
-               balance.max_to_mean_reducer_bytes);
-}
-
 void PrintPlan(const dseq::PartitionPlan& plan) {
   std::fprintf(stderr,
                "plan: %zu pivots packed onto %d reducers, %zu split",
@@ -367,59 +349,21 @@ void PrintPlan(const dseq::PartitionPlan& plan) {
   std::fprintf(stderr, "\n");
 }
 
-void PrintRoundStats(const dseq::ChainedDistributedResult& result) {
-  for (size_t r = 0; r < result.round_metrics.size(); ++r) {
-    const dseq::DataflowMetrics& m = result.round_metrics[r];
-    std::fprintf(stderr,
-                 "round %zu: map %.3fs, reduce %.3fs, shuffle %llu bytes "
-                 "(%llu records)",
-                 r + 1, m.map_seconds, m.reduce_seconds,
-                 static_cast<unsigned long long>(m.shuffle_bytes),
-                 static_cast<unsigned long long>(m.shuffle_records));
-    if (m.shuffle_compressed_bytes > 0) {
-      std::fprintf(stderr, ", compressed %llu bytes",
-                   static_cast<unsigned long long>(m.shuffle_compressed_bytes));
-    }
-    PrintSpillCounters(m);
-    PrintReducerBalance(m);
-    std::fprintf(stderr, "\n");
-  }
-  std::fprintf(stderr,
-               "total: map %.3fs, reduce %.3fs, shuffle %llu bytes",
-               result.aggregate.map_seconds, result.aggregate.reduce_seconds,
-               static_cast<unsigned long long>(result.aggregate.shuffle_bytes));
-  if (result.aggregate.shuffle_compressed_bytes > 0) {
-    std::fprintf(stderr, ", compressed %llu bytes",
-                 static_cast<unsigned long long>(
-                     result.aggregate.shuffle_compressed_bytes));
-  }
-  PrintSpillCounters(result.aggregate);
-  std::fprintf(stderr, "\n");
-  PrintProcCounters(result.aggregate);
-  if (result.input_storage_reads > 0 || result.input_cache_hits > 0) {
-    std::fprintf(stderr,
-                 "input reads: %llu from storage, %llu from the round-1 "
-                 "cache\n",
-                 static_cast<unsigned long long>(result.input_storage_reads),
-                 static_cast<unsigned long long>(result.input_cache_hits));
-  }
+// Both stats renderers live in src/obs/stats.h now: one fixed field set
+// for every backend (proc-only fields print an explicit n/a marker under
+// local instead of silently vanishing), shared with --metrics-json.
+void PrintRunStats(const dseq::DataflowMetrics& m, bool proc_backend) {
+  std::fputs(dseq::obs::RenderStats("run", m, proc_backend).c_str(), stderr);
 }
 
-void PrintRunStats(const dseq::DataflowMetrics& m) {
-  std::fprintf(stderr,
-               "run: map %.3fs, reduce %.3fs, shuffle %llu bytes "
-               "(%llu records)",
-               m.map_seconds, m.reduce_seconds,
-               static_cast<unsigned long long>(m.shuffle_bytes),
-               static_cast<unsigned long long>(m.shuffle_records));
-  if (m.shuffle_compressed_bytes > 0) {
-    std::fprintf(stderr, ", compressed %llu bytes",
-                 static_cast<unsigned long long>(m.shuffle_compressed_bytes));
-  }
-  PrintSpillCounters(m);
-  PrintReducerBalance(m);
-  std::fprintf(stderr, "\n");
-  PrintProcCounters(m);
+void PrintRoundStats(const dseq::ChainedDistributedResult& result,
+                     bool proc_backend) {
+  std::fputs(dseq::obs::RenderChainedStats(
+                 result.round_metrics, result.aggregate,
+                 result.input_storage_reads, result.input_cache_hits,
+                 proc_backend)
+                 .c_str(),
+             stderr);
 }
 
 // Copies the out-of-core and backend flags onto a miner's options (every
@@ -435,6 +379,45 @@ void ApplySpillOptions(const Args& args, dseq::DistributedRunOptions* options) {
   options->proc_worker_timeout_ms = args.proc_timeout_ms;
   options->proc_max_task_attempts = args.proc_max_attempts;
   options->proc_round_deadline_ms = args.proc_deadline_ms;
+}
+
+// Validates an output-file flag (--trace-out, --metrics-json) before any
+// mining starts, mirroring the --spill-dir probe: prove the path can be
+// opened for writing now (without clobbering an existing file), so a typo'd
+// directory or a read-only target aborts up front rather than after the
+// whole run has been traced.
+void EnsureWritableFile(const char* flag, const std::string& path) {
+  struct stat st;
+  const bool existed = ::stat(path.c_str(), &st) == 0;
+  if (existed && S_ISDIR(st.st_mode)) {
+    throw std::runtime_error(std::string("cannot write ") + flag + " " + path +
+                             ": is a directory");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    throw std::runtime_error(std::string("cannot write ") + flag + " " + path +
+                             ": " + std::strerror(errno));
+  }
+  std::fclose(f);
+  if (!existed) ::unlink(path.c_str());
+}
+
+// Writes a whole file, failing loudly — the trace/metrics outputs are the
+// run's deliverables, so a short write must not exit 0.
+void WriteFileOrThrow(const char* flag, const std::string& path,
+                      const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error(std::string("cannot write ") + flag + " " + path +
+                             ": " + std::strerror(errno));
+  }
+  const bool wrote =
+      std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    throw std::runtime_error(std::string("cannot write ") + flag + " " + path +
+                             ": " + std::strerror(errno));
+  }
 }
 
 // Validates --spill-dir before any mining starts: creates the directory if
@@ -475,9 +458,21 @@ int main(int argc, char** argv) {
   using namespace dseq;
   Args args = ParseArgs(argc, argv);
   int workers = args.workers > 0 ? args.workers : DefaultWorkers();
+  const bool proc = args.backend == "proc";
 
   try {
     if (!args.spill_dir.empty()) EnsureSpillDir(args.spill_dir);
+    if (!args.trace_out.empty()) {
+      EnsureWritableFile("--trace-out", args.trace_out);
+    }
+    if (!args.metrics_json.empty()) {
+      EnsureWritableFile("--metrics-json", args.metrics_json);
+    }
+    // Enabled before any mining (and before the proc backend forks, so the
+    // workers inherit the flag and ship their spans back over kTrace).
+    if (!args.trace_out.empty() || !args.metrics_json.empty()) {
+      obs::SetEnabled(true);
+    }
     SequenceDatabase db =
         ReadTextDatabaseFromFiles(args.sequences, args.hierarchy);
     if (args.stats) {
@@ -495,6 +490,8 @@ int main(int argc, char** argv) {
     }
 
     MiningResult patterns;
+    bool have_metrics = false;
+    DataflowMetrics final_metrics;
     if (args.algorithm == "dseq" && args.balance) {
       DSeqBalanceOptions options;
       options.sigma = args.sigma;
@@ -508,8 +505,10 @@ int main(int argc, char** argv) {
           MineDSeqBalanced(db.sequences, fst, db.dict, options, &plan);
       if (args.stats) {
         PrintPlan(plan);
-        PrintRoundStats(result);
+        PrintRoundStats(result, proc);
       }
+      final_metrics = result.aggregate;
+      have_metrics = true;
       patterns = std::move(result.patterns);
     } else if (args.algorithm == "dseq") {
       DSeqRecountOptions options;
@@ -522,11 +521,15 @@ int main(int argc, char** argv) {
         options.recount_sample_every = args.recount_sample;
         ChainedDistributedResult result =
             MineDSeqRecount(db.sequences, fst, db.dict, options);
-        if (args.stats) PrintRoundStats(result);
+        if (args.stats) PrintRoundStats(result, proc);
+        final_metrics = result.aggregate;
+        have_metrics = true;
         patterns = std::move(result.patterns);
       } else {
         DistributedResult result = MineDSeq(db.sequences, fst, db.dict, options);
-        if (args.stats) PrintRunStats(result.metrics);
+        if (args.stats) PrintRunStats(result.metrics, proc);
+        final_metrics = result.metrics;
+        have_metrics = true;
         patterns = std::move(result.patterns);
       }
     } else if (args.algorithm == "dcand") {
@@ -537,7 +540,9 @@ int main(int argc, char** argv) {
       options.compress_shuffle = args.compress;
       ApplySpillOptions(args, &options);
       DistributedResult result = MineDCand(db.sequences, fst, db.dict, options);
-      if (args.stats) PrintRunStats(result.metrics);
+      if (args.stats) PrintRunStats(result.metrics, proc);
+      final_metrics = result.metrics;
+      have_metrics = true;
       patterns = std::move(result.patterns);
     } else if (args.algorithm == "naive" || args.algorithm == "semi-naive") {
       NaiveRecountOptions options;
@@ -551,12 +556,16 @@ int main(int argc, char** argv) {
         options.recount_sample_every = args.recount_sample;
         ChainedDistributedResult result =
             MineNaiveRecount(db.sequences, fst, db.dict, options);
-        if (args.stats) PrintRoundStats(result);
+        if (args.stats) PrintRoundStats(result, proc);
+        final_metrics = result.aggregate;
+        have_metrics = true;
         patterns = std::move(result.patterns);
       } else {
         DistributedResult result =
             MineNaive(db.sequences, fst, db.dict, options);
-        if (args.stats) PrintRunStats(result.metrics);
+        if (args.stats) PrintRunStats(result.metrics, proc);
+        final_metrics = result.metrics;
+        have_metrics = true;
         patterns = std::move(result.patterns);
       }
     } else if (args.algorithm == "prefix-span" ||
@@ -571,12 +580,16 @@ int main(int argc, char** argv) {
       if (args.algorithm == "prefix-span-chained") {
         ChainedDistributedResult result =
             MineChainedPrefixSpan(db.sequences, db.dict, options);
-        if (args.stats) PrintRoundStats(result);
+        if (args.stats) PrintRoundStats(result, proc);
+        final_metrics = result.aggregate;
+        have_metrics = true;
         patterns = std::move(result.patterns);
       } else {
         DistributedResult result =
             MinePrefixSpan(db.sequences, db.dict, options);
-        if (args.stats) PrintRunStats(result.metrics);
+        if (args.stats) PrintRunStats(result.metrics, proc);
+        final_metrics = result.metrics;
+        have_metrics = true;
         patterns = std::move(result.patterns);
       }
     } else if (args.algorithm == "desq-dfs") {
@@ -610,6 +623,14 @@ int main(int argc, char** argv) {
     if (args.stats) {
       std::fprintf(stderr, "frequent sequences: %zu (printed %zu)\n",
                    patterns.size(), shown);
+    }
+    if (!args.trace_out.empty()) {
+      WriteFileOrThrow("--trace-out", args.trace_out, obs::ChromeTraceJson());
+    }
+    if (!args.metrics_json.empty()) {
+      WriteFileOrThrow("--metrics-json", args.metrics_json,
+                       obs::MetricsReportJson(
+                           have_metrics ? &final_metrics : nullptr, proc));
     }
   } catch (const ShuffleOverflowError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

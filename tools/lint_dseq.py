@@ -29,6 +29,10 @@ the offending line or the line above it):
   detached-thread      std::thread::detach() anywhere — detached threads
                        outlive round teardown, dodge the error contract, and
                        are invisible to TSan's end-of-test checks; join.
+  raw-clock-call       steady_clock::now() outside src/obs/ — all timestamps
+                       go through obs::Now()/obs::NowNs() (src/obs/trace.h)
+                       so spans, metrics, and timeouts share one clock and
+                       land on the merged cross-process timeline.
   header-guard         src/ and tests/ headers must use the canonical
                        DSEQ_<PATH>_H_ include guard.
   header-self-contained (--check-headers) every header must compile on its
@@ -205,6 +209,22 @@ class Linter:
                             "outlive teardown and dodge the error contract",
                             raw_lines)
 
+    # The trace clock (src/obs/trace.h) is the one sanctioned reader of the
+    # monotonic clock; a second call site would put its timestamps on a
+    # different baseline than the merged trace timeline.
+    CLOCK_EXEMPT_PREFIX = "src/obs/"
+    CLOCK_RE = re.compile(r"\bsteady_clock\s*::\s*now\s*\(")
+
+    def check_raw_clock_call(self, path, raw_lines, code_lines):
+        if path.startswith(self.CLOCK_EXEMPT_PREFIX):
+            return
+        for i, line in enumerate(code_lines, start=1):
+            if self.CLOCK_RE.search(line):
+                self.report(path, i, "raw-clock-call",
+                            "raw steady_clock::now() — read time through "
+                            "obs::Now()/obs::NowNs() (src/obs/trace.h) so "
+                            "all timestamps share the trace clock", raw_lines)
+
     def check_header_guard(self, path, raw_lines, code_lines):
         expected = "DSEQ_" + re.sub(r"[/.]", "_", path.upper()
                                     .removeprefix("SRC/")).rstrip("_") + "_"
@@ -231,6 +251,7 @@ class Linter:
         self.check_spill_file_raii(path, raw_lines, code_lines)
         self.check_raw_sync_primitive(path, raw_lines, code_lines)
         self.check_detached_thread(path, raw_lines, code_lines)
+        self.check_raw_clock_call(path, raw_lines, code_lines)
         if path.endswith(".h") and (path.startswith("src/") or
                                     path.startswith("tests/")):
             self.check_header_guard(path, raw_lines, code_lines)
@@ -309,6 +330,19 @@ SELFTEST_CASES = [
      "detached-thread", 0),
     ("detach: comment is not a use", "src/foo/bar.cc",
      "// never t.detach() here\nt.join();\n", "detached-thread", 0),
+    # raw-clock-call: the trace clock is the only sanctioned clock reader.
+    ("clock: steady_clock::now() in src", "src/foo/bar.cc",
+     "auto t = std::chrono::steady_clock::now();\n", "raw-clock-call", 1),
+    ("clock: fires in bench too", "bench/foo_bench.cc",
+     "double t0 = Seconds(steady_clock::now());\n", "raw-clock-call", 1),
+    ("clock: exempt under src/obs/", "src/obs/trace.cc",
+     "auto t = std::chrono::steady_clock::now();\n", "raw-clock-call", 0),
+    ("clock: allow() escape", "src/foo/bar.cc",
+     "auto t = std::chrono::steady_clock::now();"
+     "  // dseq-lint: allow(raw-clock-call)\n", "raw-clock-call", 0),
+    ("clock: comment is not a use", "src/foo/bar.cc",
+     "// wraps steady_clock::now() behind one clock\nauto t = obs::Now();\n",
+     "raw-clock-call", 0),
     # Regression cases for the pre-existing rules.
     ("naked-new fires in src", "src/foo/bar.cc",
      "int* p = new int(3);\n", "naked-new", 1),

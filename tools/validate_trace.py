@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validates a dseq Chrome trace-event JSON file (`dseq_cli --trace-out`).
+
+Checks the schema Perfetto/chrome://tracing rely on:
+
+  * the document is {"traceEvents": [...]}
+  * every event has ph "X" (complete span) or "M" (metadata)
+  * every "X" event carries name, cat, ts, dur, pid, tid, and a numeric
+    args.round; ts/dur are non-negative
+  * a pid-0 "coordinator" process_name metadata record exists, and every
+    pid seen on a span has a matching process_name record
+
+With --require-workers N it additionally asserts that spans from at least
+N distinct worker processes (pid >= 1, i.e. worker ordinal pid-1) are
+present — the acceptance check for a merged multi-process timeline.
+
+Prints "trace OK (...)" and exits 0 on success; prints the first violation
+and exits 1 otherwise (2 for usage/IO errors).
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"trace INVALID: {msg}")
+    return 1
+
+
+def validate(doc, require_workers):
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail("top level must be an object with a traceEvents key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return fail("traceEvents must be a non-empty array")
+
+    named_pids = {}
+    span_pids = set()
+    num_spans = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            return fail(f"{where} is not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_pids[ev.get("pid")] = ev.get("args", {}).get("name")
+            continue
+        if ph != "X":
+            return fail(f"{where} has ph {ph!r}; expected 'X' or 'M'")
+        for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+            if key not in ev:
+                return fail(f"{where} is missing {key!r}")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            return fail(f"{where} has an empty name")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            return fail(f"{where} has a non-numeric or negative ts")
+        if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+            return fail(f"{where} has a non-numeric or negative dur")
+        if not isinstance(ev.get("args", {}).get("round"), int):
+            return fail(f"{where} is missing the numeric args.round stamp")
+        span_pids.add(ev["pid"])
+        num_spans += 1
+
+    if num_spans == 0:
+        return fail("no 'X' span events")
+    if named_pids.get(0) != "coordinator":
+        return fail("no pid-0 'coordinator' process_name metadata record")
+    unnamed = sorted(pid for pid in span_pids if pid not in named_pids)
+    if unnamed:
+        return fail(f"spans on pid(s) {unnamed} have no process_name record")
+
+    worker_pids = sorted(pid for pid in span_pids if pid >= 1)
+    if len(worker_pids) < require_workers:
+        return fail(f"spans from {len(worker_pids)} worker process(es); "
+                    f"need >= {require_workers}")
+
+    workers = ", ".join(f"worker {pid - 1}" for pid in worker_pids)
+    print(f"trace OK ({num_spans} spans, coordinator"
+          f"{' + ' + workers if workers else ''})")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to the trace JSON file")
+    parser.add_argument("--require-workers", type=int, default=0,
+                        help="minimum number of distinct worker processes "
+                             "that must have spans (default 0)")
+    args = parser.parse_args()
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot load {args.trace}: {e}", file=sys.stderr)
+        return 2
+    return validate(doc, args.require_workers)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
